@@ -1,0 +1,208 @@
+// Command bench regenerates the paper's tables and figures on the synthetic
+// suite (see DESIGN.md §3 for the experiment index).
+//
+// Usage:
+//
+//	bench -table 1                       # Table I benchmark statistics
+//	bench -table 2 -scale 0.01          # Table II winner comparison
+//	bench -table ablation               # update-rule ablation
+//	bench -fig 3a                       # runtime breakdown
+//	bench -fig 3b > convergence.csv     # LR convergence series
+//	bench -all -scale 0.01              # everything
+//
+// -benchmarks selects a comma-separated subset (default: all nine).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"tdmroute/internal/exp"
+	"tdmroute/internal/viz"
+)
+
+func main() {
+	var (
+		table   = flag.String("table", "", "table to regenerate: 1, 2, 'ablation', 'pow2', or 'router'")
+		fig     = flag.String("fig", "", "figure to regenerate: 3a or 3b")
+		all     = flag.Bool("all", false, "regenerate every table and figure")
+		scale   = flag.Float64("scale", 0.01, "suite scale factor")
+		subset  = flag.String("benchmarks", "", "comma-separated benchmark subset")
+		budget  = flag.Int("budget", 300, "iteration budget for the ablation")
+		csv     = flag.Bool("csv", false, "emit Table II as CSV instead of the text layout")
+		scaling = flag.String("scaling", "", "run the size sweep on this benchmark (uses -scales)")
+		scales  = flag.String("scales", "0.002,0.01,0.05", "comma-separated scale factors for -scaling")
+		ascii   = flag.Bool("ascii", false, "render figures as ASCII charts (3a bars, 3b curves)")
+		verbose = flag.Bool("v", false, "print per-benchmark progress to stderr")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{Scale: *scale}
+	if *subset != "" {
+		cfg.Benchmarks = strings.Split(*subset, ",")
+	}
+	if *verbose {
+		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	if *csv && *table == "2" {
+		results, err := exp.TableII(cfg, exp.DefaultWinners())
+		if err != nil {
+			fail(err)
+		}
+		exp.WriteTableIICSV(os.Stdout, results)
+		return
+	}
+	if *scaling != "" {
+		if err := runScaling(*scaling, *scales, os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *ascii {
+		if err := runASCII(*fig, cfg, os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
+	ran, err := runBench(*table, *fig, *all, cfg, *budget, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// runScaling parses the comma-separated scale list and renders the size
+// sweep on one benchmark.
+func runScaling(bench, scalesCSV string, w io.Writer) error {
+	var vals []float64
+	for _, s := range strings.Split(scalesCSV, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return fmt.Errorf("bad scale %q: %w", s, err)
+		}
+		vals = append(vals, v)
+	}
+	rows, err := exp.Scaling(bench, vals)
+	if err != nil {
+		return err
+	}
+	exp.WriteScaling(w, bench, rows)
+	return nil
+}
+
+// runASCII renders a figure as an ASCII chart.
+func runASCII(fig string, cfg exp.Config, w io.Writer) error {
+	switch fig {
+	case "3b":
+		series, err := exp.Fig3b(cfg)
+		if err != nil {
+			return err
+		}
+		z := make([]float64, len(series))
+		lb := make([]float64, len(series))
+		for i, p := range series {
+			z[i] = p.Z
+			lb[i] = p.LB
+		}
+		fmt.Fprintf(w, "Fig. 3(b): LR convergence (%d iterations)\n", len(series))
+		fmt.Fprint(w, viz.Curves([][]float64{z, lb}, []string{"z", "LB"}, 12, 60))
+		return nil
+	case "3a":
+		b, err := exp.Fig3a(cfg)
+		if err != nil {
+			return err
+		}
+		lr, route, parse, output, legal := b.Percent()
+		fmt.Fprintln(w, "Fig. 3(a): runtime share per stage (%)")
+		fmt.Fprint(w, viz.Bars(
+			[]string{"Lagrangian Relaxation", "Inter-FPGA Routing", "Input File Parsing", "Output File Writing", "Legalization & Refinement"},
+			[]float64{lr, route, parse, output, legal}, 40))
+		return nil
+	}
+	return fmt.Errorf("-ascii requires -fig 3a or 3b")
+}
+
+// runBench executes the selected experiments, writing the rendered tables
+// and series to w. It reports whether any experiment was selected.
+func runBench(table, fig string, all bool, cfg exp.Config, budget int, w io.Writer) (bool, error) {
+	if all {
+		table, fig = "", ""
+	}
+	ran := false
+
+	if all || table == "1" {
+		rows, err := exp.TableI(cfg)
+		if err != nil {
+			return ran, err
+		}
+		exp.WriteTableI(w, rows)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if all || table == "2" {
+		results, err := exp.TableII(cfg, exp.DefaultWinners())
+		if err != nil {
+			return ran, err
+		}
+		exp.WriteTableII(w, results)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if all || table == "ablation" {
+		rows, err := exp.Ablation(cfg, budget)
+		if err != nil {
+			return ran, err
+		}
+		exp.WriteAblation(w, rows)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if all || table == "pow2" {
+		rows, err := exp.Pow2Ablation(cfg)
+		if err != nil {
+			return ran, err
+		}
+		exp.WritePow2Ablation(w, rows)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if all || table == "router" {
+		rows, err := exp.RouterAblation(cfg)
+		if err != nil {
+			return ran, err
+		}
+		exp.WriteRouterAblation(w, rows)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if all || fig == "3a" {
+		b, err := exp.Fig3a(cfg)
+		if err != nil {
+			return ran, err
+		}
+		exp.WriteFig3a(w, b)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if all || fig == "3b" {
+		series, err := exp.Fig3b(cfg)
+		if err != nil {
+			return ran, err
+		}
+		exp.WriteFig3b(w, series)
+		ran = true
+	}
+	return ran, nil
+}

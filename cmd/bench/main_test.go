@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tdmroute/internal/exp"
+)
+
+func tinyCfg() exp.Config {
+	return exp.Config{Scale: 0.002, Benchmarks: []string{"synopsys01"}}
+}
+
+func TestRunBenchTable1(t *testing.T) {
+	var buf bytes.Buffer
+	ran, err := runBench("1", "", false, tinyCfg(), 50, &buf)
+	if err != nil || !ran {
+		t.Fatalf("ran=%v err=%v", ran, err)
+	}
+	if !strings.Contains(buf.String(), "synopsys01") {
+		t.Error("Table I output missing benchmark")
+	}
+}
+
+func TestRunBenchTable2(t *testing.T) {
+	var buf bytes.Buffer
+	ran, err := runBench("2", "", false, tinyCfg(), 50, &buf)
+	if err != nil || !ran {
+		t.Fatalf("ran=%v err=%v", ran, err)
+	}
+	out := buf.String()
+	for _, label := range []string{"1st GTRmax", "Ours GTRmax", "Ours LB"} {
+		if !strings.Contains(out, label) {
+			t.Errorf("missing %q", label)
+		}
+	}
+}
+
+func TestRunBenchFigures(t *testing.T) {
+	var buf bytes.Buffer
+	ran, err := runBench("", "3a", false, tinyCfg(), 50, &buf)
+	if err != nil || !ran {
+		t.Fatalf("3a: ran=%v err=%v", ran, err)
+	}
+	if !strings.Contains(buf.String(), "Lagrangian Relaxation") {
+		t.Error("3a output missing label")
+	}
+	buf.Reset()
+	ran, err = runBench("", "3b", false, tinyCfg(), 50, &buf)
+	if err != nil || !ran {
+		t.Fatalf("3b: ran=%v err=%v", ran, err)
+	}
+	if !strings.HasPrefix(buf.String(), "iter,z,lb") {
+		t.Error("3b output missing CSV header")
+	}
+}
+
+func TestRunBenchAblationAndAll(t *testing.T) {
+	var buf bytes.Buffer
+	ran, err := runBench("ablation", "", false, tinyCfg(), 30, &buf)
+	if err != nil || !ran {
+		t.Fatalf("ablation: ran=%v err=%v", ran, err)
+	}
+	buf.Reset()
+	ran, err = runBench("", "", true, tinyCfg(), 30, &buf)
+	if err != nil || !ran {
+		t.Fatalf("all: ran=%v err=%v", ran, err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "Fig. 3(a)") {
+		t.Error("-all output incomplete")
+	}
+}
+
+func TestRunBenchNothingSelected(t *testing.T) {
+	var buf bytes.Buffer
+	ran, err := runBench("", "", false, tinyCfg(), 50, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("reported ran with nothing selected")
+	}
+}
+
+func TestRunBenchUnknownBenchmark(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := exp.Config{Scale: 0.01, Benchmarks: []string{"nope"}}
+	if _, err := runBench("1", "", false, cfg, 50, &buf); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRunASCII(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runASCII("3b", tinyCfg(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "LB") {
+		t.Errorf("3b ascii missing legend:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := runASCII("3a", tinyCfg(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Lagrangian") {
+		t.Errorf("3a ascii missing labels:\n%s", buf.String())
+	}
+	if err := runASCII("", tinyCfg(), &buf); err == nil {
+		t.Error("ascii without figure accepted")
+	}
+}
+
+func TestRunScaling(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runScaling("synopsys01", "0.001, 0.002", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "GTR_max") {
+		t.Errorf("output missing header:\n%s", buf.String())
+	}
+	if err := runScaling("synopsys01", "0.001,zzz", &buf); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if err := runScaling("bogus", "0.01", &buf); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

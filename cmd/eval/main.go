@@ -1,0 +1,94 @@
+// Command eval is the independent solution checker and scorer: it validates
+// a solution file against an instance (routing trees connect every net's
+// terminals; every TDM ratio is a positive even integer; per-edge reciprocal
+// sums stay within 1) and reports the maximum group TDM ratio.
+//
+// Usage:
+//
+//	eval -in bench.txt -sol sol.txt [-schedules] [-timing] [-required 500]
+//
+// -schedules additionally materializes the TDM slot table of every edge and
+// checks each signal's slot share; -timing estimates per-group delays under
+// the hop + multiplexing-wait model (budget set by -required, in ns).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tdmroute"
+)
+
+func main() {
+	var (
+		inPath    = flag.String("in", "", "instance file (required)")
+		solPath   = flag.String("sol", "", "solution file (required)")
+		schedules = flag.Bool("schedules", false, "also verify per-edge TDM slot schedules")
+		timing    = flag.Bool("timing", false, "also run delay analysis")
+		required  = flag.Float64("required", 0, "timing budget in ns for slack/violation reporting")
+	)
+	flag.Parse()
+	if *inPath == "" || *solPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*inPath, *solPath, *schedules, *timing, *required); err != nil {
+		fmt.Fprintln(os.Stderr, "eval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(inPath, solPath string, schedules, timingOn bool, required float64) error {
+	in, err := tdmroute.LoadInstance(inPath)
+	if err != nil {
+		return err
+	}
+	if err := tdmroute.ValidateInstance(in); err != nil {
+		return fmt.Errorf("invalid instance: %w", err)
+	}
+	sol, err := tdmroute.LoadSolution(solPath, in.G.NumEdges())
+	if err != nil {
+		return err
+	}
+	if err := tdmroute.ValidateSolution(in, sol); err != nil {
+		// Produce the full audit so the user sees every category at once.
+		audit := tdmroute.AuditSolution(in, sol, 10)
+		fmt.Printf("solution INVALID: %s\n", audit.Summary())
+		for _, v := range audit.Violations {
+			fmt.Printf("  [%s] net %d edge %d: %s\n", v.Kind, v.Net, v.Edge, v.Detail)
+		}
+		return fmt.Errorf("INVALID solution: %w", err)
+	}
+	gtr, arg := tdmroute.Evaluate(in, sol)
+	fmt.Printf("solution VALID\n")
+	fmt.Printf("GTR_max %d (group %d)\n", gtr, arg)
+	cong := tdmroute.Congestion(in.G.NumEdges(), sol.Routes)
+	fmt.Printf("congestion: wirelength %d, max edge load %d (edge %d), avg %.2f over %d used edges\n",
+		cong.Wirelength, cong.MaxLoad, cong.MaxLoadEdge, cong.AvgLoad, cong.UsedEdges)
+
+	if schedules {
+		verified, skipped, err := tdmroute.VerifySchedules(in, sol)
+		if err != nil {
+			return fmt.Errorf("slot schedules: %w", err)
+		}
+		fmt.Printf("slot schedules OK on %d edges (%d skipped: frame too long)\n", verified, skipped)
+	}
+	if timingOn {
+		rep, err := tdmroute.AnalyzeTiming(in, sol, tdmroute.TimingModel{RequiredNS: required})
+		if err != nil {
+			return err
+		}
+		if rep.WorstNet >= 0 {
+			fmt.Printf("worst net %d: %.2f ns over %d hops\n",
+				rep.WorstNet, rep.Nets[rep.WorstNet].DelayNS, rep.Nets[rep.WorstNet].Hops)
+		}
+		if rep.WorstGroup >= 0 {
+			fmt.Printf("worst group %d: %.2f ns\n", rep.WorstGroup, rep.Groups[rep.WorstGroup].DelayNS)
+		}
+		if required > 0 {
+			fmt.Printf("timing violations: %d groups past %.1f ns\n", rep.Violations, required)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+// Command gen emits synthetic benchmark instances mirroring the ICCAD 2019
+// CAD Contest suite statistics (Table I of the paper).
+//
+// Usage:
+//
+//	gen -name synopsys01 -scale 0.01 -o bench.txt      # suite benchmark
+//	gen -fpgas 50 -edges 120 -nets 5000 -groups 4000 -o custom.txt
+//	gen -list                                           # print Table I names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tdmroute/internal/gen"
+	"tdmroute/internal/problem"
+)
+
+func main() {
+	var (
+		name   = flag.String("name", "", "suite benchmark name (see -list)")
+		scale  = flag.Float64("scale", 0.01, "net/group count scale for suite benchmarks")
+		suite  = flag.String("suite", "", "write the entire nine-benchmark suite into this directory")
+		list   = flag.Bool("list", false, "list suite benchmark names and exit")
+		out    = flag.String("o", "", "output file (default stdout)")
+		seed   = flag.Int64("seed", 1, "PRNG seed for custom instances")
+		fpgas  = flag.Int("fpgas", 0, "custom instance: FPGA count")
+		edges  = flag.Int("edges", 0, "custom instance: edge count")
+		nets   = flag.Int("nets", 0, "custom instance: net count")
+		groups = flag.Int("groups", 0, "custom instance: NetGroup count")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range gen.SuiteNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *suite != "" {
+		if err := runSuite(*suite, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "gen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*name, *scale, *out, *seed, *fpgas, *edges, *nets, *groups); err != nil {
+		fmt.Fprintln(os.Stderr, "gen:", err)
+		os.Exit(1)
+	}
+}
+
+// runSuite writes all nine benchmarks at the given scale into dir.
+func runSuite(dir string, scale float64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range gen.SuiteNames() {
+		cfg, err := gen.SuiteConfig(name, scale)
+		if err != nil {
+			return err
+		}
+		in, err := gen.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, name+".txt")
+		if err := problem.SaveInstance(path, in); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%s -> %v\n", path, problem.ComputeStats(in))
+	}
+	return nil
+}
+
+func run(name string, scale float64, out string, seed int64, fpgas, edges, nets, groups int) error {
+	var cfg gen.Config
+	switch {
+	case name != "":
+		c, err := gen.SuiteConfig(name, scale)
+		if err != nil {
+			return err
+		}
+		cfg = c
+	case fpgas > 0:
+		cfg = gen.Config{
+			Name: fmt.Sprintf("custom-%d", seed), Seed: seed,
+			FPGAs: fpgas, Edges: edges, Nets: nets, Groups: groups,
+		}
+	default:
+		return fmt.Errorf("pass -name for a suite benchmark or -fpgas/-edges/-nets/-groups for a custom one")
+	}
+
+	in, err := gen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	if err := problem.ValidateInstance(in); err != nil {
+		return fmt.Errorf("internal error: generated invalid instance: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, problem.ComputeStats(in))
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return problem.WriteInstance(w, in)
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tdmroute/internal/problem"
+)
+
+func TestRunSuiteBenchmark(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "b.txt")
+	if err := run("synopsys01", 0.002, out, 1, 0, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	in, err := problem.LoadInstance(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := problem.ValidateInstance(in); err != nil {
+		t.Fatal(err)
+	}
+	s := problem.ComputeStats(in)
+	if s.FPGAs != 43 || s.Nets != 137 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestRunCustomInstance(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "c.txt")
+	if err := run("", 0, out, 7, 15, 30, 100, 60); err != nil {
+		t.Fatal(err)
+	}
+	in, err := problem.LoadInstance(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := problem.ComputeStats(in)
+	if s.FPGAs != 15 || s.Edges != 30 || s.Nets != 100 || s.NetGroups != 60 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", 0, "", 1, 0, 0, 0, 0); err == nil {
+		t.Error("no selector accepted")
+	}
+	if err := run("bogus", 0.01, "", 1, 0, 0, 0, 0); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run("", 0, "", 1, 5, 1, 10, 5); err == nil {
+		t.Error("impossible edge count accepted")
+	}
+	if err := run("synopsys01", 0.002, "/nonexistent/dir/x.txt", 1, 0, 0, 0, 0); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}
+
+func TestRunSuiteWritesAllBenchmarks(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "suite")
+	if err := runSuite(dir, 0.001); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"synopsys01", "hidden03"} {
+		in, err := problem.LoadInstance(filepath.Join(dir, name+".txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := problem.ValidateInstance(in); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Command tdmroute runs the full co-optimization flow of the paper on an
+// instance file: NetGroup-aware inter-FPGA routing followed by Lagrangian
+// TDM ratio assignment with legalization and refinement.
+//
+// Usage:
+//
+//	tdmroute -in bench.txt [-out sol.txt] [-topology routes.txt]
+//	         [-epsilon 0.0027] [-maxiter 500] [-ripup 5] [-trace]
+//
+// With -topology, the routing stage is skipped and the TDM ratio assignment
+// runs on the supplied topology (the "+TA" experiment of Table II).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tdmroute"
+)
+
+func main() {
+	var (
+		inPath   = flag.String("in", "", "instance file (required)")
+		outPath  = flag.String("out", "", "solution output file (optional)")
+		topoPath = flag.String("topology", "", "fixed routing topology: skip routing, assign TDM ratios only")
+		epsilon  = flag.Float64("epsilon", 0, "LR convergence criterion (0 = paper default 0.0027)")
+		maxIter  = flag.Int("maxiter", 0, "LR iteration limit (0 = default 500)")
+		ripup    = flag.Int("ripup", 0, "rip-up and reroute rounds (0 = default, -1 = disable)")
+		trace    = flag.Bool("trace", false, "print per-iteration z and LB (Fig. 3(b) series)")
+		jsonIO   = flag.Bool("json", false, "read the instance and write the solution as JSON")
+		pow2     = flag.Bool("pow2", false, "restrict TDM ratios to powers of two (refs [2][3] domain)")
+		iterate  = flag.Int("iterate", 0, "feedback rounds of iterated co-optimization (0 = single pass)")
+	)
+	flag.Parse()
+	if *inPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*inPath, *outPath, *topoPath, *epsilon, *maxIter, *ripup, *trace, *jsonIO, *pow2, *iterate); err != nil {
+		fmt.Fprintln(os.Stderr, "tdmroute:", err)
+		os.Exit(1)
+	}
+}
+
+func run(inPath, outPath, topoPath string, epsilon float64, maxIter, ripup int, trace, jsonIO, pow2 bool, iterate int) error {
+	t0 := time.Now()
+	in, err := loadInstance(inPath, jsonIO)
+	if err != nil {
+		return err
+	}
+	parseTime := time.Since(t0)
+	if err := tdmroute.ValidateInstance(in); err != nil {
+		return fmt.Errorf("invalid instance: %w", err)
+	}
+	stats := tdmroute.ComputeStats(in)
+	fmt.Println(stats)
+
+	topt := tdmroute.TDMOptions{Epsilon: epsilon, MaxIter: maxIter}
+	if pow2 {
+		topt.Legal = tdmroute.LegalPow2
+	}
+	if trace {
+		topt.Trace = func(iter int, z, lb float64) {
+			fmt.Printf("iter %4d  z %.6g  LB %.6g\n", iter, z, lb)
+		}
+	}
+
+	var sol *tdmroute.Solution
+	var rep tdmroute.Report
+	var routeTime, taTime time.Duration
+
+	if topoPath != "" {
+		f, err := os.Open(topoPath)
+		if err != nil {
+			return err
+		}
+		routes, err := tdmroute.ParseRouting(f, in.G.NumEdges())
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if err := tdmroute.ValidateRouting(in, routes); err != nil {
+			return fmt.Errorf("invalid topology: %w", err)
+		}
+		t1 := time.Now()
+		assign, r, err := tdmroute.AssignTDM(in, routes, topt)
+		if err != nil {
+			return err
+		}
+		taTime = time.Since(t1)
+		rep = r
+		sol = &tdmroute.Solution{Routes: routes, Assign: assign}
+	} else if iterate > 0 {
+		res, err := tdmroute.SolveIterative(in, tdmroute.IterateOptions{
+			Rounds: iterate,
+			Base: tdmroute.Options{
+				Route: tdmroute.RouteOptions{RipUpRounds: ripup},
+				TDM:   topt,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		sol = res.Solution
+		rep = res.Report
+		routeTime = res.Times.Route
+		taTime = res.Times.LR + res.Times.LegalRefine
+		fmt.Printf("Iterated: initial GTR %d, %d/%d feedback rounds kept\n",
+			res.InitialGTR, res.RoundsKept, res.RoundsRun)
+	} else {
+		res, err := tdmroute.Solve(in, tdmroute.Options{
+			Route: tdmroute.RouteOptions{RipUpRounds: ripup},
+			TDM:   topt,
+		})
+		if err != nil {
+			return err
+		}
+		sol = res.Solution
+		rep = res.Report
+		routeTime = res.Times.Route
+		taTime = res.Times.LR + res.Times.LegalRefine
+	}
+
+	if err := tdmroute.ValidateSolution(in, sol); err != nil {
+		return fmt.Errorf("internal error: produced invalid solution: %w", err)
+	}
+
+	fmt.Printf("GTR_noref   %d\n", rep.GTRNoRef)
+	fmt.Printf("GTR_max     %d\n", rep.GTRMax)
+	fmt.Printf("LB          %.1f\n", rep.LowerBound)
+	fmt.Printf("Iterations  %d (converged=%v)\n", rep.Iterations, rep.Converged)
+	fmt.Printf("Time: parse %.3fs  route %.3fs  TA %.3fs\n",
+		parseTime.Seconds(), routeTime.Seconds(), taTime.Seconds())
+
+	if outPath != "" {
+		t2 := time.Now()
+		if err := saveSolution(outPath, sol, jsonIO); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s in %.3fs\n", outPath, time.Since(t2).Seconds())
+	}
+	return nil
+}
+
+func loadInstance(path string, jsonIO bool) (*tdmroute.Instance, error) {
+	if !jsonIO {
+		return tdmroute.LoadInstance(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return tdmroute.ParseInstanceJSON(f)
+}
+
+func saveSolution(path string, sol *tdmroute.Solution, jsonIO bool) error {
+	if !jsonIO {
+		return tdmroute.SaveSolution(path, sol)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tdmroute.WriteSolutionJSON(f, sol); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

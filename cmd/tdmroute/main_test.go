@@ -1,0 +1,149 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tdmroute"
+	"tdmroute/internal/gen"
+)
+
+func writeBench(t *testing.T) string {
+	t.Helper()
+	cfg, err := gen.SuiteConfig("synopsys01", 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	if err := tdmroute.SaveInstance(path, in); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFullFlow(t *testing.T) {
+	in := writeBench(t)
+	out := filepath.Join(t.TempDir(), "sol.txt")
+	if err := run(in, out, "", 0, 0, 0, false, false, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("solution file not written: %v", err)
+	}
+	// The produced solution must satisfy the independent checker path.
+	inst, err := tdmroute.LoadInstance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := tdmroute.LoadSolution(out, inst.G.NumEdges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tdmroute.ValidateSolution(inst, sol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTopologyOnly(t *testing.T) {
+	in := writeBench(t)
+	solPath := filepath.Join(t.TempDir(), "sol.txt")
+	if err := run(in, solPath, "", 0, 0, 0, false, false, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Use the solution file as a topology input (ratios ignored).
+	out2 := filepath.Join(t.TempDir(), "sol2.txt")
+	if err := run(in, out2, solPath, 0.01, 100, 0, true, false, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("/nonexistent/x.txt", "", "", 0, 0, 0, false, false, false, 0); err == nil {
+		t.Error("missing input accepted")
+	}
+	in := writeBench(t)
+	if err := run(in, "", "/nonexistent/topo.txt", 0, 0, 0, false, false, false, 0); err == nil {
+		t.Error("missing topology accepted")
+	}
+	// Corrupt instance file.
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(bad, []byte("not numbers"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, "", "", 0, 0, 0, false, false, false, 0); err == nil {
+		t.Error("corrupt instance accepted")
+	}
+}
+
+func TestRunJSONIO(t *testing.T) {
+	// Produce a JSON instance, solve with -json, verify the JSON solution.
+	cfg, err := gen.SuiteConfig("synopsys01", 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	inPath := filepath.Join(dir, "in.json")
+	f, err := os.Create(inPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tdmroute.WriteInstanceJSON(f, inst); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	outPath := filepath.Join(dir, "sol.json")
+	if err := run(inPath, outPath, "", 0, 0, 0, false, true, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	sf, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	sol, err := tdmroute.ParseSolutionJSON(sf, inst.G.NumEdges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tdmroute.ValidateSolution(inst, sol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunIterateAndPow2(t *testing.T) {
+	in := writeBench(t)
+	out := filepath.Join(t.TempDir(), "sol.txt")
+	if err := run(in, out, "", 0, 0, 0, false, false, true, 2); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := tdmroute.LoadInstance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := tdmroute.LoadSolution(out, inst.G.NumEdges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tdmroute.ValidateSolution(inst, sol); err != nil {
+		t.Fatal(err)
+	}
+	// pow2 domain: every ratio a power of two.
+	for n := range sol.Assign.Ratios {
+		for _, r := range sol.Assign.Ratios[n] {
+			if r&(r-1) != 0 {
+				t.Fatalf("non-power-of-two ratio %d with -pow2", r)
+			}
+		}
+	}
+}

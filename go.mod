@@ -1,0 +1,3 @@
+module tdmroute
+
+go 1.22

@@ -1,0 +1,97 @@
+package baseline
+
+import (
+	"math"
+
+	"tdmroute/internal/problem"
+)
+
+// AssignUniform is the crudest legal TDM assignment: every net on edge e
+// receives the ratio legal(|N_e|) — the even ceiling of the edge load. The
+// per-edge reciprocal sum is then |N_e| / legal(|N_e|) <= 1.
+func AssignUniform(in *problem.Instance, routes problem.Routing) problem.Assignment {
+	loads := problem.EdgeLoads(in.G.NumEdges(), routes)
+	ratios := emptyRatios(routes)
+	for _, ls := range loads {
+		if len(ls) == 0 {
+			continue
+		}
+		r := evenCeil(float64(len(ls)))
+		for _, l := range ls {
+			ratios[l.Net][l.Pos] = r
+		}
+	}
+	return problem.Assignment{Ratios: ratios}
+}
+
+// AssignProportional is a criticality-weighted heuristic of the kind the
+// contest winners used: on every edge, net n gets the Cauchy–Schwarz pattern
+// value with weight w_n = Σ_{g ∋ n} |g| (nets in more/larger groups are more
+// critical and get smaller ratios), legalized to the even ceiling and scaled
+// to keep the reciprocal sum within 1.
+func AssignProportional(in *problem.Instance, routes problem.Routing) problem.Assignment {
+	weights := make([]float64, len(in.Nets))
+	for gi := range in.Groups {
+		size := float64(len(in.Groups[gi].Nets))
+		for _, n := range in.Groups[gi].Nets {
+			weights[n] += size
+		}
+	}
+	return assignWeighted(in, routes, weights)
+}
+
+// AssignGroupCount is a second winner-style heuristic weighting nets by the
+// number of groups containing them (ignoring group sizes).
+func AssignGroupCount(in *problem.Instance, routes problem.Routing) problem.Assignment {
+	weights := make([]float64, len(in.Nets))
+	for n := range in.Nets {
+		weights[n] = float64(len(in.Nets[n].Groups))
+	}
+	return assignWeighted(in, routes, weights)
+}
+
+// assignWeighted builds, per edge, the closed-form pattern
+// t_n = (Σ √w) / √w_n (whose reciprocals sum to exactly 1) and legalizes it
+// with the even ceiling; raising a ratio lowers its reciprocal, so the edge
+// constraint stays satisfied. This is effectively a single pattern-generation
+// step with static weights — no iteration and no refinement, which is what
+// separates the winners' quality from the paper's LR flow.
+func assignWeighted(in *problem.Instance, routes problem.Routing, weights []float64) problem.Assignment {
+	const floor = 1e-6
+	loads := problem.EdgeLoads(in.G.NumEdges(), routes)
+	ratios := emptyRatios(routes)
+	for _, ls := range loads {
+		if len(ls) == 0 {
+			continue
+		}
+		var s float64
+		for _, l := range ls {
+			s += math.Sqrt(math.Max(weights[l.Net], floor))
+		}
+		for _, l := range ls {
+			t := s / math.Sqrt(math.Max(weights[l.Net], floor))
+			ratios[l.Net][l.Pos] = evenCeil(t)
+		}
+	}
+	return problem.Assignment{Ratios: ratios}
+}
+
+func emptyRatios(routes problem.Routing) [][]int64 {
+	ratios := make([][]int64, len(routes))
+	for n := range routes {
+		ratios[n] = make([]int64, len(routes[n]))
+	}
+	return ratios
+}
+
+// evenCeil returns the smallest even integer >= max(t, 2).
+func evenCeil(t float64) int64 {
+	if !(t > 2) {
+		return 2
+	}
+	c := int64(math.Ceil(t))
+	if c%2 != 0 {
+		c++
+	}
+	return c
+}

@@ -1,0 +1,364 @@
+// Package colgen implements the column-generation counterpart of the
+// paper's LR formulation (Sec. IV-D): the restricted linear master problem
+// (RLMP) selects a convex combination of TDM-ratio patterns per edge, its
+// optimal duals feed the pricing problem, and pricing — the same
+// Cauchy–Schwarz substructure as the LR subproblem (Eq. 10/17) — generates
+// improving patterns until none exists.
+//
+// The paper approaches the assignment with LR because CG pays for the
+// simplex solves and suffers from the tailing effect; this package exists to
+// cross-validate the LR lower bound: at convergence, the RLMP optimum equals
+// the LR dual optimum on the same topology (both solve the same linear
+// relaxation). Intended for small instances only.
+package colgen
+
+import (
+	"fmt"
+	"math"
+
+	"tdmroute/internal/lp"
+	"tdmroute/internal/problem"
+	"tdmroute/internal/tdm"
+)
+
+// Options tunes the CG loop.
+type Options struct {
+	// MaxRounds caps master-solve/pricing rounds. Zero selects 200.
+	MaxRounds int
+	// Tol is the relative master-vs-Lagrangian-bound gap at which the
+	// loop declares convergence. Zero selects 1e-6.
+	Tol float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 200
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-6
+	}
+	return o
+}
+
+// Result reports the CG outcome.
+type Result struct {
+	// Z is the optimal objective of the final restricted master: the
+	// minimum achievable maximum group TDM ratio under relaxed
+	// integrality, equal to the LR bound at optimality.
+	Z float64
+	// LowerBound is the best Lagrangian bound Σ_e pricingObj_e(σ) seen;
+	// at convergence it matches Z.
+	LowerBound float64
+	// Rounds is the number of master solves performed.
+	Rounds int
+	// Patterns is the total number of columns generated (including the
+	// initial uniform pattern per edge).
+	Patterns int
+	// Converged reports that the bound gap closed below Tol.
+	Converged bool
+}
+
+// pattern is one column: the TDM ratios of the nets on one edge, in the
+// edge's load order.
+type pattern []float64
+
+// Solve runs column generation for the TDM ratio assignment LP on a fixed
+// topology.
+func Solve(in *problem.Instance, routes problem.Routing, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if len(routes) != len(in.Nets) {
+		return nil, fmt.Errorf("colgen: routing has %d nets, instance has %d", len(routes), len(in.Nets))
+	}
+	if len(in.Groups) == 0 {
+		return &Result{Converged: true}, nil
+	}
+
+	loads := problem.EdgeLoads(in.G.NumEdges(), routes)
+	// Active edges: those carrying at least one net.
+	var edges []int
+	for e, ls := range loads {
+		if len(ls) > 0 {
+			edges = append(edges, e)
+		}
+	}
+	if len(edges) == 0 {
+		return &Result{Converged: true}, nil
+	}
+
+	res, _, err := cgLoop(in, loads, edges, opt)
+	return res, err
+}
+
+// cgLoop runs the stabilized column-generation loop and returns the result
+// together with the final column set per active edge.
+//
+// Wentges-smoothed group duals stabilize pricing: master duals at
+// degenerate optima alternate between extreme vertices, which would
+// generate one-sided columns forever; the smoothed center converges.
+func cgLoop(in *problem.Instance, loads [][]problem.EdgeLoad, edges []int, opt Options) (*Result, [][]pattern, error) {
+	// Initial columns: the uniform pattern t = |N_e| on every edge.
+	cols := make([][]pattern, len(edges))
+	total := 0
+	for k, e := range edges {
+		ls := loads[e]
+		p := make(pattern, len(ls))
+		for i := range p {
+			p[i] = float64(len(ls))
+		}
+		cols[k] = []pattern{p}
+		total++
+	}
+
+	res := &Result{}
+	var smoothed []float64
+	const kappa = 0.5
+	for round := 0; round < opt.MaxRounds; round++ {
+		sol, err := solveMaster(in, loads, edges, cols)
+		if err != nil {
+			return nil, nil, err
+		}
+		res.Z = sol.Obj
+		res.Rounds = round + 1
+
+		_, sigma := splitDuals(sol.Duals, len(edges))
+		if smoothed == nil {
+			smoothed = append([]float64(nil), sigma...)
+		} else {
+			for gi := range smoothed {
+				smoothed[gi] = kappa*smoothed[gi] + (1-kappa)*sigma[gi]
+			}
+		}
+
+		// Price every edge under the smoothed duals. The sum of pricing
+		// optima is a valid Lagrangian bound on the full LP for any
+		// dual-feasible σ (the master's σ sums to -1, and so does any
+		// convex combination).
+		var bound float64
+		added := 0
+		for k, e := range edges {
+			p, objective := price(in, loads[e], smoothed)
+			bound += objective
+			if !duplicatePattern(cols[k], p) {
+				cols[k] = append(cols[k], p)
+				added++
+				total++
+			}
+		}
+		if bound > res.LowerBound {
+			res.LowerBound = bound
+		}
+		if res.Z-res.LowerBound <= opt.Tol*math.Max(1, res.Z) {
+			res.Converged = true
+			break
+		}
+		if added == 0 {
+			// Mispricing under smoothed duals: restart smoothing from
+			// the raw master duals so progress resumes.
+			copy(smoothed, sigma)
+		}
+	}
+	res.Patterns = total
+	return res, cols, nil
+}
+
+// AssignCG is the column-generation counterpart of tdm.Assign: it solves
+// the relaxation by CG, extracts a fractional assignment as the per-edge
+// convex combination of the selected patterns (feasible because 1/x is
+// convex: Σ_n 1/(Σ_j x_j·t_nj) ≤ Σ_j x_j Σ_n 1/t_nj ≤ 1), and hands it to
+// the same legalization + refinement as the LR pipeline. Intended for
+// small instances; the LR path is the production one.
+func AssignCG(in *problem.Instance, routes problem.Routing, opt Options, topt tdm.Options) (problem.Assignment, tdm.Report, *Result, error) {
+	opt = opt.withDefaults()
+	if len(routes) != len(in.Nets) {
+		return problem.Assignment{}, tdm.Report{}, nil, fmt.Errorf("colgen: routing has %d nets, instance has %d", len(routes), len(in.Nets))
+	}
+
+	loads := problem.EdgeLoads(in.G.NumEdges(), routes)
+	var edges []int
+	for e, ls := range loads {
+		if len(ls) > 0 {
+			edges = append(edges, e)
+		}
+	}
+
+	relaxed := make([][]float64, len(routes))
+	for n := range routes {
+		relaxed[n] = make([]float64, len(routes[n]))
+	}
+
+	res := &Result{Converged: true}
+	if len(in.Groups) > 0 && len(edges) > 0 {
+		r, cols, err := cgLoop(in, loads, edges, opt)
+		if err != nil {
+			return problem.Assignment{}, tdm.Report{}, nil, err
+		}
+		res = r
+
+		// Convex combination of patterns per edge. The loop's last master
+		// solve may predate the final pricing round's columns, so resolve
+		// the master once over the final column set and read x from it.
+		final, err := solveMaster(in, loads, edges, cols)
+		if err != nil {
+			return problem.Assignment{}, tdm.Report{}, nil, err
+		}
+		res.Z = final.Obj
+		offset := 0
+		for k, e := range edges {
+			ls := loads[e]
+			for j := range cols[k] {
+				x := final.X[offset+j]
+				if x <= 0 {
+					continue
+				}
+				for i, l := range ls {
+					relaxed[l.Net][l.Pos] += x * cols[k][j][i]
+				}
+			}
+			offset += len(cols[k])
+		}
+	} else {
+		// No groups or no routed edges: uniform patterns.
+		for _, ls := range loads {
+			for _, l := range ls {
+				relaxed[l.Net][l.Pos] = float64(len(ls))
+			}
+		}
+	}
+
+	assign, rep, err := tdm.Finish(in, routes, relaxed, topt)
+	if err != nil {
+		return problem.Assignment{}, tdm.Report{}, nil, err
+	}
+	rep.LowerBound = res.LowerBound
+	rep.RelaxedZ = res.Z
+	rep.Iterations = res.Rounds
+	rep.Converged = res.Converged
+	return assign, rep, res, nil
+}
+
+// duplicatePattern reports whether p matches an existing column within a
+// relative tolerance.
+func duplicatePattern(cols []pattern, p pattern) bool {
+outer:
+	for _, c := range cols {
+		for i := range c {
+			if math.Abs(c[i]-p[i]) > 1e-9*(1+math.Abs(c[i])) {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// solveMaster builds and solves the RLMP:
+//
+//	min z
+//	s.t. Σ_j x_ej = 1                      per active edge e
+//	     Σ_e Σ_j coef(g,e,j) x_ej - z <= 0 per group g
+//	     x >= 0, z >= 0
+func solveMaster(in *problem.Instance, loads [][]problem.EdgeLoad, edges []int, cols [][]pattern) (*lp.Solution, error) {
+	numX := 0
+	for _, cs := range cols {
+		numX += len(cs)
+	}
+	numVars := numX + 1 // + z
+	zCol := numX
+
+	// Column offsets per edge.
+	offset := make([]int, len(edges))
+	{
+		o := 0
+		for k := range cols {
+			offset[k] = o
+			o += len(cols[k])
+		}
+	}
+
+	p := &lp.Problem{NumVars: numVars, C: make([]float64, numVars)}
+	p.C[zCol] = 1
+
+	// Convexity rows.
+	for k := range edges {
+		coeffs := make([]float64, numVars)
+		for j := range cols[k] {
+			coeffs[offset[k]+j] = 1
+		}
+		p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: coeffs, Rel: lp.EQ, RHS: 1})
+	}
+	// Group rows.
+	for gi := range in.Groups {
+		coeffs := make([]float64, numVars)
+		coeffs[zCol] = -1
+		for k, e := range edges {
+			ls := loads[e]
+			for j, pat := range cols[k] {
+				var coef float64
+				for i, l := range ls {
+					if netInGroup(in, l.Net, gi) {
+						coef += pat[i]
+					}
+				}
+				if coef != 0 {
+					coeffs[offset[k]+j] = coef
+				}
+			}
+		}
+		p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: coeffs, Rel: lp.LE, RHS: 0})
+	}
+
+	sol, err := lp.Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("colgen: master LP %v", sol.Status)
+	}
+	return sol, nil
+}
+
+// splitDuals separates the master duals into the convexity duals μ (one per
+// active edge) and the group duals σ (one per group, <= 0).
+func splitDuals(duals []float64, numEdges int) (mu, sigma []float64) {
+	return duals[:numEdges], duals[numEdges:]
+}
+
+// price solves the pricing problem of one edge (Eq. 17): minimize
+// Σ_n π_n t_n with Σ 1/t_n = 1, where π_n = Σ_{g ∋ n} |σ_g|. The optimum is
+// the Cauchy–Schwarz pattern t_n = (Σ √π) / √π_n. Nets with π_n = 0 take a
+// harmless large ratio. It returns the pattern and its objective value
+// Σ_n π_n t_n.
+func price(in *problem.Instance, ls []problem.EdgeLoad, sigma []float64) (pattern, float64) {
+	const floor = 1e-12
+	pi := make([]float64, len(ls))      // floored, for the pattern
+	piExact := make([]float64, len(ls)) // exact, for the objective
+	var s float64
+	for i, l := range ls {
+		var p float64
+		for _, gi := range in.Nets[l.Net].Groups {
+			p += math.Abs(sigma[gi])
+		}
+		piExact[i] = p
+		if p < floor {
+			p = floor
+		}
+		pi[i] = p
+		s += math.Sqrt(p)
+	}
+	p := make(pattern, len(ls))
+	var obj float64
+	for i := range ls {
+		p[i] = s / math.Sqrt(pi[i])
+		obj += piExact[i] * p[i]
+	}
+	return p, obj
+}
+
+func netInGroup(in *problem.Instance, n, gi int) bool {
+	for _, g := range in.Nets[n].Groups {
+		if g == gi {
+			return true
+		}
+	}
+	return false
+}

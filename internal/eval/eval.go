@@ -1,0 +1,129 @@
+// Package eval scores solutions of the routing + TDM assignment problem:
+// per-net and per-group TDM ratios, the maximum group TDM ratio GTR_max that
+// Table II of the paper reports, and fractional variants used while the LR
+// stage still works on relaxed (real-valued) ratios.
+package eval
+
+import "tdmroute/internal/problem"
+
+// NetTDMs returns the TDM ratio of every net: the sum of the ratios assigned
+// to the net on all its routed edges.
+func NetTDMs(sol *problem.Solution) []int64 {
+	out := make([]int64, len(sol.Routes))
+	for n := range sol.Routes {
+		var sum int64
+		for _, r := range sol.Assign.Ratios[n] {
+			sum += r
+		}
+		out[n] = sum
+	}
+	return out
+}
+
+// GroupTDMs returns the TDM ratio of every NetGroup: the sum of the TDM
+// ratios of its member nets.
+func GroupTDMs(in *problem.Instance, sol *problem.Solution) []int64 {
+	nets := NetTDMs(sol)
+	out := make([]int64, len(in.Groups))
+	for gi := range in.Groups {
+		var sum int64
+		for _, n := range in.Groups[gi].Nets {
+			sum += nets[n]
+		}
+		out[gi] = sum
+	}
+	return out
+}
+
+// MaxGroupTDM returns GTR_max and the index of a group achieving it
+// (smallest index on ties). For an instance with no groups it returns (0, -1).
+func MaxGroupTDM(in *problem.Instance, sol *problem.Solution) (int64, int) {
+	gtrs := GroupTDMs(in, sol)
+	best, arg := int64(0), -1
+	for gi, v := range gtrs {
+		if arg == -1 || v > best {
+			best, arg = v, gi
+		}
+	}
+	return best, arg
+}
+
+// CongestionStats summarizes routing pressure on the FPGA graph.
+type CongestionStats struct {
+	// Wirelength is the total number of (net, edge) pairs.
+	Wirelength int
+	// UsedEdges counts edges carrying at least one net.
+	UsedEdges int
+	// MaxLoad and AvgLoad describe |N_e| over used edges.
+	MaxLoad int
+	AvgLoad float64
+	// MaxLoadEdge is an edge attaining MaxLoad (-1 when nothing routed).
+	MaxLoadEdge int
+}
+
+// Congestion computes CongestionStats for a routing over numEdges edges.
+func Congestion(numEdges int, routes problem.Routing) CongestionStats {
+	loads := make([]int, numEdges)
+	st := CongestionStats{MaxLoadEdge: -1}
+	for _, edges := range routes {
+		for _, e := range edges {
+			loads[e]++
+			st.Wirelength++
+		}
+	}
+	for e, l := range loads {
+		if l == 0 {
+			continue
+		}
+		st.UsedEdges++
+		if l > st.MaxLoad {
+			st.MaxLoad = l
+			st.MaxLoadEdge = e
+		}
+	}
+	if st.UsedEdges > 0 {
+		st.AvgLoad = float64(st.Wirelength) / float64(st.UsedEdges)
+	}
+	return st
+}
+
+// FracNetTDMs is NetTDMs for relaxed real-valued ratios, laid out per net in
+// route order (parallel to sol routes).
+func FracNetTDMs(routes problem.Routing, ratios [][]float64) []float64 {
+	out := make([]float64, len(routes))
+	for n := range routes {
+		var sum float64
+		for _, r := range ratios[n] {
+			sum += r
+		}
+		out[n] = sum
+	}
+	return out
+}
+
+// FracGroupTDMs is GroupTDMs for relaxed real-valued ratios.
+func FracGroupTDMs(in *problem.Instance, routes problem.Routing, ratios [][]float64) []float64 {
+	nets := FracNetTDMs(routes, ratios)
+	out := make([]float64, len(in.Groups))
+	for gi := range in.Groups {
+		var sum float64
+		for _, n := range in.Groups[gi].Nets {
+			sum += nets[n]
+		}
+		out[gi] = sum
+	}
+	return out
+}
+
+// FracMaxGroupTDM returns the fractional GTR_max (z of Algorithm 1) and its
+// argmax group, or (0, -1) with no groups.
+func FracMaxGroupTDM(in *problem.Instance, routes problem.Routing, ratios [][]float64) (float64, int) {
+	gtrs := FracGroupTDMs(in, routes, ratios)
+	best, arg := 0.0, -1
+	for gi, v := range gtrs {
+		if arg == -1 || v > best {
+			best, arg = v, gi
+		}
+	}
+	return best, arg
+}

@@ -1,0 +1,130 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"tdmroute/internal/graph"
+	"tdmroute/internal/problem"
+)
+
+func tiny() (*problem.Instance, *problem.Solution) {
+	g := graph.New(4, 3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	in := &problem.Instance{
+		Name: "t",
+		G:    g,
+		Nets: []problem.Net{
+			{Terminals: []int{0, 2}},
+			{Terminals: []int{1, 3}},
+			{Terminals: []int{0}}, // intra-FPGA
+		},
+		Groups: []problem.Group{
+			{Nets: []int{0}},
+			{Nets: []int{0, 1}},
+			{Nets: []int{2}},
+		},
+	}
+	in.RebuildNetGroups()
+	sol := &problem.Solution{
+		Routes: problem.Routing{{0, 1}, {1, 2}, {}},
+		Assign: problem.Assignment{Ratios: [][]int64{{2, 4}, {4, 2}, {}}},
+	}
+	return in, sol
+}
+
+func TestNetTDMs(t *testing.T) {
+	_, sol := tiny()
+	nets := NetTDMs(sol)
+	want := []int64{6, 6, 0}
+	for i := range want {
+		if nets[i] != want[i] {
+			t.Errorf("net %d TDM = %d, want %d", i, nets[i], want[i])
+		}
+	}
+}
+
+func TestGroupTDMsAndMax(t *testing.T) {
+	in, sol := tiny()
+	gtrs := GroupTDMs(in, sol)
+	want := []int64{6, 12, 0}
+	for gi := range want {
+		if gtrs[gi] != want[gi] {
+			t.Errorf("group %d TDM = %d, want %d", gi, gtrs[gi], want[gi])
+		}
+	}
+	maxv, arg := MaxGroupTDM(in, sol)
+	if maxv != 12 || arg != 1 {
+		t.Errorf("MaxGroupTDM = %d@%d", maxv, arg)
+	}
+}
+
+func TestMaxGroupTDMNoGroups(t *testing.T) {
+	in, sol := tiny()
+	in.Groups = nil
+	v, arg := MaxGroupTDM(in, sol)
+	if v != 0 || arg != -1 {
+		t.Errorf("no groups: %d@%d", v, arg)
+	}
+}
+
+func TestMaxGroupTDMTieSmallestIndex(t *testing.T) {
+	in, sol := tiny()
+	// Make groups 0 and 1 equal by shrinking group 1 to just net 0.
+	in.Groups[1].Nets = []int{0}
+	in.RebuildNetGroups()
+	_, arg := MaxGroupTDM(in, sol)
+	if arg != 0 {
+		t.Errorf("tie should pick smallest index, got %d", arg)
+	}
+}
+
+func TestFracVariantsMatchIntegers(t *testing.T) {
+	in, sol := tiny()
+	frac := [][]float64{{2, 4}, {4, 2}, {}}
+	nets := FracNetTDMs(sol.Routes, frac)
+	for i, v := range NetTDMs(sol) {
+		if math.Abs(nets[i]-float64(v)) > 1e-12 {
+			t.Errorf("frac net %d = %g, want %d", i, nets[i], v)
+		}
+	}
+	gtrs := FracGroupTDMs(in, sol.Routes, frac)
+	for gi, v := range GroupTDMs(in, sol) {
+		if math.Abs(gtrs[gi]-float64(v)) > 1e-12 {
+			t.Errorf("frac group %d = %g, want %d", gi, gtrs[gi], v)
+		}
+	}
+	z, arg := FracMaxGroupTDM(in, sol.Routes, frac)
+	if math.Abs(z-12) > 1e-12 || arg != 1 {
+		t.Errorf("frac max = %g@%d", z, arg)
+	}
+}
+
+func TestFracMaxNoGroups(t *testing.T) {
+	in, sol := tiny()
+	in.Groups = nil
+	z, arg := FracMaxGroupTDM(in, sol.Routes, [][]float64{{1, 1}, {1, 1}, {}})
+	if z != 0 || arg != -1 {
+		t.Errorf("no groups frac: %g@%d", z, arg)
+	}
+}
+
+func TestCongestion(t *testing.T) {
+	routes := problem.Routing{{0, 1}, {1}, {}}
+	st := Congestion(4, routes)
+	if st.Wirelength != 3 || st.UsedEdges != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MaxLoad != 2 || st.MaxLoadEdge != 1 {
+		t.Errorf("max load = %d@%d", st.MaxLoad, st.MaxLoadEdge)
+	}
+	if st.AvgLoad != 1.5 {
+		t.Errorf("avg = %g", st.AvgLoad)
+	}
+	empty := Congestion(4, problem.Routing{{}})
+	if empty.MaxLoadEdge != -1 || empty.UsedEdges != 0 {
+		t.Errorf("empty stats = %+v", empty)
+	}
+}

@@ -1,0 +1,318 @@
+// Package exact provides a branch-and-bound oracle for the TDM ratio
+// assignment problem on tiny instances: it finds the true optimal maximum
+// group TDM ratio over *integral* assignments (every ratio a positive even
+// integer, per-edge reciprocal sums at most 1) for a fixed topology.
+//
+// The paper's pipeline only certifies against the relaxed lower bound; this
+// oracle closes the loop in tests by measuring the heuristic pipeline's
+// true integrality gap. It is exponential and intended for instances with a
+// handful of grouped nets and edges.
+package exact
+
+import (
+	"fmt"
+
+	"tdmroute/internal/problem"
+)
+
+// Options bounds the search.
+type Options struct {
+	// MaxCells caps the number of searched (grouped net, edge) cells;
+	// Solve refuses larger instances instead of running forever. Zero
+	// selects 14.
+	MaxCells int
+}
+
+// Result is the oracle's answer.
+type Result struct {
+	// GTRMax is the optimal objective.
+	GTRMax int64
+	// Ratios is one optimal assignment, parallel to the routing.
+	// Ungrouped nets receive the smallest even ratio fitting the
+	// remaining edge slack.
+	Ratios [][]int64
+	// Nodes is the number of search nodes explored.
+	Nodes int64
+}
+
+// cell is one (net, route position) pair on a specific edge.
+type cell struct {
+	net, pos, edge int
+}
+
+// Solve computes the optimal integral TDM assignment for the topology.
+//
+// Only cells of grouped nets are searched: in any solution, an ungrouped
+// net's ratio can be raised freely without changing the objective, so an
+// edge is completable iff strictly positive slack remains for its
+// ungrouped cells — checked exactly in rational arithmetic.
+func Solve(in *problem.Instance, routes problem.Routing, opt Options) (*Result, error) {
+	if opt.MaxCells == 0 {
+		opt.MaxCells = 14
+	}
+	loads := problem.EdgeLoads(in.G.NumEdges(), routes)
+
+	// Grouped cells, contiguous per edge (the per-edge budget prunes
+	// best that way); count ungrouped cells per edge.
+	var cells []cell
+	ungrouped := make([]int, in.G.NumEdges())
+	for e, ls := range loads {
+		for _, l := range ls {
+			if len(in.Nets[l.Net].Groups) > 0 {
+				cells = append(cells, cell{net: l.Net, pos: l.Pos, edge: e})
+			} else {
+				ungrouped[e]++
+			}
+		}
+	}
+	if len(cells) > opt.MaxCells {
+		return nil, fmt.Errorf("exact: %d grouped cells exceed the cap %d", len(cells), opt.MaxCells)
+	}
+
+	ub, uniform := uniformAssignment(in, routes, loads)
+	s := &searcher{
+		in:        in,
+		cells:     cells,
+		ungrouped: ungrouped,
+		best:      ub,
+		bestSol:   uniform,
+		grpSum:    make([]int64, len(in.Groups)),
+		grpLeft:   make([]int64, len(in.Groups)),
+		cur:       cloneRatios(uniform),
+		edgeRem:   make([]fraction, in.G.NumEdges()),
+		grpCells:  make([]int, in.G.NumEdges()),
+	}
+	for _, c := range cells {
+		for _, gi := range in.Nets[c.net].Groups {
+			s.grpLeft[gi] += 2
+		}
+		s.grpCells[c.edge]++
+	}
+	for e := range s.edgeRem {
+		s.edgeRem[e] = fraction{0, 1}
+	}
+	s.dfs(0)
+
+	// Fill the ungrouped cells of the best solution with the smallest
+	// even ratio fitting the final slack of each edge.
+	fillUngrouped(in, loads, s.bestSol)
+
+	return &Result{GTRMax: s.best, Ratios: s.bestSol, Nodes: s.nodes}, nil
+}
+
+// fraction is an exact rational reciprocal accumulator (num/den, reduced).
+type fraction struct {
+	num, den int64
+}
+
+// add returns f + 1/r, reduced; ok=false on overflow.
+func (f fraction) add(r int64) (fraction, bool) {
+	num := f.num*r + f.den
+	den := f.den * r
+	if den <= 0 || num < 0 { // overflow guard
+		return fraction{}, false
+	}
+	g := gcd(num, den)
+	return fraction{num / g, den / g}, true
+}
+
+// leq1 reports f <= 1; lt1 reports f < 1.
+func (f fraction) leq1() bool { return f.num <= f.den }
+func (f fraction) lt1() bool  { return f.num < f.den }
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+type searcher struct {
+	in        *problem.Instance
+	cells     []cell
+	ungrouped []int // ungrouped cells per edge
+
+	best    int64
+	bestSol [][]int64
+	nodes   int64
+
+	grpSum   []int64 // assigned contribution per group
+	grpLeft  []int64 // minimal (=2/cell) remaining contribution per group
+	cur      [][]int64
+	edgeRem  []fraction // reciprocal sum accumulated per edge
+	grpCells []int      // unassigned grouped cells remaining per edge
+}
+
+func (s *searcher) dfs(idx int) {
+	s.nodes++
+	if idx == len(s.cells) {
+		obj := s.objective()
+		if obj < s.best {
+			s.best = obj
+			s.bestSol = cloneRatios(s.cur)
+		}
+		return
+	}
+	c := s.cells[idx]
+	groups := s.in.Nets[c.net].Groups
+	// Any solution improving on the incumbent has every grouped ratio
+	// strictly below it (each grouped ratio is at most its group's TDM).
+	for r := int64(2); r < s.best; r += 2 {
+		nf, ok := s.edgeRem[c.edge].add(r)
+		if !ok {
+			continue
+		}
+		// Edge feasibility: after this cell the remaining grouped cells
+		// need 1/r' each (at least brought to < 1 eventually) and
+		// ungrouped cells need strictly positive slack at the end. The
+		// cheap sound check: the running sum must still admit the
+		// minimal future load.
+		if !s.edgeFeasible(c.edge, nf) {
+			continue // larger r shrinks 1/r: keep scanning upward
+		}
+		old := s.edgeRem[c.edge]
+		s.edgeRem[c.edge] = nf
+		s.grpCells[c.edge]--
+		s.cur[c.net][c.pos] = r
+		prune := false
+		for _, gi := range groups {
+			s.grpSum[gi] += r
+			s.grpLeft[gi] -= 2
+			if s.grpSum[gi]+s.grpLeft[gi] >= s.best {
+				prune = true
+			}
+		}
+		if !prune {
+			s.dfs(idx + 1)
+		}
+		for _, gi := range groups {
+			s.grpSum[gi] -= r
+			s.grpLeft[gi] += 2
+		}
+		s.cur[c.net][c.pos] = 0
+		s.grpCells[c.edge]++
+		s.edgeRem[c.edge] = old
+		if prune {
+			// Larger r only increases the group bound that tripped.
+			break
+		}
+	}
+}
+
+// edgeFeasible reports whether, with running reciprocal sum f on edge e
+// (after assigning the current cell, with grpCells[e]-1 grouped cells still
+// unassigned there), a legal completion can exist. Remaining grouped cells
+// can take arbitrarily large even ratios, so the requirement is f <= 1 with
+// strict inequality when any cell (grouped or ungrouped) still needs room.
+func (s *searcher) edgeFeasible(e int, f fraction) bool {
+	remaining := s.grpCells[e] - 1 + s.ungrouped[e]
+	if remaining > 0 {
+		return f.lt1()
+	}
+	return f.leq1()
+}
+
+func (s *searcher) objective() int64 {
+	var best int64
+	for gi := range s.grpSum {
+		if s.grpSum[gi] > best {
+			best = s.grpSum[gi]
+		}
+	}
+	return best
+}
+
+// fillUngrouped assigns every ungrouped cell of sol the smallest even ratio
+// that fits the edge's residual slack, dividing the slack evenly.
+func fillUngrouped(in *problem.Instance, loads [][]problem.EdgeLoad, sol [][]int64) {
+	for _, ls := range loads {
+		// Residual slack = 1 - sum of grouped reciprocals, exactly.
+		rem := fraction{0, 1}
+		u := 0
+		for _, l := range ls {
+			if len(in.Nets[l.Net].Groups) > 0 {
+				rem, _ = rem.add(sol[l.Net][l.Pos])
+			} else {
+				u++
+			}
+		}
+		if u == 0 {
+			continue
+		}
+		// slack = (den-num)/den; each ungrouped cell gets
+		// r = evenceil(u * den / (den - num)).
+		num, den := rem.num, rem.den
+		slackNum := den - num
+		r := ceilDiv(int64(u)*den, slackNum)
+		if r < 2 {
+			r = 2
+		}
+		if r%2 != 0 {
+			r++
+		}
+		for _, l := range ls {
+			if len(in.Nets[l.Net].Groups) == 0 {
+				sol[l.Net][l.Pos] = r
+			}
+		}
+	}
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		return 1 << 40 // degenerate: no slack; caller's solution was saturated
+	}
+	return (a + b - 1) / b
+}
+
+// uniformAssignment returns the objective and ratios of the uniform |N_e|
+// assignment, the oracle's initial incumbent.
+func uniformAssignment(in *problem.Instance, routes problem.Routing, loads [][]problem.EdgeLoad) (int64, [][]int64) {
+	ratios := make([][]int64, len(routes))
+	for n := range routes {
+		ratios[n] = make([]int64, len(routes[n]))
+	}
+	for _, ls := range loads {
+		if len(ls) == 0 {
+			continue
+		}
+		r := int64(len(ls))
+		if r < 2 {
+			r = 2
+		}
+		if r%2 != 0 {
+			r++
+		}
+		for _, l := range ls {
+			ratios[l.Net][l.Pos] = r
+		}
+	}
+	netTDM := make([]int64, len(in.Nets))
+	for n := range ratios {
+		for _, r := range ratios[n] {
+			netTDM[n] += r
+		}
+	}
+	var obj int64
+	for gi := range in.Groups {
+		var sum int64
+		for _, n := range in.Groups[gi].Nets {
+			sum += netTDM[n]
+		}
+		if sum > obj {
+			obj = sum
+		}
+	}
+	return obj, ratios
+}
+
+func cloneRatios(src [][]int64) [][]int64 {
+	out := make([][]int64, len(src))
+	for i := range src {
+		out[i] = append([]int64(nil), src[i]...)
+	}
+	return out
+}

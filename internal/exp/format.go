@@ -1,0 +1,171 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"tdmroute/internal/baseline"
+	"tdmroute/internal/problem"
+)
+
+// DefaultWinners adapts the three emulated contest entries of
+// internal/baseline to the harness interface.
+func DefaultWinners() []WinnerFlow {
+	ws := baseline.Winners()
+	out := make([]WinnerFlow, len(ws))
+	for i, w := range ws {
+		out[i] = WinnerFlow{Name: w.Name, Route: w.Route, Assign: w.Assign}
+	}
+	return out
+}
+
+// WriteTableI renders the Table I statistics.
+func WriteTableI(w io.Writer, rows []problem.Stats) {
+	fmt.Fprintf(w, "Table I: benchmark statistics (synthetic suite)\n")
+	fmt.Fprintf(w, "%-12s %8s %8s %10s %12s\n", "Benchmark", "#FPGAs", "#Edges", "#Nets", "#NetGroups")
+	for _, s := range rows {
+		fmt.Fprintf(w, "%-12s %8d %8d %10d %12d\n", s.Name, s.FPGAs, s.Edges, s.Nets, s.NetGroups)
+	}
+}
+
+// WriteTableII renders the winner comparison in the layout of Table II.
+func WriteTableII(w io.Writer, results []BenchResult) {
+	if len(results) == 0 {
+		return
+	}
+	names := make([]string, len(results))
+	for i, r := range results {
+		names[i] = r.Name
+	}
+	fmt.Fprintf(w, "Table II: comparison with emulated contest winners ('+TA' = our TDM ratio assignment on their topology)\n")
+	fmt.Fprintf(w, "%-14s", "")
+	for _, n := range names {
+		fmt.Fprintf(w, " %14s", n)
+	}
+	fmt.Fprintln(w)
+
+	k := len(results[0].Winners)
+	ratios, ratiosTA := GeoMeanRatios(results)
+	for i := 0; i < k; i++ {
+		label := fmt.Sprintf("%d%s", i+1, ordinal(i+1))
+		row(w, label+" GTRmax", results, func(r BenchResult) string { return fmt.Sprintf("%d", r.Winners[i].GTRMax) })
+		row(w, label+" Time_all", results, func(r BenchResult) string { return fmt.Sprintf("%.3fs", r.Winners[i].TimeAll.Seconds()) })
+		row(w, label+"+TA GTRmax", results, func(r BenchResult) string { return fmt.Sprintf("%d", r.WinnersTA[i].GTRMax) })
+		row(w, label+"+TA LB", results, func(r BenchResult) string { return fmt.Sprintf("%.0f", r.WinnersTA[i].LB) })
+		row(w, label+"+TA Iter", results, func(r BenchResult) string { return fmt.Sprintf("%d", r.WinnersTA[i].Iter) })
+		row(w, label+"+TA Time_TA", results, func(r BenchResult) string { return fmt.Sprintf("%.3fs", r.WinnersTA[i].TimeTA.Seconds()) })
+		fmt.Fprintf(w, "%-14s ratio vs ours: %.4f (own), %.4f (+TA)\n", "", ratios[i], ratiosTA[i])
+	}
+	row(w, "Ours GTRnoref", results, func(r BenchResult) string { return fmt.Sprintf("%d", r.OursNoRef) })
+	row(w, "Ours GTRmax", results, func(r BenchResult) string { return fmt.Sprintf("%d", r.Ours.GTRMax) })
+	row(w, "Ours Time_all", results, func(r BenchResult) string { return fmt.Sprintf("%.3fs", r.OursTimeAll.Seconds()) })
+	row(w, "Ours LB", results, func(r BenchResult) string { return fmt.Sprintf("%.0f", r.Ours.LB) })
+	row(w, "Ours Iter", results, func(r BenchResult) string { return fmt.Sprintf("%d", r.Ours.Iter) })
+	row(w, "Ours Time_TA", results, func(r BenchResult) string { return fmt.Sprintf("%.3fs", r.Ours.TimeTA.Seconds()) })
+}
+
+func row(w io.Writer, label string, results []BenchResult, cell func(BenchResult) string) {
+	fmt.Fprintf(w, "%-14s", label)
+	for _, r := range results {
+		fmt.Fprintf(w, " %14s", cell(r))
+	}
+	fmt.Fprintln(w)
+}
+
+func ordinal(n int) string {
+	switch n {
+	case 1:
+		return "st"
+	case 2:
+		return "nd"
+	case 3:
+		return "rd"
+	}
+	return "th"
+}
+
+// WriteFig3a renders the runtime breakdown with the Fig. 3(a) labels.
+func WriteFig3a(w io.Writer, b Breakdown) {
+	lr, route, parse, output, legal := b.Percent()
+	fmt.Fprintf(w, "Fig. 3(a): average runtime share per stage (total %.3fs)\n", b.Total().Seconds())
+	fmt.Fprintf(w, "  Lagrangian Relaxation:     %6.2f%%\n", lr)
+	fmt.Fprintf(w, "  Inter-FPGA Routing:        %6.2f%%\n", route)
+	fmt.Fprintf(w, "  Input File Parsing:        %6.2f%%\n", parse)
+	fmt.Fprintf(w, "  Output File Writing:       %6.2f%%\n", output)
+	fmt.Fprintf(w, "  Legalization & Refinement: %6.2f%%\n", legal)
+}
+
+// WriteFig3b renders the convergence series as CSV (iteration, z, LB) —
+// the two curves of Fig. 3(b).
+func WriteFig3b(w io.Writer, series []ConvergencePoint) {
+	fmt.Fprintln(w, "iter,z,lb")
+	for _, p := range series {
+		fmt.Fprintf(w, "%d,%.6f,%.6f\n", p.Iter, p.Z, p.LB)
+	}
+}
+
+// WriteAblation renders the update-rule comparison.
+func WriteAblation(w io.Writer, rows []AblationRow) {
+	fmt.Fprintln(w, "Ablation: multiplier update rule, relative duality gap at fixed iteration budget")
+	fmt.Fprintf(w, "%-12s %8s %16s %16s %10s\n", "Benchmark", "Budget", "Sigmoid+SMA gap", "Subgradient gap", "SMA iters")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %8d %16.3e %16.3e %10d\n", r.Name, r.Budget, r.GapSigmoidSMA, r.GapSubgradient, r.IterSigmoidSMA)
+	}
+}
+
+// WritePow2Ablation renders the ratio-domain comparison.
+func WritePow2Ablation(w io.Writer, rows []Pow2Row) {
+	fmt.Fprintln(w, "Ablation: even-integer ratios (paper) vs power-of-two restriction (refs [2][3])")
+	fmt.Fprintf(w, "%-12s %12s %12s %10s %20s\n", "Benchmark", "GTR even", "GTR pow2", "cost", "pow2 frames checked")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %12d %12d %9.1f%% %14d (+%d skipped)\n",
+			r.Name, r.GTREven, r.GTRPow2, r.CostPct, r.Verified, r.Skipped)
+	}
+}
+
+// WriteRouterAblation renders the Sec. III ingredient comparison.
+func WriteRouterAblation(w io.Writer, rows []RouterAblationRow) {
+	fmt.Fprintln(w, "Ablation: router ingredients (GTR_max after full TDM assignment)")
+	fmt.Fprintf(w, "%-12s %12s %12s %12s %12s\n", "Benchmark", "full", "no rip-up", "no theta", "baseline")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %12d %12d %12d %12d\n", r.Name, r.GTRFull, r.GTRNoRipUp, r.GTRNoTheta, r.GTRBaseline)
+	}
+}
+
+// WriteScaling renders the size sweep.
+func WriteScaling(w io.Writer, bench string, rows []ScalingRow) {
+	fmt.Fprintf(w, "Scaling on %s: runtime and quality vs instance size\n", bench)
+	fmt.Fprintf(w, "%-8s %10s %10s %12s %12s %8s %10s\n", "scale", "#nets", "#groups", "GTR_max", "LB", "iters", "time")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8g %10d %10d %12d %12.0f %8d %9.3fs\n",
+			r.Scale, r.Nets, r.Groups, r.GTR, r.LB, r.Iter, r.Time.Seconds())
+	}
+}
+
+// WriteTableIICSV emits the Table II results as one machine-readable CSV
+// row per (benchmark, flow) pair for downstream plotting.
+func WriteTableIICSV(w io.Writer, results []BenchResult) {
+	fmt.Fprintln(w, "benchmark,flow,gtr_max,lb,iter,time_s")
+	for _, r := range results {
+		for i := range r.Winners {
+			label := fmt.Sprintf("%d%s", i+1, ordinal(i+1))
+			fmt.Fprintf(w, "%s,%s,%d,,,%.6f\n", r.Name, label, r.Winners[i].GTRMax, r.Winners[i].TimeAll.Seconds())
+			fmt.Fprintf(w, "%s,%s+TA,%d,%.1f,%d,%.6f\n", r.Name, label,
+				r.WinnersTA[i].GTRMax, r.WinnersTA[i].LB, r.WinnersTA[i].Iter, r.WinnersTA[i].TimeTA.Seconds())
+		}
+		fmt.Fprintf(w, "%s,ours_noref,%d,,,\n", r.Name, r.OursNoRef)
+		fmt.Fprintf(w, "%s,ours,%d,%.1f,%d,%.6f\n", r.Name,
+			r.Ours.GTRMax, r.Ours.LB, r.Ours.Iter, r.OursTimeAll.Seconds())
+	}
+}
+
+// Summary one-line sanity description used by cmd/bench logging.
+func Summary(results []BenchResult) string {
+	var sb strings.Builder
+	ratios, ratiosTA := GeoMeanRatios(results)
+	for i := range ratios {
+		fmt.Fprintf(&sb, "%d%s: %.4f own / %.4f +TA; ", i+1, ordinal(i+1), ratios[i], ratiosTA[i])
+	}
+	return sb.String()
+}

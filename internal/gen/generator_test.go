@@ -1,0 +1,240 @@
+package gen
+
+import (
+	"testing"
+
+	"tdmroute/internal/problem"
+)
+
+func TestGenerateValidInstance(t *testing.T) {
+	cfg := Config{Name: "t", Seed: 1, FPGAs: 30, Edges: 60, Nets: 200, Groups: 150}
+	in, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := problem.ValidateInstance(in); err != nil {
+		t.Fatalf("generated instance invalid: %v", err)
+	}
+	s := problem.ComputeStats(in)
+	if s.FPGAs != 30 || s.Edges != 60 || s.Nets != 200 || s.NetGroups != 150 {
+		t.Errorf("stats = %+v", s)
+	}
+	if !in.G.Connected() {
+		t.Error("graph not connected")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Name: "t", Seed: 42, FPGAs: 20, Edges: 40, Nets: 100, Groups: 80}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.G.NumEdges() != b.G.NumEdges() {
+		t.Fatal("edge counts differ")
+	}
+	for i, e := range a.G.Edges() {
+		if b.G.Edges()[i] != e {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	for i := range a.Nets {
+		at, bt := a.Nets[i].Terminals, b.Nets[i].Terminals
+		if len(at) != len(bt) {
+			t.Fatalf("net %d terminal counts differ", i)
+		}
+		for j := range at {
+			if at[j] != bt[j] {
+				t.Fatalf("net %d terminal %d differs", i, j)
+			}
+		}
+	}
+	for gi := range a.Groups {
+		am, bm := a.Groups[gi].Nets, b.Groups[gi].Nets
+		if len(am) != len(bm) {
+			t.Fatalf("group %d sizes differ", gi)
+		}
+		for j := range am {
+			if am[j] != bm[j] {
+				t.Fatalf("group %d member %d differs", gi, j)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	mk := func(seed int64) *problem.Instance {
+		in, err := Generate(Config{Name: "t", Seed: seed, FPGAs: 20, Edges: 40, Nets: 100, Groups: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	a, b := mk(1), mk(2)
+	same := true
+	for i := range a.Nets {
+		if len(a.Nets[i].Terminals) != len(b.Nets[i].Terminals) {
+			same = false
+			break
+		}
+		for j := range a.Nets[i].Terminals {
+			if a.Nets[i].Terminals[j] != b.Nets[i].Terminals[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical netlists")
+	}
+}
+
+func TestGenerateMultiPinFraction(t *testing.T) {
+	in, err := Generate(Config{Name: "t", Seed: 3, FPGAs: 50, Edges: 120, Nets: 5000, Groups: 10, MultiPinFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := 0
+	for i := range in.Nets {
+		if k := len(in.Nets[i].Terminals); k > 2 {
+			multi++
+		} else if k < 2 {
+			t.Fatalf("net %d has %d terminals", i, k)
+		}
+	}
+	frac := float64(multi) / 5000
+	if frac < 0.25 || frac > 0.35 {
+		t.Errorf("multi-pin fraction = %.3f, want ~0.30", frac)
+	}
+}
+
+func TestGenerateGroupSizes(t *testing.T) {
+	in, err := Generate(Config{Name: "t", Seed: 4, FPGAs: 20, Edges: 40, Nets: 1000, Groups: 2000, MeanGroupSize: 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int
+	for gi := range in.Groups {
+		m := len(in.Groups[gi].Nets)
+		if m < 1 {
+			t.Fatalf("group %d empty", gi)
+		}
+		sum += m
+	}
+	mean := float64(sum) / 2000
+	if mean < 1.6 || mean > 2.4 {
+		t.Errorf("mean group size = %.3f, want ~2.0", mean)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{FPGAs: 1, Edges: 0, Nets: 1, Groups: 0}); err == nil {
+		t.Error("1 FPGA accepted")
+	}
+	if _, err := Generate(Config{FPGAs: 5, Edges: 2, Nets: 1, Groups: 0}); err == nil {
+		t.Error("too few edges accepted")
+	}
+	if _, err := Generate(Config{FPGAs: 5, Edges: 6, Nets: 0, Groups: 0}); err == nil {
+		t.Error("0 nets accepted")
+	}
+}
+
+func TestGenerateEdgeTargetClamped(t *testing.T) {
+	// 4 vertices have at most 6 edges; asking for 100 must clamp.
+	in, err := Generate(Config{Name: "t", Seed: 5, FPGAs: 4, Edges: 100, Nets: 5, Groups: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.G.NumEdges() != 6 {
+		t.Errorf("edges = %d, want clamped 6", in.G.NumEdges())
+	}
+}
+
+func TestGenerateNoParallelEdges(t *testing.T) {
+	in, err := Generate(Config{Name: "t", Seed: 6, FPGAs: 25, Edges: 80, Nets: 5, Groups: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[2]int]bool{}
+	for _, e := range in.G.Edges() {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		if u == v {
+			t.Fatalf("self loop at %d", u)
+		}
+		key := [2]int{u, v}
+		if seen[key] {
+			t.Fatalf("parallel edge (%d,%d)", u, v)
+		}
+		seen[key] = true
+	}
+}
+
+func TestSuiteConfigMatchesTableI(t *testing.T) {
+	cfg, err := SuiteConfig("synopsys01", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.FPGAs != 43 || cfg.Edges != 214 || cfg.Nets != 68_500 || cfg.Groups != 40_600 {
+		t.Errorf("synopsys01 config = %+v", cfg)
+	}
+	cfg, err = SuiteConfig("hidden03", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.FPGAs != 487 || cfg.Edges != 2720 {
+		t.Errorf("hidden03 board not preserved: %+v", cfg)
+	}
+	if cfg.Nets != 7210 || cfg.Groups != 8870 {
+		t.Errorf("hidden03 scaled counts = %d nets %d groups", cfg.Nets, cfg.Groups)
+	}
+	if _, err := SuiteConfig("nope", 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := SuiteConfig("synopsys01", 0); err == nil {
+		t.Error("zero scale accepted")
+	}
+}
+
+func TestSuiteNamesOrder(t *testing.T) {
+	names := SuiteNames()
+	if len(names) != 9 || names[0] != "synopsys01" || names[8] != "hidden03" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestSuiteSmallScaleAllValid(t *testing.T) {
+	suite, err := Suite(0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 9 {
+		t.Fatalf("suite size = %d", len(suite))
+	}
+	for _, in := range suite {
+		if err := problem.ValidateInstance(in); err != nil {
+			t.Errorf("%s invalid: %v", in.Name, err)
+		}
+		if !in.G.Connected() {
+			t.Errorf("%s graph not connected", in.Name)
+		}
+	}
+}
+
+func BenchmarkGenerateMedium(b *testing.B) {
+	cfg, err := SuiteConfig("synopsys01", 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

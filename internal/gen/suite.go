@@ -1,0 +1,94 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"tdmroute/internal/problem"
+)
+
+// suiteShape holds the published Table I statistics of one ICCAD 2019
+// benchmark: FPGA count, edge count, net count, group count.
+type suiteShape struct {
+	name          string
+	fpgas, edges  int
+	nets, groups  int
+	multiPinFrac  float64
+	meanGroupSize float64
+}
+
+// tableI reproduces Table I of the paper. Net and group counts are the
+// published values (the paper reports them to three significant digits).
+var tableI = []suiteShape{
+	{"synopsys01", 43, 214, 68_500, 40_600, 0.20, 2.0},
+	{"synopsys02", 56, 157, 35_000, 56_000, 0.15, 1.5},
+	{"synopsys03", 114, 350, 303_000, 335_000, 0.20, 1.8},
+	{"synopsys04", 229, 1087, 552_000, 465_000, 0.25, 2.2},
+	{"synopsys05", 301, 2153, 881_000, 879_000, 0.20, 2.0},
+	{"synopsys06", 410, 1852, 786_000, 911_000, 0.20, 1.8},
+	{"hidden01", 73, 289, 54_300, 50_400, 0.20, 2.0},
+	{"hidden02", 157, 803, 611_000, 502_000, 0.20, 2.0},
+	{"hidden03", 487, 2720, 721_000, 887_000, 0.20, 1.9},
+}
+
+// SuiteNames returns the nine benchmark names in Table I order.
+func SuiteNames() []string {
+	names := make([]string, len(tableI))
+	for i, s := range tableI {
+		names[i] = s.name
+	}
+	return names
+}
+
+// SuiteConfig returns the Config of the named benchmark with net and group
+// counts scaled by scale (the FPGA board itself is not scaled: the graph
+// dimensions are the published ones). scale=1 reproduces the Table I
+// magnitudes; tests and CI use small scales.
+func SuiteConfig(name string, scale float64) (Config, error) {
+	if scale <= 0 {
+		return Config{}, fmt.Errorf("gen: scale must be positive, got %g", scale)
+	}
+	for i, s := range tableI {
+		if s.name != name {
+			continue
+		}
+		nets := scaleCount(s.nets, scale)
+		groups := scaleCount(s.groups, scale)
+		return Config{
+			Name:          fmt.Sprintf("%s@%g", s.name, scale),
+			Seed:          int64(1000 + i),
+			FPGAs:         s.fpgas,
+			Edges:         s.edges,
+			Nets:          nets,
+			Groups:        groups,
+			MultiPinFrac:  s.multiPinFrac,
+			MeanGroupSize: s.meanGroupSize,
+		}, nil
+	}
+	return Config{}, fmt.Errorf("gen: unknown benchmark %q", name)
+}
+
+// Suite generates the full nine-benchmark suite at the given scale.
+func Suite(scale float64) ([]*problem.Instance, error) {
+	out := make([]*problem.Instance, 0, len(tableI))
+	for _, s := range tableI {
+		cfg, err := SuiteConfig(s.name, scale)
+		if err != nil {
+			return nil, err
+		}
+		in, err := Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("gen: %s: %w", s.name, err)
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+func scaleCount(n int, scale float64) int {
+	v := int(math.Round(float64(n) * scale))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}

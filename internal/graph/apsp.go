@@ -1,0 +1,68 @@
+package graph
+
+// Unreachable is the distance reported by APSP for vertex pairs with no
+// connecting path.
+const Unreachable int32 = -1
+
+// APSP is the all-pairs shortest-path look-up table of Sec. III-A: hop
+// distances on the (unweighted) FPGA graph, computed once with one BFS per
+// vertex and stored densely.
+type APSP struct {
+	n    int
+	dist []int32 // row-major n*n
+}
+
+// NewAPSP computes the table for g. Memory is n*n*4 bytes; the largest
+// ICCAD 2019 benchmark (487 FPGAs) needs under 1 MB.
+func NewAPSP(g *Graph) *APSP {
+	n := g.NumVertices()
+	a := &APSP{n: n, dist: make([]int32, n*n)}
+	for i := range a.dist {
+		a.dist[i] = Unreachable
+	}
+	queue := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		row := a.dist[s*n : (s+1)*n]
+		row[s] = 0
+		queue = queue[:0]
+		queue = append(queue, s)
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			du := row[u]
+			for _, arc := range g.Adj(u) {
+				if row[arc.To] == Unreachable {
+					row[arc.To] = du + 1
+					queue = append(queue, arc.To)
+				}
+			}
+		}
+	}
+	return a
+}
+
+// Dist returns the hop distance from u to v, or Unreachable.
+func (a *APSP) Dist(u, v int) int32 { return a.dist[u*a.n+v] }
+
+// NumVertices returns the vertex count the table was built for.
+func (a *APSP) NumVertices() int { return a.n }
+
+// BFSDistances computes single-source hop distances from src on g, reusing
+// dist (which must have length g.NumVertices()) as the output buffer.
+// Unreached vertices get Unreachable.
+func BFSDistances(g *Graph, src int, dist []int32) {
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue := make([]int, 0, g.NumVertices())
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, arc := range g.Adj(u) {
+			if dist[arc.To] == Unreachable {
+				dist[arc.To] = dist[u] + 1
+				queue = append(queue, arc.To)
+			}
+		}
+	}
+}

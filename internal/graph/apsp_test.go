@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAPSPLine(t *testing.T) {
+	g := line(5)
+	a := NewAPSP(g)
+	for u := 0; u < 5; u++ {
+		for v := 0; v < 5; v++ {
+			want := int32(v - u)
+			if want < 0 {
+				want = -want
+			}
+			if got := a.Dist(u, v); got != want {
+				t.Errorf("Dist(%d,%d) = %d, want %d", u, v, got, want)
+			}
+		}
+	}
+	if a.NumVertices() != 5 {
+		t.Errorf("NumVertices = %d", a.NumVertices())
+	}
+}
+
+func TestAPSPDisconnected(t *testing.T) {
+	g := New(3, 1)
+	g.AddEdge(0, 1)
+	a := NewAPSP(g)
+	if a.Dist(0, 2) != Unreachable || a.Dist(2, 1) != Unreachable {
+		t.Error("unreachable pair should report Unreachable")
+	}
+	if a.Dist(2, 2) != 0 {
+		t.Error("self distance must be 0")
+	}
+}
+
+func TestAPSPGridSymmetricAndTriangle(t *testing.T) {
+	g := grid(4, 5)
+	a := NewAPSP(g)
+	n := g.NumVertices()
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if a.Dist(u, v) != a.Dist(v, u) {
+				t.Fatalf("asymmetric dist at (%d,%d)", u, v)
+			}
+			for w := 0; w < n; w++ {
+				if a.Dist(u, v) > a.Dist(u, w)+a.Dist(w, v) {
+					t.Fatalf("triangle inequality violated (%d,%d,%d)", u, v, w)
+				}
+			}
+		}
+	}
+	// Manhattan distance on a grid.
+	if got := a.Dist(0, 3*5+4); got != 3+4 {
+		t.Errorf("corner distance = %d, want 7", got)
+	}
+}
+
+func TestAPSPMatchesBFSDistancesRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		g := randomConnected(2+rng.Intn(40), rng.Intn(30), rng)
+		a := NewAPSP(g)
+		dist := make([]int32, g.NumVertices())
+		for s := 0; s < g.NumVertices(); s++ {
+			BFSDistances(g, s, dist)
+			for v := 0; v < g.NumVertices(); v++ {
+				if a.Dist(s, v) != dist[v] {
+					t.Fatalf("trial %d: APSP(%d,%d)=%d BFS=%d", trial, s, v, a.Dist(s, v), dist[v])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkAPSPBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomConnected(300, 1500, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewAPSP(g)
+	}
+}

@@ -1,0 +1,72 @@
+package graph
+
+// Bridges returns the identifiers of all bridge edges: edges whose removal
+// disconnects their component. On a multi-FPGA board a bridge is a
+// single point of failure and an unavoidable congestion funnel — every net
+// crossing the cut must multiplex onto that one connection — so board
+// statistics report them.
+//
+// The implementation is Tarjan's low-link algorithm, iteratively (no
+// recursion, boards can be large), honoring parallel edges: two parallel
+// edges between the same vertices are never bridges.
+func Bridges(g *Graph) []int {
+	n := g.NumVertices()
+	disc := make([]int32, n) // discovery time, 0 = unvisited
+	low := make([]int32, n)
+	parentEdge := make([]int32, n)
+	for i := range parentEdge {
+		parentEdge[i] = -1
+	}
+	var bridges []int
+	var timer int32 = 1
+
+	type frame struct {
+		v   int
+		idx int // next adjacency index to visit
+	}
+	stack := make([]frame, 0, n)
+
+	for start := 0; start < n; start++ {
+		if disc[start] != 0 {
+			continue
+		}
+		disc[start], low[start] = timer, timer
+		timer++
+		stack = append(stack, frame{v: start})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			adj := g.Adj(f.v)
+			if f.idx < len(adj) {
+				arc := adj[f.idx]
+				f.idx++
+				if int32(arc.Edge) == parentEdge[f.v] {
+					continue // don't go back through the tree edge itself
+				}
+				if disc[arc.To] != 0 {
+					if disc[arc.To] < low[f.v] {
+						low[f.v] = disc[arc.To]
+					}
+					continue
+				}
+				disc[arc.To], low[arc.To] = timer, timer
+				timer++
+				parentEdge[arc.To] = int32(arc.Edge)
+				stack = append(stack, frame{v: arc.To})
+				continue
+			}
+			// Post-order: propagate low-link to the parent and decide.
+			stack = stack[:len(stack)-1]
+			if len(stack) == 0 {
+				continue
+			}
+			p := stack[len(stack)-1].v
+			if low[f.v] < low[p] {
+				low[p] = low[f.v]
+			}
+			if low[f.v] > disc[p] {
+				bridges = append(bridges, int(parentEdge[f.v]))
+			}
+		}
+	}
+	return bridges
+}

@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func sortedBridges(g *Graph) []int {
+	b := Bridges(g)
+	sort.Ints(b)
+	return b
+}
+
+func TestBridgesLine(t *testing.T) {
+	g := line(5) // every edge of a path is a bridge
+	b := sortedBridges(g)
+	if len(b) != 4 {
+		t.Fatalf("bridges = %v, want all 4", b)
+	}
+	for i, e := range b {
+		if e != i {
+			t.Fatalf("bridges = %v", b)
+		}
+	}
+}
+
+func TestBridgesCycleHasNone(t *testing.T) {
+	g := New(4, 4)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, (i+1)%4)
+	}
+	if b := Bridges(g); len(b) != 0 {
+		t.Errorf("cycle has bridges: %v", b)
+	}
+}
+
+func TestBridgesBarbell(t *testing.T) {
+	// Two triangles joined by one edge: only the joint is a bridge.
+	g := New(6, 7)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	joint := g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(5, 3)
+	b := Bridges(g)
+	if len(b) != 1 || b[0] != joint {
+		t.Errorf("bridges = %v, want [%d]", b, joint)
+	}
+}
+
+func TestBridgesParallelEdgesNotBridges(t *testing.T) {
+	g := New(2, 2)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1) // parallel
+	if b := Bridges(g); len(b) != 0 {
+		t.Errorf("parallel pair reported as bridge: %v", b)
+	}
+	g2 := New(2, 1)
+	g2.AddEdge(0, 1)
+	if b := Bridges(g2); len(b) != 1 {
+		t.Errorf("single edge not a bridge: %v", b)
+	}
+}
+
+func TestBridgesDisconnected(t *testing.T) {
+	g := New(4, 2)
+	e0 := g.AddEdge(0, 1)
+	e1 := g.AddEdge(2, 3)
+	b := sortedBridges(g)
+	if len(b) != 2 || b[0] != e0 || b[1] != e1 {
+		t.Errorf("bridges = %v", b)
+	}
+}
+
+// bridgesNaive removes each edge and checks component counts.
+func bridgesNaive(g *Graph) []int {
+	var out []int
+	base := componentCount(g, -1)
+	for e := 0; e < g.NumEdges(); e++ {
+		if componentCount(g, e) > base {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func componentCount(g *Graph, skipEdge int) int {
+	n := g.NumVertices()
+	seen := make([]bool, n)
+	count := 0
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		count++
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, a := range g.Adj(u) {
+				if a.Edge == skipEdge || seen[a.To] {
+					continue
+				}
+				seen[a.To] = true
+				stack = append(stack, a.To)
+			}
+		}
+	}
+	return count
+}
+
+func TestBridgesMatchesNaiveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		g := randomConnected(2+rng.Intn(25), rng.Intn(20), rng)
+		got := sortedBridges(g)
+		want := bridgesNaive(g)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %v want %v", trial, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: got %v want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkBridges(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomConnected(500, 700, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Bridges(g)
+	}
+}

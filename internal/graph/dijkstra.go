@@ -1,0 +1,211 @@
+package graph
+
+// Cost is the lexicographic path cost used by the congestion-aware searches
+// of Sec. III: Primary accumulates the caller-defined edge cost (typically a
+// usage count such as |N_e|), and Hops counts edges. Comparison is
+// lexicographic, so among equally congested paths the shortest one wins —
+// this realizes the paper's "edge cost = number of nets already routed"
+// while keeping path selection deterministic when many edges are unused.
+type Cost struct {
+	Primary uint64
+	Hops    uint32
+}
+
+// Less reports whether c is strictly cheaper than d.
+func (c Cost) Less(d Cost) bool {
+	if c.Primary != d.Primary {
+		return c.Primary < d.Primary
+	}
+	return c.Hops < d.Hops
+}
+
+// Add returns the cost of extending a path of cost c by one edge of the
+// given primary cost.
+func (c Cost) Add(edgePrimary uint64) Cost {
+	return Cost{Primary: c.Primary + edgePrimary, Hops: c.Hops + 1}
+}
+
+// InfCost is larger than any reachable path cost.
+var InfCost = Cost{Primary: ^uint64(0), Hops: ^uint32(0)}
+
+type dijkstraItem struct {
+	vertex int
+	cost   Cost
+}
+
+// dijkstraHeap is a hand-rolled typed binary min-heap. container/heap would
+// box every dijkstraItem into an interface{}, and that allocation dominates
+// a router issuing hundreds of thousands of searches.
+type dijkstraHeap []dijkstraItem
+
+func (h *dijkstraHeap) push(it dijkstraItem) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].cost.Less(s[parent].cost) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *dijkstraHeap) pop() dijkstraItem {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, rgt := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && s[l].cost.Less(s[smallest].cost) {
+			smallest = l
+		}
+		if rgt < last && s[rgt].cost.Less(s[smallest].cost) {
+			smallest = rgt
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
+}
+
+// init re-establishes the heap property over arbitrary contents.
+func (h dijkstraHeap) init() {
+	n := len(h)
+	for i := n/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h dijkstraHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l, rgt := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h[l].cost.Less(h[smallest].cost) {
+			smallest = l
+		}
+		if rgt < n && h[rgt].cost.Less(h[smallest].cost) {
+			smallest = rgt
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}
+
+// Dijkstra runs single-source shortest-path searches on one graph with
+// caller-supplied per-edge primary costs. It owns reusable buffers so that a
+// router issuing millions of searches does not re-allocate per call.
+//
+// Not safe for concurrent use; create one instance per goroutine.
+type Dijkstra struct {
+	g        *Graph
+	dist     []Cost
+	prevEdge []int32 // edge used to reach vertex, -1 at source/unreached
+	touched  []int   // vertices whose dist/prevEdge entries are dirty
+	heap     dijkstraHeap
+	done     []bool
+}
+
+// NewDijkstra returns a search engine bound to g.
+func NewDijkstra(g *Graph) *Dijkstra {
+	n := g.NumVertices()
+	d := &Dijkstra{
+		g:        g,
+		dist:     make([]Cost, n),
+		prevEdge: make([]int32, n),
+		done:     make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		d.dist[i] = InfCost
+		d.prevEdge[i] = -1
+	}
+	return d
+}
+
+// EdgeCostFunc returns the primary cost of traversing edge id.
+type EdgeCostFunc func(edge int) uint64
+
+// ShortestPath finds a minimum-cost path from src to dst under costFn and
+// appends its edge identifiers, in src→dst order, to pathBuf. It returns the
+// extended slice, the path cost, and whether dst was reachable. A src==dst
+// query returns an empty path with zero cost.
+func (d *Dijkstra) ShortestPath(src, dst int, costFn EdgeCostFunc, pathBuf []int) ([]int, Cost, bool) {
+	if src == dst {
+		return pathBuf, Cost{}, true
+	}
+	d.reset()
+	d.visit(src, Cost{}, -1)
+	d.heap = d.heap[:0]
+	d.heap = append(d.heap, dijkstraItem{vertex: src})
+
+	found := false
+	for len(d.heap) > 0 {
+		it := d.heap.pop()
+		u := it.vertex
+		if d.done[u] {
+			continue
+		}
+		d.done[u] = true
+		if u == dst {
+			found = true
+			break
+		}
+		du := d.dist[u]
+		for _, arc := range d.g.Adj(u) {
+			if d.done[arc.To] {
+				continue
+			}
+			nc := du.Add(costFn(arc.Edge))
+			if nc.Less(d.dist[arc.To]) {
+				d.visit(arc.To, nc, int32(arc.Edge))
+				d.heap.push(dijkstraItem{vertex: arc.To, cost: nc})
+			}
+		}
+	}
+	if !found {
+		return pathBuf, InfCost, false
+	}
+
+	total := d.dist[dst]
+	// Reconstruct backwards, then reverse in place.
+	start := len(pathBuf)
+	for v := dst; v != src; {
+		eid := d.prevEdge[v]
+		pathBuf = append(pathBuf, int(eid))
+		v = d.g.Edge(int(eid)).Other(v)
+	}
+	for i, j := start, len(pathBuf)-1; i < j; i, j = i+1, j-1 {
+		pathBuf[i], pathBuf[j] = pathBuf[j], pathBuf[i]
+	}
+	return pathBuf, total, true
+}
+
+func (d *Dijkstra) visit(v int, c Cost, via int32) {
+	if d.dist[v] == InfCost && !d.done[v] {
+		d.touched = append(d.touched, v)
+	}
+	d.dist[v] = c
+	d.prevEdge[v] = via
+}
+
+func (d *Dijkstra) reset() {
+	for _, v := range d.touched {
+		d.dist[v] = InfCost
+		d.prevEdge[v] = -1
+		d.done[v] = false
+	}
+	d.touched = d.touched[:0]
+}

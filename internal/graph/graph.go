@@ -1,0 +1,127 @@
+// Package graph implements the FPGA-graph substrate from Sec. II-A/III of the
+// paper: an undirected graph over FPGAs with identified edges (physical
+// inter-FPGA connections), plus the algorithmic building blocks used by the
+// router — disjoint-set union, Kruskal minimum spanning trees, BFS all-pairs
+// shortest-path tables, Dijkstra search under lexicographic congestion costs,
+// and Steiner-tree cleanup utilities.
+//
+// Vertices are dense integers [0, NumVertices). Edges are dense integers
+// [0, NumEdges) so that per-edge state (usage counts, TDM patterns) can live
+// in plain slices owned by the callers.
+package graph
+
+import "fmt"
+
+// Edge is an undirected connection between two vertices. U <= V is not
+// required; the pair is stored as given.
+type Edge struct {
+	U, V int
+}
+
+// Other returns the endpoint of e opposite to vertex w.
+// It panics if w is not an endpoint of e.
+func (e Edge) Other(w int) int {
+	switch w {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: vertex %d is not an endpoint of edge %v", w, e))
+}
+
+// Arc is an adjacency entry: the neighbouring vertex and the identifier of
+// the edge that reaches it.
+type Arc struct {
+	To   int
+	Edge int
+}
+
+// Graph is an undirected graph with identified edges. Parallel edges and
+// self-loops are permitted by the representation (the ICCAD 2019 benchmark
+// format does not produce them, but the validator tolerates parallel edges).
+type Graph struct {
+	n     int
+	edges []Edge
+	adj   [][]Arc
+}
+
+// New returns an empty graph with n vertices and capacity for sizeHint edges.
+// It panics if n < 0.
+func New(n, sizeHint int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{
+		n:     n,
+		edges: make([]Edge, 0, sizeHint),
+		adj:   make([][]Arc, n),
+	}
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddEdge inserts the undirected edge (u, v) and returns its identifier.
+// It panics if either endpoint is out of range.
+func (g *Graph) AddEdge(u, v int) int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n))
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, Edge{U: u, V: v})
+	g.adj[u] = append(g.adj[u], Arc{To: v, Edge: id})
+	if v != u {
+		g.adj[v] = append(g.adj[v], Arc{To: u, Edge: id})
+	}
+	return id
+}
+
+// Edge returns the endpoints of edge id.
+func (g *Graph) Edge(id int) Edge { return g.edges[id] }
+
+// Edges returns the internal edge slice. Callers must not modify it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Adj returns the adjacency list of vertex u. Callers must not modify it.
+func (g *Graph) Adj(u int) []Arc { return g.adj[u] }
+
+// Degree returns the number of incident edge endpoints at u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Connected reports whether every vertex is reachable from vertex 0.
+// The empty graph and the single-vertex graph are connected.
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := make([]int, 0, g.n)
+	stack = append(stack, 0)
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range g.adj[u] {
+			if !seen[a.To] {
+				seen[a.To] = true
+				count++
+				stack = append(stack, a.To)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n, len(g.edges))
+	for _, e := range g.edges {
+		c.AddEdge(e.U, e.V)
+	}
+	return c
+}

@@ -1,0 +1,55 @@
+package graph
+
+import "sort"
+
+// WeightedEdge is an edge of an abstract weighted graph handed to Kruskal.
+// Payload carries caller-defined context (e.g. which net-terminal pair the
+// edge connects) through the MST computation.
+type WeightedEdge struct {
+	U, V    int
+	Weight  int64
+	Payload int
+}
+
+// Kruskal computes a minimum spanning forest of the abstract graph on
+// vertices [0, n) with the given edges, returning the selected edges in the
+// order they were adopted. Ties are broken by input order after a stable
+// sort, so the result is deterministic.
+//
+// When the input graph is connected the result is a spanning tree with
+// exactly n-1 edges (for n >= 1).
+func Kruskal(n int, edges []WeightedEdge) []WeightedEdge {
+	sorted := make([]WeightedEdge, len(edges))
+	copy(sorted, edges)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Weight < sorted[j].Weight })
+
+	dsu := NewDSU(n)
+	tree := make([]WeightedEdge, 0, max(0, n-1))
+	for _, e := range sorted {
+		if dsu.Union(e.U, e.V) {
+			tree = append(tree, e)
+			if len(tree) == n-1 {
+				break
+			}
+		}
+	}
+	return tree
+}
+
+// MSTCost returns the sum of the weights of the given edges. For a spanning
+// tree produced by Kruskal it is the tree cost used by the net-ordering score
+// θ(n) in Eq. (1) of the paper.
+func MSTCost(tree []WeightedEdge) int64 {
+	var total int64
+	for _, e := range tree {
+		total += e.Weight
+	}
+	return total
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,129 @@
+package graph
+
+// SteinerCleaner turns an arbitrary connected edge set (the union of the
+// shortest paths substituted for MST edges in the KMB construction,
+// Sec. III-A) into a Steiner tree over a terminal set: it extracts a
+// spanning tree of the edge-induced subgraph and then repeatedly trims
+// non-terminal leaves.
+//
+// It keeps epoch-stamped scratch arrays sized to the host graph so that a
+// router cleaning millions of nets performs no per-net allocation beyond the
+// result slice.
+type SteinerCleaner struct {
+	g *Graph
+
+	epoch     uint32
+	vstamp    []uint32 // vertex seen in current epoch
+	estamp    []uint32 // edge included in current epoch
+	tstamp    []uint32 // vertex is a terminal in current epoch
+	parentV   []int32  // BFS tree parent vertex
+	parentE   []int32  // BFS tree parent edge
+	childCnt  []int32  // BFS tree child count
+	treeStamp []uint32 // edge kept in BFS tree in current epoch
+	queue     []int
+}
+
+// NewSteinerCleaner returns a cleaner bound to g.
+func NewSteinerCleaner(g *Graph) *SteinerCleaner {
+	n, m := g.NumVertices(), g.NumEdges()
+	return &SteinerCleaner{
+		g:         g,
+		vstamp:    make([]uint32, n),
+		estamp:    make([]uint32, m),
+		tstamp:    make([]uint32, n),
+		parentV:   make([]int32, n),
+		parentE:   make([]int32, n),
+		childCnt:  make([]int32, n),
+		treeStamp: make([]uint32, m),
+	}
+}
+
+// Clean returns the edges of a Steiner tree over terminals using only edges
+// from the given set. Duplicate edge ids in edges are tolerated. The edge
+// set must connect all terminals; Clean reports ok=false otherwise.
+//
+// The result slice is freshly allocated and owned by the caller.
+func (sc *SteinerCleaner) Clean(edges []int, terminals []int) (tree []int, ok bool) {
+	if len(terminals) <= 1 {
+		return nil, true
+	}
+	sc.epoch++
+	if sc.epoch == 0 { // stamp wrap-around: invalidate all stale stamps
+		for i := range sc.vstamp {
+			sc.vstamp[i], sc.tstamp[i] = 0, 0
+		}
+		for i := range sc.estamp {
+			sc.estamp[i], sc.treeStamp[i] = 0, 0
+		}
+		sc.epoch = 1
+	}
+	ep := sc.epoch
+
+	for _, e := range edges {
+		sc.estamp[e] = ep
+	}
+	for _, t := range terminals {
+		sc.tstamp[t] = ep
+	}
+
+	// BFS from the first terminal over the included edges, building a
+	// spanning tree of the reachable component.
+	root := terminals[0]
+	sc.vstamp[root] = ep
+	sc.parentV[root] = -1
+	sc.parentE[root] = -1
+	sc.childCnt[root] = 0
+	sc.queue = sc.queue[:0]
+	sc.queue = append(sc.queue, root)
+	for head := 0; head < len(sc.queue); head++ {
+		u := sc.queue[head]
+		for _, arc := range sc.g.Adj(u) {
+			if sc.estamp[arc.Edge] != ep || sc.vstamp[arc.To] == ep {
+				continue
+			}
+			v := arc.To
+			sc.vstamp[v] = ep
+			sc.parentV[v] = int32(u)
+			sc.parentE[v] = int32(arc.Edge)
+			sc.childCnt[v] = 0
+			sc.treeStamp[arc.Edge] = ep
+			sc.queue = append(sc.queue, v)
+		}
+	}
+
+	for _, t := range terminals {
+		if sc.vstamp[t] != ep {
+			return nil, false
+		}
+	}
+
+	// Count children per tree vertex, then trim non-terminal leaves until
+	// only the Steiner tree remains.
+	for _, v := range sc.queue {
+		if p := sc.parentV[v]; p >= 0 {
+			sc.childCnt[p]++
+		}
+	}
+	// Process vertices in reverse BFS order: leaves first.
+	for i := len(sc.queue) - 1; i >= 0; i-- {
+		v := sc.queue[i]
+		if sc.childCnt[v] != 0 || sc.tstamp[v] == ep {
+			continue
+		}
+		// Non-terminal leaf: drop its parent edge.
+		e := sc.parentE[v]
+		if e < 0 {
+			continue // isolated root cannot happen with >=2 terminals
+		}
+		sc.treeStamp[e] = 0
+		sc.childCnt[sc.parentV[v]]--
+	}
+
+	tree = make([]int, 0, len(terminals)*2)
+	for _, v := range sc.queue {
+		if e := sc.parentE[v]; e >= 0 && sc.treeStamp[e] == ep {
+			tree = append(tree, int(e))
+		}
+	}
+	return tree, true
+}

@@ -1,0 +1,486 @@
+// Package lp implements a dense two-phase primal simplex solver for small
+// linear programs. It exists to realize the column-generation counterpart of
+// the paper's LR formulation (Sec. IV-D): the restricted linear master
+// problem (RLMP) is a small LP whose optimal duals drive pattern pricing.
+//
+// The solver handles minimization problems with <=, >= and = constraints
+// over non-negative variables, uses Bland's rule (no cycling), and returns
+// both the primal solution and the dual values obtained by solving
+// Bᵀy = c_B on the final basis.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // Σ a_j x_j <= b
+	GE            // Σ a_j x_j >= b
+	EQ            // Σ a_j x_j == b
+)
+
+// Constraint is one row: Coeffs · x REL RHS. Coeffs must have length
+// Problem.NumVars.
+type Constraint struct {
+	Coeffs []float64
+	Rel    Rel
+	RHS    float64
+}
+
+// Problem is: minimize C·x subject to Constraints, x >= 0.
+type Problem struct {
+	NumVars     int
+	C           []float64
+	Constraints []Constraint
+}
+
+// Status reports the outcome of Solve.
+type Status int
+
+// Solver outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status Status
+	X      []float64 // primal values, length NumVars (Optimal only)
+	Obj    float64   // C·X
+	// Duals has one entry per constraint: y_i such that Bᵀy = c_B on the
+	// final basis. For a minimization problem, y_i <= 0 on binding <=
+	// rows, y_i >= 0 on binding >= rows, free on = rows.
+	Duals []float64
+}
+
+const tol = 1e-9
+
+// Solve runs two-phase simplex on p.
+func Solve(p *Problem) (*Solution, error) {
+	if err := check(p); err != nil {
+		return nil, err
+	}
+	t := newTableau(p)
+
+	// Phase 1: minimize the sum of artificials.
+	if t.numArt > 0 {
+		t.setPhase1Objective()
+		if err := t.iterate(); err != nil {
+			return nil, err
+		}
+		if t.objectiveValue() > tol {
+			return &Solution{Status: Infeasible}, nil
+		}
+		if err := t.driveOutArtificials(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: original objective.
+	t.setPhase2Objective()
+	if err := t.iterate(); err != nil {
+		if err == errUnbounded {
+			return &Solution{Status: Unbounded}, nil
+		}
+		return nil, err
+	}
+	return t.extract(), nil
+}
+
+// tableau is a dense simplex tableau over the variable layout
+// [structural | slack/surplus | artificial], with rows normalized to b >= 0.
+type tableau struct {
+	p       *Problem
+	m, n    int // constraints, structural vars
+	numSlk  int
+	numArt  int
+	cols    int         // n + numSlk + numArt
+	a       [][]float64 // m rows of length cols
+	b       []float64   // length m, kept >= 0
+	basis   []int       // basic variable per row
+	cost    []float64   // current objective row costs, length cols
+	artCols []int       // artificial column index per row, or -1
+	slkCols []int       // slack column index per row, or -1 (sign folded in)
+}
+
+func check(p *Problem) error {
+	if p.NumVars < 0 {
+		return fmt.Errorf("lp: negative variable count")
+	}
+	if len(p.C) != p.NumVars {
+		return fmt.Errorf("lp: objective has %d coefficients for %d variables", len(p.C), p.NumVars)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) != p.NumVars {
+			return fmt.Errorf("lp: constraint %d has %d coefficients for %d variables", i, len(c.Coeffs), p.NumVars)
+		}
+		if c.Rel != LE && c.Rel != GE && c.Rel != EQ {
+			return fmt.Errorf("lp: constraint %d has invalid relation %d", i, c.Rel)
+		}
+		for j, v := range c.Coeffs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("lp: constraint %d coefficient %d is %g", i, j, v)
+			}
+		}
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return fmt.Errorf("lp: constraint %d RHS is %g", i, c.RHS)
+		}
+	}
+	return nil
+}
+
+func newTableau(p *Problem) *tableau {
+	m, n := len(p.Constraints), p.NumVars
+	t := &tableau{p: p, m: m, n: n}
+
+	// Normalize rows so RHS >= 0, flipping relations as needed, then
+	// count slack and artificial columns.
+	rows := make([]Constraint, m)
+	for i, c := range p.Constraints {
+		coeffs := append([]float64(nil), c.Coeffs...)
+		rel, rhs := c.Rel, c.RHS
+		if rhs < 0 {
+			for j := range coeffs {
+				coeffs[j] = -coeffs[j]
+			}
+			rhs = -rhs
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		rows[i] = Constraint{Coeffs: coeffs, Rel: rel, RHS: rhs}
+		if rel != EQ {
+			t.numSlk++
+		}
+		if rel != LE {
+			t.numArt++
+		}
+	}
+	t.cols = n + t.numSlk + t.numArt
+	t.a = make([][]float64, m)
+	t.b = make([]float64, m)
+	t.basis = make([]int, m)
+	t.cost = make([]float64, t.cols)
+	t.artCols = make([]int, m)
+	t.slkCols = make([]int, m)
+
+	slk, art := n, n+t.numSlk
+	for i, c := range rows {
+		row := make([]float64, t.cols)
+		copy(row, c.Coeffs)
+		t.b[i] = c.RHS
+		t.artCols[i] = -1
+		t.slkCols[i] = -1
+		switch c.Rel {
+		case LE:
+			row[slk] = 1
+			t.slkCols[i] = slk
+			t.basis[i] = slk
+			slk++
+		case GE:
+			row[slk] = -1
+			t.slkCols[i] = slk
+			slk++
+			row[art] = 1
+			t.artCols[i] = art
+			t.basis[i] = art
+			art++
+		case EQ:
+			row[art] = 1
+			t.artCols[i] = art
+			t.basis[i] = art
+			art++
+		}
+		t.a[i] = row
+	}
+	return t
+}
+
+func (t *tableau) setPhase1Objective() {
+	for j := range t.cost {
+		t.cost[j] = 0
+	}
+	for j := t.n + t.numSlk; j < t.cols; j++ {
+		t.cost[j] = 1
+	}
+}
+
+func (t *tableau) setPhase2Objective() {
+	for j := range t.cost {
+		t.cost[j] = 0
+	}
+	copy(t.cost, t.p.C)
+	// Artificials must never re-enter; give them a prohibitive cost and
+	// rely on them being nonbasic (or basic at zero) after phase 1.
+	for j := t.n + t.numSlk; j < t.cols; j++ {
+		t.cost[j] = math.Inf(1)
+	}
+}
+
+// reducedCost returns c_j - c_B B^{-1} a_j for column j under the current
+// tableau (rows are already B^{-1}A).
+func (t *tableau) reducedCost(j int) float64 {
+	r := t.cost[j]
+	for i := 0; i < t.m; i++ {
+		cb := t.cost[t.basis[i]]
+		if cb == 0 || t.a[i][j] == 0 {
+			continue
+		}
+		if math.IsInf(cb, 1) {
+			// Basic artificial at zero value: contributes nothing.
+			continue
+		}
+		r -= cb * t.a[i][j]
+	}
+	return r
+}
+
+func (t *tableau) objectiveValue() float64 {
+	var v float64
+	for i := 0; i < t.m; i++ {
+		cb := t.cost[t.basis[i]]
+		if math.IsInf(cb, 1) {
+			continue
+		}
+		v += cb * t.b[i]
+	}
+	return v
+}
+
+var errUnbounded = fmt.Errorf("lp: unbounded")
+
+// iterate runs primal simplex with Bland's rule until optimal or unbounded.
+func (t *tableau) iterate() error {
+	maxIters := 2000 * (t.cols + t.m + 10)
+	for iter := 0; iter < maxIters; iter++ {
+		// Bland: entering column = smallest index with negative reduced
+		// cost.
+		enter := -1
+		for j := 0; j < t.cols; j++ {
+			if math.IsInf(t.cost[j], 1) {
+				continue // artificial in phase 2
+			}
+			if t.reducedCost(j) < -tol {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return nil // optimal
+		}
+		// Ratio test; Bland tie-break on smallest basis variable index.
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			if t.a[i][enter] > tol {
+				ratio := t.b[i] / t.a[i][enter]
+				if ratio < best-tol || (ratio < best+tol && (leave == -1 || t.basis[i] < t.basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return errUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return fmt.Errorf("lp: simplex iteration limit exceeded")
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	piv := t.a[leave][enter]
+	inv := 1 / piv
+	row := t.a[leave]
+	for j := range row {
+		row[j] *= inv
+	}
+	t.b[leave] *= inv
+	for i := 0; i < t.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := t.a[i][enter]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for j := range ri {
+			ri[j] -= f * row[j]
+		}
+		t.b[i] -= f * t.b[leave]
+	}
+	t.basis[leave] = enter
+}
+
+// driveOutArtificials pivots basic artificials (at value 0 after a feasible
+// phase 1) out of the basis where possible; rows with no eligible pivot are
+// redundant and harmless.
+func (t *tableau) driveOutArtificials() error {
+	artStart := t.n + t.numSlk
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < artStart {
+			continue
+		}
+		for j := 0; j < artStart; j++ {
+			if math.Abs(t.a[i][j]) > tol {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// extract reads the primal solution and computes duals by solving Bᵀy = c_B
+// from the original column data.
+func (t *tableau) extract() *Solution {
+	sol := &Solution{Status: Optimal, X: make([]float64, t.n), Duals: make([]float64, t.m)}
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.n {
+			sol.X[t.basis[i]] = t.b[i]
+		}
+	}
+	for j := 0; j < t.n; j++ {
+		sol.Obj += t.p.C[j] * sol.X[j]
+	}
+	t.computeDuals(sol)
+	return sol
+}
+
+// computeDuals solves Bᵀ y = c_B where B is the final basis matrix in the
+// ORIGINAL (un-pivoted) column space and c_B the original phase-2 costs of
+// the basic variables (0 for slack and artificial columns).
+func (t *tableau) computeDuals(sol *Solution) {
+	m := t.m
+	// Rebuild original columns for the basis.
+	bt := make([][]float64, m) // Bᵀ: row k = original column of basis[k]
+	cb := make([]float64, m)
+	for k := 0; k < m; k++ {
+		col := t.basis[k]
+		v := make([]float64, m)
+		switch {
+		case col < t.n:
+			for i := 0; i < m; i++ {
+				coeffs := t.p.Constraints[i].Coeffs[col]
+				if t.p.Constraints[i].RHS < 0 {
+					coeffs = -coeffs
+				}
+				v[i] = coeffs
+			}
+			cb[k] = t.p.C[col]
+		default:
+			// Slack, surplus, or artificial: single original entry.
+			for i := 0; i < m; i++ {
+				if t.slkCols[i] == col {
+					if relAfterNormalize(t.p.Constraints[i]) == LE {
+						v[i] = 1
+					} else {
+						v[i] = -1
+					}
+				}
+				if t.artCols[i] == col {
+					v[i] = 1
+				}
+			}
+			cb[k] = 0
+		}
+		bt[k] = v
+	}
+	// Solve Bᵀ y = c_B by Gaussian elimination with partial pivoting.
+	y := solveLinear(bt, cb)
+	// Duals are expressed for the normalized rows (b >= 0); rows that were
+	// flipped need their dual sign flipped back.
+	for i := 0; i < m; i++ {
+		if t.p.Constraints[i].RHS < 0 {
+			y[i] = -y[i]
+		}
+	}
+	copy(sol.Duals, y)
+}
+
+// relAfterNormalize reports the relation of a row after the b >= 0
+// normalization applied by newTableau.
+func relAfterNormalize(c Constraint) Rel {
+	if c.RHS >= 0 {
+		return c.Rel
+	}
+	switch c.Rel {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	}
+	return EQ
+}
+
+// solveLinear solves A y = b in place for a small dense system; rows of A
+// are consumed. Singular pivots (redundant rows) yield 0 components.
+func solveLinear(a [][]float64, b []float64) []float64 {
+	m := len(a)
+	perm := make([]int, m)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < m; col++ {
+		// Partial pivot.
+		best, bv := -1, tol
+		for r := col; r < m; r++ {
+			if v := math.Abs(a[r][col]); v > bv {
+				best, bv = r, v
+			}
+		}
+		if best == -1 {
+			continue // singular direction; leave zero
+		}
+		a[col], a[best] = a[best], a[col]
+		b[col], b[best] = b[best], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < m; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < m; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	y := make([]float64, m)
+	for i := m - 1; i >= 0; i-- {
+		if math.Abs(a[i][i]) <= tol {
+			y[i] = 0
+			continue
+		}
+		v := b[i]
+		for j := i + 1; j < m; j++ {
+			v -= a[i][j] * y[j]
+		}
+		y[i] = v / a[i][i]
+	}
+	return y
+}

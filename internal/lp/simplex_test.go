@@ -1,0 +1,308 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestSolveBasicLE(t *testing.T) {
+	// min -x - 2y  s.t. x + y <= 4, y <= 3, x,y >= 0. Optimum (1,3), -7.
+	p := &Problem{
+		NumVars: 2,
+		C:       []float64{-1, -2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: LE, RHS: 4},
+			{Coeffs: []float64{0, 1}, Rel: LE, RHS: 3},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.Obj, -7, 1e-9) || !approx(s.X[0], 1, 1e-9) || !approx(s.X[1], 3, 1e-9) {
+		t.Errorf("X=%v obj=%g", s.X, s.Obj)
+	}
+}
+
+func TestSolveEquality(t *testing.T) {
+	// min x + y s.t. x + 2y = 4, x - y = 1. Solution x=2, y=1, obj 3.
+	p := &Problem{
+		NumVars: 2,
+		C:       []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 2}, Rel: EQ, RHS: 4},
+			{Coeffs: []float64{1, -1}, Rel: EQ, RHS: 1},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !approx(s.X[0], 2, 1e-9) || !approx(s.X[1], 1, 1e-9) {
+		t.Errorf("status=%v X=%v", s.Status, s.X)
+	}
+}
+
+func TestSolveGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 5, x >= 1. Optimum (5,0), obj 10.
+	p := &Problem{
+		NumVars: 2,
+		C:       []float64{2, 3},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: GE, RHS: 5},
+			{Coeffs: []float64{1, 0}, Rel: GE, RHS: 1},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !approx(s.Obj, 10, 1e-9) {
+		t.Errorf("status=%v X=%v obj=%g", s.Status, s.X, s.Obj)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := &Problem{
+		NumVars: 1,
+		C:       []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Rel: LE, RHS: 1},
+			{Coeffs: []float64{1}, Rel: GE, RHS: 2},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Errorf("status = %v, want Infeasible", s.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	p := &Problem{
+		NumVars: 1,
+		C:       []float64{-1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{-1}, Rel: LE, RHS: 0},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Errorf("status = %v, want Unbounded", s.Status)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// min x s.t. -x <= -3  (i.e. x >= 3). Optimum 3.
+	p := &Problem{
+		NumVars:     1,
+		C:           []float64{1},
+		Constraints: []Constraint{{Coeffs: []float64{-1}, Rel: LE, RHS: -3}},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !approx(s.X[0], 3, 1e-9) {
+		t.Errorf("status=%v X=%v", s.Status, s.X)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// Degenerate vertex: redundant constraints meeting at the optimum.
+	p := &Problem{
+		NumVars: 2,
+		C:       []float64{-1, -1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 0}, Rel: LE, RHS: 1},
+			{Coeffs: []float64{0, 1}, Rel: LE, RHS: 1},
+			{Coeffs: []float64{1, 1}, Rel: LE, RHS: 2},
+			{Coeffs: []float64{2, 2}, Rel: LE, RHS: 4},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !approx(s.Obj, -2, 1e-9) {
+		t.Errorf("status=%v obj=%g", s.Status, s.Obj)
+	}
+}
+
+func TestSolveDualsKnown(t *testing.T) {
+	// min -3x - 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18.
+	// Classic: optimum (2,6), obj -36, duals (0, -3/2, -1).
+	p := &Problem{
+		NumVars: 2,
+		C:       []float64{-3, -5},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 0}, Rel: LE, RHS: 4},
+			{Coeffs: []float64{0, 2}, Rel: LE, RHS: 12},
+			{Coeffs: []float64{3, 2}, Rel: LE, RHS: 18},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !approx(s.Obj, -36, 1e-9) {
+		t.Fatalf("status=%v obj=%g X=%v", s.Status, s.Obj, s.X)
+	}
+	want := []float64{0, -1.5, -1}
+	for i := range want {
+		if !approx(s.Duals[i], want[i], 1e-9) {
+			t.Errorf("dual %d = %g, want %g", i, s.Duals[i], want[i])
+		}
+	}
+}
+
+// checkCertificate verifies the optimality certificate: primal feasibility,
+// strong duality obj == yᵀb, and dual feasibility c_j - yᵀa_j >= 0 for every
+// column (minimization over x >= 0).
+func checkCertificate(t *testing.T, p *Problem, s *Solution) {
+	t.Helper()
+	const eps = 1e-6
+	for i, c := range p.Constraints {
+		var lhs float64
+		for j, v := range c.Coeffs {
+			lhs += v * s.X[j]
+		}
+		switch c.Rel {
+		case LE:
+			if lhs > c.RHS+eps {
+				t.Fatalf("constraint %d violated: %g > %g", i, lhs, c.RHS)
+			}
+		case GE:
+			if lhs < c.RHS-eps {
+				t.Fatalf("constraint %d violated: %g < %g", i, lhs, c.RHS)
+			}
+		case EQ:
+			if !approx(lhs, c.RHS, eps) {
+				t.Fatalf("constraint %d violated: %g != %g", i, lhs, c.RHS)
+			}
+		}
+	}
+	for j := range s.X {
+		if s.X[j] < -eps {
+			t.Fatalf("x[%d] = %g negative", j, s.X[j])
+		}
+	}
+	var ytb float64
+	for i, c := range p.Constraints {
+		ytb += s.Duals[i] * c.RHS
+	}
+	if !approx(ytb, s.Obj, eps) {
+		t.Fatalf("strong duality: yᵀb=%g obj=%g (duals=%v)", ytb, s.Obj, s.Duals)
+	}
+	for j := 0; j < p.NumVars; j++ {
+		red := p.C[j]
+		for i, c := range p.Constraints {
+			red -= s.Duals[i] * c.Coeffs[j]
+		}
+		if red < -eps {
+			t.Fatalf("dual infeasible at column %d: reduced cost %g", j, red)
+		}
+	}
+	// Dual sign conventions.
+	for i, c := range p.Constraints {
+		switch c.Rel {
+		case LE:
+			if s.Duals[i] > eps {
+				t.Fatalf("dual %d = %g > 0 on <= row", i, s.Duals[i])
+			}
+		case GE:
+			if s.Duals[i] < -eps {
+				t.Fatalf("dual %d = %g < 0 on >= row", i, s.Duals[i])
+			}
+		}
+	}
+}
+
+func TestSolveRandomCertificates(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	solved := 0
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(5)
+		p := &Problem{NumVars: n, C: make([]float64, n)}
+		for j := range p.C {
+			p.C[j] = float64(rng.Intn(11) - 5)
+		}
+		for i := 0; i < m; i++ {
+			c := Constraint{Coeffs: make([]float64, n), Rel: Rel(rng.Intn(3)), RHS: float64(rng.Intn(15) - 3)}
+			for j := range c.Coeffs {
+				c.Coeffs[j] = float64(rng.Intn(9) - 4)
+			}
+			p.Constraints = append(p.Constraints, c)
+		}
+		s, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if s.Status == Optimal {
+			solved++
+			checkCertificate(t, p, s)
+		}
+	}
+	if solved < 30 {
+		t.Fatalf("only %d/200 random LPs were optimal; generator too degenerate", solved)
+	}
+}
+
+func TestSolveInputValidation(t *testing.T) {
+	if _, err := Solve(&Problem{NumVars: 2, C: []float64{1}}); err == nil {
+		t.Error("bad C length accepted")
+	}
+	p := &Problem{NumVars: 1, C: []float64{1},
+		Constraints: []Constraint{{Coeffs: []float64{1, 2}, Rel: LE, RHS: 1}}}
+	if _, err := Solve(p); err == nil {
+		t.Error("bad coeff length accepted")
+	}
+	p = &Problem{NumVars: 1, C: []float64{1},
+		Constraints: []Constraint{{Coeffs: []float64{math.NaN()}, Rel: LE, RHS: 1}}}
+	if _, err := Solve(p); err == nil {
+		t.Error("NaN coefficient accepted")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Error("status strings wrong")
+	}
+	if Status(9).String() == "" {
+		t.Error("unknown status string empty")
+	}
+}
+
+func BenchmarkSolveMedium(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n, m = 30, 20
+	p := &Problem{NumVars: n, C: make([]float64, n)}
+	for j := range p.C {
+		p.C[j] = rng.Float64() - 0.3
+	}
+	for i := 0; i < m; i++ {
+		c := Constraint{Coeffs: make([]float64, n), Rel: LE, RHS: 10 + rng.Float64()*10}
+		for j := range c.Coeffs {
+			c.Coeffs[j] = rng.Float64()
+		}
+		p.Constraints = append(p.Constraints, c)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

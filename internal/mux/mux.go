@@ -1,0 +1,259 @@
+// Package mux models the TDM I/O structure of Fig. 1(b)(c) of the paper:
+// the physical connection between two FPGAs is driven by a fast TDM clock,
+// and each system-clock cycle is divided into time slots shared by the
+// multiplexed signals. A signal with TDM ratio r owns 1/r of the slots —
+// which is exactly why the reciprocals of the ratios on an edge must sum to
+// at most 1.
+//
+// Given the legalized ratios of one edge, Build produces a concrete slot
+// table (frame): signal i with ratio r_i receives L/r_i slots of a frame of
+// length L, sequenced by largest-remainder weighted round robin so slots
+// are close to evenly spaced. Simulate then replays frames and reports the
+// delivered word counts and worst-case inter-slot gaps — the delay the
+// paper's introduction attributes to multiplexing.
+package mux
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrFrameTooLong reports that the ratios' least common multiple exceeds
+// MaxFrameLen, so no slot table was built. Schedulability is not in
+// question (any reciprocal sum <= 1 is frame-schedulable); the table is
+// just too large to materialize.
+var ErrFrameTooLong = errors.New("mux: frame length exceeds limit")
+
+// Idle marks a frame slot owned by no signal.
+const Idle = -1
+
+// Schedule is the slot table of one edge for one direction.
+type Schedule struct {
+	// Ratios are the even TDM ratios the schedule realizes, by signal.
+	Ratios []int64
+	// FrameLen is the frame length L: the least common multiple of the
+	// ratios, so every signal's share L/r_i is integral.
+	FrameLen int64
+	// Slots maps each slot of the frame to a signal index, or Idle.
+	Slots []int32
+}
+
+// MaxFrameLen bounds the lcm-based frame length; ratios whose lcm exceeds
+// it are rejected by Build (real TDM hardware uses power-of-two ratios
+// precisely to keep frames short).
+const MaxFrameLen = 1 << 20
+
+// Build constructs the slot table for one edge. Each ratio must be a
+// positive even integer and the reciprocals must sum to at most 1 (the edge
+// constraint of Sec. II-A); otherwise an error describes the violation.
+func Build(ratios []int64) (*Schedule, error) {
+	for i, r := range ratios {
+		if r < 2 || r%2 != 0 {
+			return nil, fmt.Errorf("mux: signal %d: ratio %d is not a positive even integer", i, r)
+		}
+	}
+	frame := int64(1)
+	for _, r := range ratios {
+		frame = lcm(frame, r)
+		if frame > MaxFrameLen {
+			return nil, fmt.Errorf("%w (%d slots, limit %d)", ErrFrameTooLong, frame, MaxFrameLen)
+		}
+	}
+	// Capacity check: Σ frame/r_i <= frame, i.e. Σ 1/r_i <= 1, exactly.
+	var used int64
+	share := make([]int64, len(ratios))
+	for i, r := range ratios {
+		share[i] = frame / r
+		used += share[i]
+	}
+	if used > frame {
+		return nil, fmt.Errorf("mux: reciprocal sum exceeds 1: %d shares in a frame of %d", used, frame)
+	}
+
+	s := &Schedule{
+		Ratios:   append([]int64(nil), ratios...),
+		FrameLen: frame,
+		Slots:    make([]int32, frame),
+	}
+	for t := range s.Slots {
+		s.Slots[t] = Idle
+	}
+	// Weighted round robin by largest accumulated credit: each slot goes
+	// to the signal with the highest credit (weight w_i = share_i/frame),
+	// giving near-even spacing. Deterministic tie-break by signal index.
+	credit := make([]int64, len(ratios)) // scaled by frame
+	remaining := make([]int64, len(ratios))
+	copy(remaining, share)
+	for t := int64(0); t < frame; t++ {
+		best := -1
+		for i := range ratios {
+			if remaining[i] == 0 {
+				continue
+			}
+			credit[i] += share[i]
+			if best == -1 || credit[i] > credit[best] {
+				best = i
+			}
+		}
+		if best == -1 {
+			break // all shares placed; rest of frame is idle
+		}
+		credit[best] -= frame
+		remaining[best]--
+		s.Slots[t] = int32(best)
+	}
+	return s, nil
+}
+
+// SlotsOf returns the slot indices owned by signal i within the frame.
+func (s *Schedule) SlotsOf(i int) []int64 {
+	var out []int64
+	for t, owner := range s.Slots {
+		if int(owner) == i {
+			out = append(out, int64(t))
+		}
+	}
+	return out
+}
+
+// Utilization returns the fraction of frame slots that carry a signal.
+func (s *Schedule) Utilization() float64 {
+	if s.FrameLen == 0 {
+		return 0
+	}
+	busy := 0
+	for _, owner := range s.Slots {
+		if owner != Idle {
+			busy++
+		}
+	}
+	return float64(busy) / float64(s.FrameLen)
+}
+
+// Gaps returns, for each signal, the maximum distance between consecutive
+// owned slots across a frame boundary — the worst-case wait before the
+// signal transmits again, in TDM-clock ticks. A signal with ratio r and
+// perfectly even spacing would report exactly r.
+func (s *Schedule) Gaps() []int64 {
+	gaps := make([]int64, len(s.Ratios))
+	for i := range s.Ratios {
+		slots := s.SlotsOf(i)
+		if len(slots) == 0 {
+			continue
+		}
+		var worst int64
+		for j := 1; j < len(slots); j++ {
+			if d := slots[j] - slots[j-1]; d > worst {
+				worst = d
+			}
+		}
+		// Wrap-around gap to the next frame.
+		if d := slots[0] + s.FrameLen - slots[len(slots)-1]; d > worst {
+			worst = d
+		}
+		gaps[i] = worst
+	}
+	return gaps
+}
+
+// Stats is the outcome of Simulate for one signal.
+type Stats struct {
+	Words   int64 // words delivered
+	MaxWait int64 // worst observed wait between transmissions, in ticks
+}
+
+// Simulate replays the schedule for the given number of frames and returns
+// per-signal delivery statistics. It is the executable meaning of the TDM
+// ratio: over F frames, signal i delivers F·L/r_i words.
+func (s *Schedule) Simulate(frames int) []Stats {
+	stats := make([]Stats, len(s.Ratios))
+	last := make([]int64, len(s.Ratios))
+	for i := range last {
+		last[i] = -1
+	}
+	for f := 0; f < frames; f++ {
+		base := int64(f) * s.FrameLen
+		for t, owner := range s.Slots {
+			if owner == Idle {
+				continue
+			}
+			i := int(owner)
+			now := base + int64(t)
+			stats[i].Words++
+			if last[i] >= 0 {
+				if wait := now - last[i]; wait > stats[i].MaxWait {
+					stats[i].MaxWait = wait
+				}
+			}
+			last[i] = now
+		}
+	}
+	return stats
+}
+
+// String renders a small schedule like the waveform row of Fig. 1(c):
+// "0 1 0 2 0 1 0 -" with '-' for idle slots. Frames longer than 64 slots
+// are elided.
+func (s *Schedule) String() string {
+	if s.FrameLen > 64 {
+		return fmt.Sprintf("Schedule{L=%d, %d signals}", s.FrameLen, len(s.Ratios))
+	}
+	out := make([]byte, 0, 2*s.FrameLen)
+	for _, owner := range s.Slots {
+		if len(out) > 0 {
+			out = append(out, ' ')
+		}
+		if owner == Idle {
+			out = append(out, '-')
+		} else {
+			out = append(out, []byte(fmt.Sprintf("%d", owner))...)
+		}
+	}
+	return string(out)
+}
+
+// VerifyEdge builds and checks a schedule for every edge of a solution-like
+// ratio set and returns the total frame utilization statistics; it is used
+// by tests as an independent semantic check of solution legality.
+func VerifyEdge(ratios []int64) error {
+	if len(ratios) == 0 {
+		return nil
+	}
+	s, err := Build(ratios)
+	if err != nil {
+		return err
+	}
+	// Every signal must own exactly L/r slots.
+	counts := make([]int64, len(ratios))
+	for _, owner := range s.Slots {
+		if owner != Idle {
+			counts[owner]++
+		}
+	}
+	for i, r := range ratios {
+		if counts[i] != s.FrameLen/r {
+			return fmt.Errorf("mux: signal %d owns %d slots, want %d", i, counts[i], s.FrameLen/r)
+		}
+	}
+	return nil
+}
+
+// SortedRatios returns the ratios in non-decreasing order (a convenience
+// for display).
+func (s *Schedule) SortedRatios() []int64 {
+	out := append([]int64(nil), s.Ratios...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int64) int64 {
+	return a / gcd(a, b) * b
+}

@@ -1,0 +1,218 @@
+package mux
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildFig1Example(t *testing.T) {
+	// Fig. 1(c): signal 1 at ratio 2, signals 2 and 3 at ratio 4; frame
+	// of 8 slots in the paper (4+2+2 slots used within L=4 here: lcm=4,
+	// shares 2,1,1 -> fully used frame of 4).
+	s, err := Build([]int64{2, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FrameLen != 4 {
+		t.Fatalf("frame = %d, want lcm(2,4,4)=4", s.FrameLen)
+	}
+	if got := s.Utilization(); got != 1.0 {
+		t.Errorf("utilization = %g, want 1 (saturated edge)", got)
+	}
+	counts := map[int32]int{}
+	for _, owner := range s.Slots {
+		counts[owner]++
+	}
+	if counts[0] != 2 || counts[1] != 1 || counts[2] != 1 {
+		t.Errorf("slot shares = %v", counts)
+	}
+}
+
+func TestBuildRejectsIllegalRatios(t *testing.T) {
+	cases := [][]int64{
+		{0},       // zero
+		{3},       // odd
+		{-2},      // negative
+		{2, 2, 2}, // reciprocals sum to 1.5
+	}
+	for _, ratios := range cases {
+		if _, err := Build(ratios); err == nil {
+			t.Errorf("Build(%v) accepted", ratios)
+		}
+	}
+}
+
+func TestBuildRejectsHugeFrames(t *testing.T) {
+	// Pairwise-coprime odd halves make the lcm explode.
+	if _, err := Build([]int64{2 * 3 * 5 * 7, 2 * 11 * 13 * 17, 2 * 19 * 23 * 29, 2 * 31 * 37}); err == nil {
+		t.Error("huge lcm accepted")
+	}
+}
+
+func TestBuildExactlySaturatedLegal(t *testing.T) {
+	// 1/2 + 1/4 + 1/4 = 1 exactly.
+	s, err := Build([]int64{2, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, owner := range s.Slots {
+		if owner == Idle {
+			t.Fatal("saturated edge has idle slot")
+		}
+	}
+}
+
+func TestGapsNearRatio(t *testing.T) {
+	s, err := Build([]int64{2, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := s.Gaps()
+	// WRR keeps each signal's worst gap within 2x its ratio.
+	for i, r := range s.Ratios {
+		if gaps[i] > 2*r {
+			t.Errorf("signal %d (ratio %d): gap %d", i, r, gaps[i])
+		}
+		if gaps[i] < 1 {
+			t.Errorf("signal %d: nonpositive gap %d", i, gaps[i])
+		}
+	}
+}
+
+func TestSimulateDeliversExactShares(t *testing.T) {
+	s, err := Build([]int64{2, 6, 6, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 10
+	stats := s.Simulate(frames)
+	for i, r := range s.Ratios {
+		want := frames * s.FrameLen / r
+		if stats[i].Words != want {
+			t.Errorf("signal %d: %d words, want %d", i, stats[i].Words, want)
+		}
+		if stats[i].MaxWait > 2*r {
+			t.Errorf("signal %d: max wait %d exceeds 2x ratio %d", i, stats[i].MaxWait, r)
+		}
+	}
+}
+
+func TestVerifyEdge(t *testing.T) {
+	if err := VerifyEdge(nil); err != nil {
+		t.Errorf("empty edge: %v", err)
+	}
+	if err := VerifyEdge([]int64{2, 4, 8, 8}); err != nil {
+		t.Errorf("legal edge rejected: %v", err)
+	}
+	if err := VerifyEdge([]int64{2, 2}); err != nil {
+		t.Errorf("exactly saturated edge rejected: %v", err)
+	}
+	if err := VerifyEdge([]int64{2, 2, 2}); err == nil {
+		t.Error("overloaded edge accepted")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s, err := Build([]int64{2, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := s.String()
+	if !strings.Contains(str, "0") || !strings.Contains(str, "1") {
+		t.Errorf("String() = %q", str)
+	}
+	big, err := Build([]int64{1024, 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(big.String(), "Schedule{") {
+		t.Errorf("long schedule should elide: %q", big.String())
+	}
+}
+
+func TestSortedRatios(t *testing.T) {
+	s, err := Build([]int64{8, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := s.SortedRatios()
+	if sorted[0] != 2 || sorted[1] != 4 || sorted[2] != 8 {
+		t.Errorf("sorted = %v", sorted)
+	}
+	// Original order preserved.
+	if s.Ratios[0] != 8 {
+		t.Error("SortedRatios mutated the schedule")
+	}
+}
+
+func TestQuickRandomLegalRatioSetsSchedulable(t *testing.T) {
+	// Any legal ratio multiset (even, power-of-two ratios with
+	// reciprocal sum <= 1, as real TDM hardware uses) must build into a
+	// verified schedule.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var ratios []int64
+		budgetNum, budgetDen := int64(1), int64(1) // remaining budget
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			r := int64(2) << rng.Intn(6) // 2..128
+			// accept if 1/r <= budget
+			if budgetNum*r >= budgetDen {
+				ratios = append(ratios, r)
+				// budget -= 1/r
+				budgetNum = budgetNum*r - budgetDen
+				budgetDen *= r
+				g := gcd(budgetNum, budgetDen)
+				if g > 0 {
+					budgetNum /= g
+					budgetDen /= g
+				}
+			}
+		}
+		if len(ratios) == 0 {
+			return true
+		}
+		return VerifyEdge(ratios) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBuildSchedule(b *testing.B) {
+	ratios := []int64{2, 8, 8, 16, 16, 32, 32, 64, 64, 128}
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(ratios); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSlotsOfAndIdleFraction(t *testing.T) {
+	s, err := Build([]int64{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame lcm(2,8)=8: signal 0 owns 4 slots, signal 1 owns 1, 3 idle.
+	if got := s.SlotsOf(0); len(got) != 4 {
+		t.Errorf("signal 0 slots = %v", got)
+	}
+	if got := s.SlotsOf(1); len(got) != 1 {
+		t.Errorf("signal 1 slots = %v", got)
+	}
+	if u := s.Utilization(); u != 5.0/8.0 {
+		t.Errorf("utilization = %g, want 0.625", u)
+	}
+}
+
+func TestSimulateZeroFrames(t *testing.T) {
+	s, err := Build([]int64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := s.Simulate(0)
+	if stats[0].Words != 0 || stats[0].MaxWait != 0 {
+		t.Errorf("zero-frame stats = %+v", stats[0])
+	}
+}

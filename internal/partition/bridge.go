@@ -1,0 +1,140 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"tdmroute/internal/graph"
+	"tdmroute/internal/problem"
+)
+
+// NetlistConfig describes a synthetic gate-level netlist for the full
+// compilation-flow examples: cells with small fanout-biased nets and
+// locality in cell-id space (a stand-in for placement locality).
+type NetlistConfig struct {
+	Cells  int
+	Nets   int
+	Seed   int64
+	MaxFan int // maximum cells per net; 0 selects 6
+}
+
+// GenerateNetlist builds a deterministic synthetic hypergraph.
+func GenerateNetlist(cfg NetlistConfig) (*Hypergraph, error) {
+	if cfg.Cells < 2 || cfg.Nets < 1 {
+		return nil, fmt.Errorf("partition: need >= 2 cells and >= 1 net")
+	}
+	if cfg.MaxFan == 0 {
+		cfg.MaxFan = 6
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	h := &Hypergraph{CellWeight: make([]int64, cfg.Cells)}
+	for c := range h.CellWeight {
+		h.CellWeight[c] = int64(1 + rng.Intn(4))
+	}
+	for i := 0; i < cfg.Nets; i++ {
+		fan := 2
+		for rng.Float64() < 0.35 && fan < cfg.MaxFan {
+			fan++
+		}
+		anchor := rng.Intn(cfg.Cells)
+		window := 16 + 8*fan
+		seen := map[int]bool{}
+		var net []int
+		for len(net) < fan {
+			c := anchor + rng.Intn(2*window+1) - window
+			c = ((c % cfg.Cells) + cfg.Cells) % cfg.Cells
+			if !seen[c] {
+				seen[c] = true
+				net = append(net, c)
+			}
+		}
+		sort.Ints(net)
+		h.Nets = append(h.Nets, net)
+	}
+	return h, nil
+}
+
+// BuildInstance turns a partitioned netlist into an inter-FPGA routing
+// instance on the given board: part p maps to FPGA vertex p; every logical
+// net spanning more than one part becomes a routable net whose terminals
+// are the distinct FPGAs it touches; NetGroups collect the spanning nets
+// incident to the same cell (a simple stand-in for shared timing paths).
+//
+// The number of parts must not exceed the board's FPGA count.
+func BuildInstance(name string, h *Hypergraph, parts []int, board *graph.Graph) (*problem.Instance, error) {
+	if len(parts) != h.NumCells() {
+		return nil, fmt.Errorf("partition: %d part labels for %d cells", len(parts), h.NumCells())
+	}
+	numParts := 0
+	for _, p := range parts {
+		if p < 0 {
+			return nil, fmt.Errorf("partition: negative part id %d", p)
+		}
+		if p+1 > numParts {
+			numParts = p + 1
+		}
+	}
+	if numParts > board.NumVertices() {
+		return nil, fmt.Errorf("partition: %d parts exceed %d FPGAs", numParts, board.NumVertices())
+	}
+
+	in := &problem.Instance{Name: name, G: board}
+	// Spanning nets become routable nets.
+	netID := make([]int, len(h.Nets)) // logical net -> routable net id or -1
+	for i, net := range h.Nets {
+		netID[i] = -1
+		if len(net) < 2 {
+			continue
+		}
+		seen := map[int]bool{}
+		var terms []int
+		for _, c := range net {
+			p := parts[c]
+			if !seen[p] {
+				seen[p] = true
+				terms = append(terms, p)
+			}
+		}
+		if len(terms) < 2 {
+			continue // intra-FPGA after partitioning
+		}
+		netID[i] = len(in.Nets)
+		in.Nets = append(in.Nets, problem.Net{Terminals: terms})
+	}
+
+	// Groups: for every cell, the spanning nets incident to it (>= 1 net).
+	pins := h.pins()
+	seenGroups := map[string]bool{}
+	for _, incident := range pins {
+		var members []int
+		for _, ni := range incident {
+			if netID[ni] >= 0 {
+				members = append(members, netID[ni])
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		sort.Ints(members)
+		members = dedupInts(members)
+		key := fmt.Sprint(members)
+		if seenGroups[key] {
+			continue // identical group; keep one
+		}
+		seenGroups[key] = true
+		in.Groups = append(in.Groups, problem.Group{Nets: members})
+	}
+	in.RebuildNetGroups()
+	return in, nil
+}
+
+func dedupInts(s []int) []int {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,344 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FMOptions tunes the bipartitioner.
+type FMOptions struct {
+	// Balance is the allowed deviation of either side's weight from half
+	// the total, as a fraction (paper-era FM uses ~0.45..0.55 windows;
+	// 0 selects 0.1, i.e. each side within [40%, 60%]).
+	Balance float64
+	// MaxPasses caps FM passes; each pass tentatively moves every cell
+	// once and rolls back to the best prefix. Zero selects 10.
+	MaxPasses int
+	// Seed randomizes the initial assignment; the same seed always
+	// yields the same result.
+	Seed int64
+}
+
+func (o FMOptions) withDefaults() FMOptions {
+	if o.Balance == 0 {
+		o.Balance = 0.1
+	}
+	if o.MaxPasses == 0 {
+		o.MaxPasses = 10
+	}
+	return o
+}
+
+// Bipartition splits the cells into sides 0 and 1 with Fiduccia–Mattheyses
+// refinement over a random balanced start. It returns the side per cell and
+// the final cut size.
+func Bipartition(h *Hypergraph, opt FMOptions) ([]int, int, error) {
+	if err := h.Validate(); err != nil {
+		return nil, 0, err
+	}
+	opt = opt.withDefaults()
+	n := h.NumCells()
+	if n == 0 {
+		return nil, 0, nil
+	}
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	total := h.TotalWeight()
+	lo := int64(float64(total) * (0.5 - opt.Balance))
+	hi := int64(float64(total) * (0.5 + opt.Balance))
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	// Random balanced initial assignment: shuffle, fill side 0 to ~half.
+	side := make([]int, n)
+	order := rng.Perm(n)
+	var w0 int64
+	for _, c := range order {
+		if w0+h.CellWeight[c] <= total/2 {
+			side[c] = 0
+			w0 += h.CellWeight[c]
+		} else {
+			side[c] = 1
+		}
+	}
+
+	f := newFM(h, side, lo, hi)
+	for pass := 0; pass < opt.MaxPasses; pass++ {
+		if improved := f.pass(); !improved {
+			break
+		}
+	}
+	return f.side, CutSize(h, f.side), nil
+}
+
+// fm holds the pass state: gain buckets with doubly linked free cells.
+type fm struct {
+	h      *Hypergraph
+	pins   [][]int
+	side   []int
+	weight [2]int64
+	lo, hi int64
+
+	gain   []int
+	locked []bool
+
+	// per-net side counts, maintained incrementally.
+	netCount [][2]int
+}
+
+func newFM(h *Hypergraph, side []int, lo, hi int64) *fm {
+	f := &fm{
+		h:      h,
+		pins:   h.pins(),
+		side:   side,
+		lo:     lo,
+		hi:     hi,
+		gain:   make([]int, h.NumCells()),
+		locked: make([]bool, h.NumCells()),
+	}
+	for c, s := range side {
+		f.weight[s] += h.CellWeight[c]
+	}
+	f.netCount = make([][2]int, len(h.Nets))
+	for i, net := range h.Nets {
+		for _, c := range net {
+			f.netCount[i][side[c]]++
+		}
+	}
+	return f
+}
+
+// cellGain computes the FM gain of moving c to the other side: nets that
+// become uncut minus nets that become cut.
+func (f *fm) cellGain(c int) int {
+	s := f.side[c]
+	g := 0
+	for _, ni := range f.pins[c] {
+		switch {
+		case f.netCount[ni][s] == 1: // c is the lone cell on its side
+			g++
+		case f.netCount[ni][1-s] == 0: // net entirely on c's side
+			g--
+		}
+	}
+	return g
+}
+
+// pass runs one FM pass: tentatively move every cell once (highest gain,
+// balance permitting), then roll back to the best prefix. Reports whether
+// the cut strictly improved.
+func (f *fm) pass() bool {
+	n := f.h.NumCells()
+	for c := 0; c < n; c++ {
+		f.locked[c] = false
+		f.gain[c] = f.cellGain(c)
+	}
+	startCut := CutSize(f.h, f.side)
+
+	type move struct{ cell int }
+	moves := make([]move, 0, n)
+	cut := startCut
+	bestCut := startCut
+	bestPrefix := 0
+
+	for len(moves) < n {
+		c := f.selectMove()
+		if c < 0 {
+			break
+		}
+		cut -= f.gain[c]
+		f.apply(c)
+		moves = append(moves, move{cell: c})
+		if cut < bestCut {
+			bestCut = cut
+			bestPrefix = len(moves)
+		}
+	}
+	// Roll back moves after the best prefix.
+	for i := len(moves) - 1; i >= bestPrefix; i-- {
+		f.apply(moves[i].cell) // moving back restores state
+	}
+	return bestCut < startCut
+}
+
+// selectMove picks the unlocked cell with the highest gain whose move keeps
+// balance; ties break on the smallest cell id for determinism.
+func (f *fm) selectMove() int {
+	best, bestGain := -1, 0
+	for c := 0; c < f.h.NumCells(); c++ {
+		if f.locked[c] {
+			continue
+		}
+		s := f.side[c]
+		w := f.h.CellWeight[c]
+		if f.weight[1-s]+w > f.hi || f.weight[s]-w < f.lo {
+			continue
+		}
+		if best == -1 || f.gain[c] > bestGain {
+			best, bestGain = c, f.gain[c]
+		}
+	}
+	if best >= 0 {
+		f.locked[best] = true
+	}
+	return best
+}
+
+// apply moves cell c to the other side and updates net counts and the gains
+// of its unlocked neighbours (standard FM delta rules).
+func (f *fm) apply(c int) {
+	from := f.side[c]
+	to := 1 - from
+	w := f.h.CellWeight[c]
+
+	for _, ni := range f.pins[c] {
+		net := f.h.Nets[ni]
+		// Before-move updates.
+		if f.netCount[ni][to] == 0 {
+			for _, d := range net {
+				if !f.locked[d] {
+					f.gain[d]++
+				}
+			}
+		} else if f.netCount[ni][to] == 1 {
+			for _, d := range net {
+				if !f.locked[d] && f.side[d] == to {
+					f.gain[d]--
+				}
+			}
+		}
+		f.netCount[ni][from]--
+		f.netCount[ni][to]++
+		// After-move updates.
+		if f.netCount[ni][from] == 0 {
+			for _, d := range net {
+				if !f.locked[d] {
+					f.gain[d]--
+				}
+			}
+		} else if f.netCount[ni][from] == 1 {
+			for _, d := range net {
+				if !f.locked[d] && f.side[d] == from {
+					f.gain[d]++
+				}
+			}
+		}
+	}
+	f.side[c] = to
+	f.weight[from] -= w
+	f.weight[to] += w
+}
+
+// KWay partitions the cells onto k parts by recursive bisection. Part ids
+// are 0..k-1. Every level reuses FM with a proportional balance window.
+func KWay(h *Hypergraph, k int, opt FMOptions) ([]int, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("partition: k must be >= 1, got %d", k)
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	parts := make([]int, h.NumCells())
+	cells := make([]int, h.NumCells())
+	for i := range cells {
+		cells[i] = i
+	}
+	if err := bisect(h, cells, 0, k, opt, parts); err != nil {
+		return nil, err
+	}
+	return parts, nil
+}
+
+// bisect assigns part ids [base, base+k) to the given cell subset.
+func bisect(h *Hypergraph, cells []int, base, k int, opt FMOptions, parts []int) error {
+	if k == 1 || len(cells) == 0 {
+		for _, c := range cells {
+			parts[c] = base
+		}
+		return nil
+	}
+	// Build the sub-hypergraph induced by cells.
+	idx := make(map[int]int, len(cells))
+	for i, c := range cells {
+		idx[c] = i
+	}
+	sub := &Hypergraph{CellWeight: make([]int64, len(cells))}
+	for i, c := range cells {
+		sub.CellWeight[i] = h.CellWeight[c]
+	}
+	for _, net := range h.Nets {
+		var local []int
+		for _, c := range net {
+			if li, ok := idx[c]; ok {
+				local = append(local, li)
+			}
+		}
+		if len(local) >= 2 {
+			sub.Nets = append(sub.Nets, local)
+		}
+	}
+	// Split k into halves; bias the balance window toward the weight
+	// share of each half.
+	kl := k / 2
+	kr := k - kl
+	subOpt := opt
+	subOpt.Seed = opt.Seed*31 + int64(base)
+	side, _, err := bipartitionShare(sub, subOpt, float64(kl)/float64(k))
+	if err != nil {
+		return err
+	}
+	var left, right []int
+	for i, c := range cells {
+		if side[i] == 0 {
+			left = append(left, c)
+		} else {
+			right = append(right, c)
+		}
+	}
+	if err := bisect(h, left, base, kl, opt, parts); err != nil {
+		return err
+	}
+	return bisect(h, right, base+kl, kr, opt, parts)
+}
+
+// bipartitionShare is Bipartition with an asymmetric target: side 0 aims
+// for the given share of total weight.
+func bipartitionShare(h *Hypergraph, opt FMOptions, share float64) ([]int, int, error) {
+	opt = opt.withDefaults()
+	n := h.NumCells()
+	if n == 0 {
+		return nil, 0, nil
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	total := h.TotalWeight()
+	target := int64(float64(total) * share)
+	dev := int64(float64(total) * opt.Balance / 2)
+	lo := target - dev
+	hi := target + dev
+	if lo < 0 {
+		lo = 0
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+
+	side := make([]int, n)
+	order := rng.Perm(n)
+	var w0 int64
+	for _, c := range order {
+		if w0+h.CellWeight[c] <= target {
+			side[c] = 0
+			w0 += h.CellWeight[c]
+		} else {
+			side[c] = 1
+		}
+	}
+	f := newFM(h, side, lo, hi)
+	for pass := 0; pass < opt.MaxPasses; pass++ {
+		if improved := f.pass(); !improved {
+			break
+		}
+	}
+	return f.side, CutSize(h, f.side), nil
+}

@@ -1,0 +1,268 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"tdmroute/internal/graph"
+	"tdmroute/internal/problem"
+)
+
+// twoCliques builds two size-k cliques (as 2-pin nets) joined by a single
+// bridge net: the optimal bipartition cut is 1.
+func twoCliques(k int) *Hypergraph {
+	h := &Hypergraph{CellWeight: make([]int64, 2*k)}
+	for i := range h.CellWeight {
+		h.CellWeight[i] = 1
+	}
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			h.Nets = append(h.Nets, []int{a, b})
+			h.Nets = append(h.Nets, []int{k + a, k + b})
+		}
+	}
+	h.Nets = append(h.Nets, []int{0, k})
+	return h
+}
+
+func TestBipartitionTwoCliques(t *testing.T) {
+	h := twoCliques(8)
+	side, cut, err := Bipartition(h, FMOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut != 1 {
+		t.Errorf("cut = %d, want 1", cut)
+	}
+	// Each clique must land on one side.
+	for c := 1; c < 8; c++ {
+		if side[c] != side[0] {
+			t.Errorf("clique A split at cell %d", c)
+		}
+		if side[8+c] != side[8] {
+			t.Errorf("clique B split at cell %d", c)
+		}
+	}
+	if side[0] == side[8] {
+		t.Error("both cliques on the same side")
+	}
+}
+
+func TestBipartitionBalanceRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	h := randomNetlist(t, 60, 120, 3)
+	side, _, err := Bipartition(h, FMOptions{Seed: 3, Balance: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w0 int64
+	for c, s := range side {
+		if s == 0 {
+			w0 += h.CellWeight[c]
+		}
+	}
+	total := h.TotalWeight()
+	frac := float64(w0) / float64(total)
+	// Allow the window plus one max-weight cell of slack (the initial
+	// greedy fill can sit at the boundary).
+	if frac < 0.3 || frac > 0.7 {
+		t.Errorf("side 0 weight fraction = %.3f", frac)
+	}
+	_ = rng
+}
+
+func TestBipartitionImprovesOverRandom(t *testing.T) {
+	h := randomNetlist(t, 80, 200, 7)
+	// Random assignment cut (expected): measure a few.
+	rng := rand.New(rand.NewSource(1))
+	randomCut := 0
+	const trials = 5
+	for i := 0; i < trials; i++ {
+		parts := make([]int, h.NumCells())
+		for c := range parts {
+			parts[c] = rng.Intn(2)
+		}
+		randomCut += CutSize(h, parts)
+	}
+	_, fmCut, err := Bipartition(h, FMOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmCut*trials >= randomCut {
+		t.Errorf("FM cut %d not better than random average %d", fmCut, randomCut/trials)
+	}
+}
+
+func TestBipartitionDeterministic(t *testing.T) {
+	h := randomNetlist(t, 50, 100, 11)
+	a, cutA, err := Bipartition(h, FMOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, cutB, err := Bipartition(h, FMOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cutA != cutB {
+		t.Fatalf("cuts differ: %d vs %d", cutA, cutB)
+	}
+	for c := range a {
+		if a[c] != b[c] {
+			t.Fatalf("assignment differs at cell %d", c)
+		}
+	}
+}
+
+func TestBipartitionRejectsInvalid(t *testing.T) {
+	h := &Hypergraph{CellWeight: []int64{1, 0}, Nets: [][]int{{0, 1}}}
+	if _, _, err := Bipartition(h, FMOptions{}); err == nil {
+		t.Error("zero-weight cell accepted")
+	}
+	h = &Hypergraph{CellWeight: []int64{1, 1}, Nets: [][]int{{0, 5}}}
+	if _, _, err := Bipartition(h, FMOptions{}); err == nil {
+		t.Error("out-of-range pin accepted")
+	}
+	h = &Hypergraph{CellWeight: []int64{1, 1}, Nets: [][]int{{0, 0}}}
+	if _, _, err := Bipartition(h, FMOptions{}); err == nil {
+		t.Error("duplicate pin accepted")
+	}
+}
+
+func TestKWayCoversAllParts(t *testing.T) {
+	h := randomNetlist(t, 90, 180, 13)
+	for _, k := range []int{1, 2, 3, 4, 7} {
+		parts, err := KWay(h, k, FMOptions{Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		used := map[int]bool{}
+		for _, p := range parts {
+			if p < 0 || p >= k {
+				t.Fatalf("k=%d: part id %d out of range", k, p)
+			}
+			used[p] = true
+		}
+		if len(used) != k {
+			t.Errorf("k=%d: only %d parts used", k, len(used))
+		}
+	}
+	if _, err := KWay(h, 0, FMOptions{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestKWayCutReasonable(t *testing.T) {
+	h := randomNetlist(t, 100, 250, 17)
+	parts, err := KWay(h, 4, FMOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := CutSize(h, parts)
+	if cut >= len(h.Nets) {
+		t.Errorf("cut %d not below net count %d", cut, len(h.Nets))
+	}
+}
+
+func TestCutSizeManual(t *testing.T) {
+	h := &Hypergraph{
+		CellWeight: []int64{1, 1, 1},
+		Nets:       [][]int{{0, 1}, {1, 2}, {0, 1, 2}, {2}},
+	}
+	parts := []int{0, 0, 1}
+	if got := CutSize(h, parts); got != 2 {
+		t.Errorf("cut = %d, want 2", got)
+	}
+}
+
+func randomNetlist(t *testing.T, cells, nets int, seed int64) *Hypergraph {
+	t.Helper()
+	h, err := GenerateNetlist(NetlistConfig{Cells: cells, Nets: nets, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestGenerateNetlistShape(t *testing.T) {
+	h := randomNetlist(t, 200, 500, 1)
+	if h.NumCells() != 200 || len(h.Nets) != 500 {
+		t.Fatalf("shape = %d cells %d nets", h.NumCells(), len(h.Nets))
+	}
+	for i, net := range h.Nets {
+		if len(net) < 2 {
+			t.Fatalf("net %d too small", i)
+		}
+	}
+	if _, err := GenerateNetlist(NetlistConfig{Cells: 1, Nets: 1}); err == nil {
+		t.Error("1-cell netlist accepted")
+	}
+}
+
+func TestBuildInstanceFullFlow(t *testing.T) {
+	h := randomNetlist(t, 120, 300, 19)
+	// 3x3 grid board.
+	board := graph.New(9, 12)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			v := r*3 + c
+			if c+1 < 3 {
+				board.AddEdge(v, v+1)
+			}
+			if r+1 < 3 {
+				board.AddEdge(v, v+3)
+			}
+		}
+	}
+	parts, err := KWay(h, 9, FMOptions{Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := BuildInstance("flow", h, parts, board)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := problem.ValidateInstance(in); err != nil {
+		t.Fatalf("bridged instance invalid: %v", err)
+	}
+	if len(in.Nets) == 0 || len(in.Groups) == 0 {
+		t.Fatalf("degenerate instance: %d nets, %d groups", len(in.Nets), len(in.Groups))
+	}
+	// Spanning net count equals the k-way cut.
+	if got, want := len(in.Nets), CutSize(h, parts); got != want {
+		t.Errorf("instance has %d nets, cut is %d", got, want)
+	}
+}
+
+func TestBuildInstanceErrors(t *testing.T) {
+	h := randomNetlist(t, 10, 20, 3)
+	board := graph.New(2, 1)
+	board.AddEdge(0, 1)
+	if _, err := BuildInstance("x", h, make([]int, 5), board); err == nil {
+		t.Error("mismatched parts accepted")
+	}
+	parts := make([]int, 10)
+	parts[0] = 5 // more parts than FPGAs
+	if _, err := BuildInstance("x", h, parts, board); err == nil {
+		t.Error("too many parts accepted")
+	}
+	parts[0] = -1
+	if _, err := BuildInstance("x", h, parts, board); err == nil {
+		t.Error("negative part accepted")
+	}
+}
+
+func BenchmarkBipartition(b *testing.B) {
+	h, err := GenerateNetlist(NetlistConfig{Cells: 400, Nets: 1000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Bipartition(h, FMOptions{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package partition implements the netlist-partitioning stage that precedes
+// inter-FPGA routing in the multi-FPGA compilation flow of Fig. 2(a) of the
+// paper (the stage of its ref [1]): a Fiduccia–Mattheyses (FM) move-based
+// bipartitioner with gain buckets, recursive k-way partitioning onto the
+// FPGAs of a board, and the bridge that turns a partitioned gate-level
+// netlist into an inter-FPGA routing instance for the solver.
+package partition
+
+import "fmt"
+
+// Hypergraph is a gate-level netlist: cells (gates/IP blocks) connected by
+// hyperedges (logical nets).
+type Hypergraph struct {
+	// CellWeight is the area weight of each cell (>= 1).
+	CellWeight []int64
+	// Nets lists, for each logical net, the cells it connects. Cells may
+	// appear once per net; nets with fewer than 2 cells are ignored by
+	// the partitioner.
+	Nets [][]int
+}
+
+// NumCells returns the number of cells.
+func (h *Hypergraph) NumCells() int { return len(h.CellWeight) }
+
+// TotalWeight returns the summed cell weight.
+func (h *Hypergraph) TotalWeight() int64 {
+	var sum int64
+	for _, w := range h.CellWeight {
+		sum += w
+	}
+	return sum
+}
+
+// Validate checks structural sanity: positive weights and in-range,
+// per-net-unique cell references.
+func (h *Hypergraph) Validate() error {
+	for c, w := range h.CellWeight {
+		if w < 1 {
+			return fmt.Errorf("partition: cell %d has weight %d < 1", c, w)
+		}
+	}
+	for i, net := range h.Nets {
+		seen := make(map[int]bool, len(net))
+		for _, c := range net {
+			if c < 0 || c >= len(h.CellWeight) {
+				return fmt.Errorf("partition: net %d references cell %d out of range", i, c)
+			}
+			if seen[c] {
+				return fmt.Errorf("partition: net %d references cell %d twice", i, c)
+			}
+			seen[c] = true
+		}
+	}
+	return nil
+}
+
+// pins builds the cell -> incident nets index.
+func (h *Hypergraph) pins() [][]int {
+	out := make([][]int, len(h.CellWeight))
+	for i, net := range h.Nets {
+		if len(net) < 2 {
+			continue
+		}
+		for _, c := range net {
+			out[c] = append(out[c], i)
+		}
+	}
+	return out
+}
+
+// CutSize returns the number of nets spanning more than one part under the
+// given assignment (cell -> part id).
+func CutSize(h *Hypergraph, parts []int) int {
+	cut := 0
+	for _, net := range h.Nets {
+		if len(net) < 2 {
+			continue
+		}
+		first := parts[net[0]]
+		for _, c := range net[1:] {
+			if parts[c] != first {
+				cut++
+				break
+			}
+		}
+	}
+	return cut
+}

@@ -1,0 +1,169 @@
+// Package pinassign implements the pin-assignment stage that follows TDM
+// ratio assignment in the multi-FPGA compilation flow of Fig. 2(a) (the
+// stage of the paper's ref [11], Kuo et al., ISPD'18): the signals routed
+// over one FPGA-to-FPGA connection must be distributed onto that
+// connection's physical pin pairs (wires), each wire carrying a slot frame
+// of its own — so the reciprocals of the ratios packed onto one wire must
+// sum to at most 1.
+//
+// Minimizing the wires used per edge is bin packing with item sizes 1/r.
+// The packer uses first-fit-decreasing over exact rational arithmetic and
+// reports both the packing and the trivial lower bound ⌈Σ 1/r⌉, which is
+// within the classic FFD guarantee of the optimum.
+package pinassign
+
+import (
+	"fmt"
+	"sort"
+
+	"tdmroute/internal/problem"
+)
+
+// Packing is the wire assignment of one edge.
+type Packing struct {
+	// Wire[i] is the wire index of the edge's i-th signal (in the order
+	// given to PackEdge).
+	Wire []int
+	// Wires is the number of wires used.
+	Wires int
+	// LowerBound is ⌈Σ 1/ratio⌉: no packing can use fewer wires.
+	LowerBound int
+}
+
+// PackEdge distributes signals with the given TDM ratios onto the minimum
+// number of wires first-fit-decreasing can achieve. Ratios must be positive
+// even integers.
+func PackEdge(ratios []int64) (*Packing, error) {
+	for i, r := range ratios {
+		if r < 2 || r%2 != 0 {
+			return nil, fmt.Errorf("pinassign: signal %d: illegal ratio %d", i, r)
+		}
+	}
+	p := &Packing{Wire: make([]int, len(ratios))}
+	if len(ratios) == 0 {
+		return p, nil
+	}
+
+	// Sort indices by decreasing item size 1/r, i.e. increasing r.
+	order := make([]int, len(ratios))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return ratios[order[a]] < ratios[order[b]] })
+
+	// Wire loads as exact fractions num/den <= 1.
+	type load struct{ num, den int64 }
+	var wires []load
+	fits := func(w load, r int64) (load, bool) {
+		// w + 1/r <= 1 ?
+		num := w.num*r + w.den
+		den := w.den * r
+		if den <= 0 || num < 0 {
+			return load{}, false // overflow: treat as not fitting
+		}
+		g := gcd(num, den)
+		num, den = num/g, den/g
+		if num > den {
+			return load{}, false
+		}
+		return load{num, den}, true
+	}
+	for _, i := range order {
+		placed := false
+		for wi := range wires {
+			if nw, ok := fits(wires[wi], ratios[i]); ok {
+				wires[wi] = nw
+				p.Wire[i] = wi
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			wires = append(wires, load{num: 0, den: 1})
+			wi := len(wires) - 1
+			nw, ok := fits(wires[wi], ratios[i])
+			if !ok {
+				return nil, fmt.Errorf("pinassign: signal %d does not fit an empty wire", i)
+			}
+			wires[wi] = nw
+			p.Wire[i] = wi
+		}
+	}
+	p.Wires = len(wires)
+
+	// Lower bound: ceil of the exact reciprocal sum.
+	var num, den int64 = 0, 1
+	for _, r := range ratios {
+		num = num*r + den
+		den = den * r
+		g := gcd(num, den)
+		num, den = num/g, den/g
+		if den <= 0 || num < 0 {
+			num, den = 1, 1 // overflow: degrade to a weak bound
+			break
+		}
+	}
+	p.LowerBound = int(ceilDiv(num, den))
+	if p.LowerBound < 1 {
+		p.LowerBound = 1
+	}
+	return p, nil
+}
+
+// Result summarizes pin assignment over a whole solution.
+type Result struct {
+	// PerEdge maps edge id to its packing (nil for unused edges). The
+	// packing's signal order matches problem.EdgeLoads order (ascending
+	// net id).
+	PerEdge []*Packing
+	// TotalWires is the summed wire count.
+	TotalWires int
+	// TotalLowerBound sums the per-edge lower bounds.
+	TotalLowerBound int
+	// MaxWires is the largest per-edge wire count — the pin budget a
+	// board design would need on its widest connection.
+	MaxWires int
+}
+
+// Assign packs every edge of a legal solution.
+func Assign(in *problem.Instance, sol *problem.Solution) (*Result, error) {
+	loads := problem.EdgeLoads(in.G.NumEdges(), sol.Routes)
+	res := &Result{PerEdge: make([]*Packing, in.G.NumEdges())}
+	for e, ls := range loads {
+		if len(ls) == 0 {
+			continue
+		}
+		ratios := make([]int64, len(ls))
+		for i, l := range ls {
+			ratios[i] = sol.Assign.Ratios[l.Net][l.Pos]
+		}
+		p, err := PackEdge(ratios)
+		if err != nil {
+			return nil, fmt.Errorf("edge %d: %w", e, err)
+		}
+		res.PerEdge[e] = p
+		res.TotalWires += p.Wires
+		res.TotalLowerBound += p.LowerBound
+		if p.Wires > res.MaxWires {
+			res.MaxWires = p.Wires
+		}
+	}
+	return res, nil
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		return 1
+	}
+	return (a + b - 1) / b
+}

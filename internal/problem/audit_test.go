@@ -1,0 +1,126 @@
+package problem
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAuditCleanSolution(t *testing.T) {
+	in := tinyInstance()
+	sol := &Solution{
+		Routes: Routing{{0, 1}, {1, 2, 3, 4}, {2, 3}},
+		Assign: Assignment{Ratios: [][]int64{{4, 4}, {4, 4, 4, 4}, {4, 4}}},
+	}
+	a := AuditSolution(in, sol, 0)
+	if !a.OK() {
+		t.Fatalf("clean solution audited dirty: %s", a.Summary())
+	}
+	if a.Summary() != "audit clean" {
+		t.Errorf("summary = %q", a.Summary())
+	}
+}
+
+func TestAuditCollectsAllViolations(t *testing.T) {
+	in := tinyInstance()
+	sol := &Solution{
+		Routes: Routing{
+			{},           // unrouted
+			{1, 1},       // duplicate edge -> also disconnection suppressed
+			{2, 3, 4, 5}, // route for net {2,4}: edges 2-3,3-4,4-5,5-0 -> 5-0 dangles but connects; use cycle instead
+		},
+		Assign: Assignment{Ratios: [][]int64{{}, {3, 2}, {2, 2, 2, 0}}},
+	}
+	a := AuditSolution(in, sol, 0)
+	if a.OK() {
+		t.Fatal("broken solution audited clean")
+	}
+	if a.ByKind[VUnrouted] != 1 {
+		t.Errorf("unrouted = %d", a.ByKind[VUnrouted])
+	}
+	if a.ByKind[VBadEdge] == 0 {
+		t.Error("duplicate edge not flagged")
+	}
+	if a.ByKind[VBadRatio] == 0 {
+		t.Error("odd/zero ratio not flagged")
+	}
+	if !strings.Contains(a.Summary(), "=") {
+		t.Errorf("summary = %q", a.Summary())
+	}
+}
+
+func TestAuditOverload(t *testing.T) {
+	in := tinyInstance()
+	sol := &Solution{
+		Routes: Routing{{0, 1}, {1, 2, 3, 4}, {1, 6}},
+		Assign: Assignment{Ratios: [][]int64{{2, 2}, {2, 2, 2, 2}, {2, 2}}},
+	}
+	a := AuditSolution(in, sol, 0)
+	if a.ByKind[VOverload] == 0 {
+		t.Fatalf("edge 1 overload not flagged: %s", a.Summary())
+	}
+}
+
+func TestAuditCapsPerKind(t *testing.T) {
+	// 30 unrouted nets with a cap of 5: counts exact, entries capped.
+	in := tinyInstance()
+	in.Nets = make([]Net, 30)
+	for i := range in.Nets {
+		in.Nets[i].Terminals = []int{0, 2}
+	}
+	in.Groups = nil
+	in.RebuildNetGroups()
+	sol := &Solution{Routes: make(Routing, 30), Assign: Assignment{Ratios: make([][]int64, 30)}}
+	a := AuditSolution(in, sol, 5)
+	if a.ByKind[VUnrouted] != 30 {
+		t.Errorf("count = %d, want 30", a.ByKind[VUnrouted])
+	}
+	kept := 0
+	for _, v := range a.Violations {
+		if v.Kind == VUnrouted {
+			kept++
+		}
+	}
+	if kept != 5 {
+		t.Errorf("kept = %d, want capped 5", kept)
+	}
+}
+
+func TestAuditMismatchedRouting(t *testing.T) {
+	in := tinyInstance()
+	sol := &Solution{Routes: Routing{{}}, Assign: Assignment{Ratios: [][]int64{{}}}}
+	a := AuditSolution(in, sol, 0)
+	if a.OK() {
+		t.Fatal("mismatched routing audited clean")
+	}
+}
+
+func TestViolationKindStrings(t *testing.T) {
+	for k := VUnrouted; k <= VOverload; k++ {
+		if k.String() == "" || strings.HasPrefix(k.String(), "ViolationKind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if !strings.HasPrefix(ViolationKind(99).String(), "ViolationKind(") {
+		t.Error("unknown kind string")
+	}
+}
+
+func TestAuditAgreesWithValidate(t *testing.T) {
+	// On any solution, ValidateSolution errors iff the audit is dirty
+	// (checked on a few hand-made cases).
+	in := tinyInstance()
+	good := &Solution{
+		Routes: Routing{{0, 1}, {1, 2, 3, 4}, {2, 3}},
+		Assign: Assignment{Ratios: [][]int64{{4, 4}, {4, 4, 4, 4}, {4, 4}}},
+	}
+	if err := ValidateSolution(in, good); (err == nil) != AuditSolution(in, good, 0).OK() {
+		t.Error("validate/audit disagree on good solution")
+	}
+	bad := &Solution{
+		Routes: Routing{{0, 1}, {1, 2, 3, 4}, {2, 3}},
+		Assign: Assignment{Ratios: [][]int64{{3, 4}, {4, 4, 4, 4}, {4, 4}}},
+	}
+	if err := ValidateSolution(in, bad); (err == nil) != AuditSolution(in, bad, 0).OK() {
+		t.Error("validate/audit disagree on bad solution")
+	}
+}

@@ -1,0 +1,151 @@
+package problem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryInstanceRoundTrip(t *testing.T) {
+	in := tinyInstance()
+	var buf bytes.Buffer
+	if err := WriteInstanceBinary(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseInstanceBinary("bin", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !instancesEquivalent(in, back) {
+		t.Fatal("binary round trip changed the instance")
+	}
+	if err := ValidateInstance(back); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		in := randomValidInstance(seed)
+		var buf bytes.Buffer
+		if err := WriteInstanceBinary(&buf, in); err != nil {
+			return false
+		}
+		back, err := ParseInstanceBinary("q", &buf)
+		if err != nil {
+			return false
+		}
+		return instancesEquivalent(in, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinarySolutionRoundTrip(t *testing.T) {
+	sol := &Solution{
+		Routes: Routing{{0, 3}, {}, {2}},
+		Assign: Assignment{Ratios: [][]int64{{2, 1024}, {}, {6}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteSolutionBinary(&buf, sol); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSolutionBinary(&buf, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range sol.Routes {
+		for k := range sol.Routes[n] {
+			if back.Routes[n][k] != sol.Routes[n][k] || back.Assign.Ratios[n][k] != sol.Assign.Ratios[n][k] {
+				t.Fatalf("mismatch at net %d pos %d", n, k)
+			}
+		}
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	// Wrong magic.
+	if _, err := ParseInstanceBinary("x", bytes.NewReader([]byte("NOTME!rest"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ParseSolutionBinary(bytes.NewReader([]byte("NOTME!rest")), 4); err == nil {
+		t.Error("bad solution magic accepted")
+	}
+	// Truncated stream.
+	in := tinyInstance()
+	var buf bytes.Buffer
+	if err := WriteInstanceBinary(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{6, 8, len(data) / 2, len(data) - 1} {
+		if _, err := ParseInstanceBinary("t", bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Solution: instance magic fed to solution parser and vice versa.
+	if _, err := ParseSolutionBinary(bytes.NewReader(data), 7); err == nil {
+		t.Error("instance bytes accepted as solution")
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	in := randomValidInstance(5)
+	var text, bin bytes.Buffer
+	if err := WriteInstance(&text, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteInstanceBinary(&bin, in); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= text.Len() {
+		t.Errorf("binary (%d bytes) not smaller than text (%d bytes)", bin.Len(), text.Len())
+	}
+}
+
+func FuzzParseInstanceBinary(f *testing.F) {
+	in := tinyInstance()
+	var buf bytes.Buffer
+	if err := WriteInstanceBinary(&buf, in); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("TDMRI1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := ParseInstanceBinary("fuzz", bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := ValidateInstance(in); verr != nil && verr != ErrDisconnected {
+			t.Fatalf("binary parser accepted invalid instance: %v", verr)
+		}
+	})
+}
+
+func BenchmarkParseBinaryVsText(b *testing.B) {
+	in := randomValidInstance(9)
+	var text, bin bytes.Buffer
+	if err := WriteInstance(&text, in); err != nil {
+		b.Fatal(err)
+	}
+	if err := WriteInstanceBinary(&bin, in); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Text", func(b *testing.B) {
+		b.SetBytes(int64(text.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, err := ParseInstance("t", bytes.NewReader(text.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Binary", func(b *testing.B) {
+		b.SetBytes(int64(bin.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, err := ParseInstanceBinary("b", bytes.NewReader(bin.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package problem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// Native fuzz targets: the parsers must never panic, never hang, and any
+// accepted input must satisfy the validator (run with `go test -fuzz` for
+// continuous fuzzing; the seeds below run in normal test mode).
+
+func FuzzParseInstance(f *testing.F) {
+	f.Add([]byte("2 1 1 1\n0 1\n2 0 1\n1 0\n"))
+	f.Add([]byte(tinyText))
+	f.Add([]byte(""))
+	f.Add([]byte("999999999 0 0 0"))
+	f.Add([]byte("3 2 2 1\n0 1\n1 2\n2 0 2\n2 1 2\n2 0 1\n# comment"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := ParseInstance("fuzz", bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Connectivity is a semantic property the parser deliberately
+		// does not enforce; every structural defect must be caught.
+		if verr := ValidateInstance(in); verr != nil && !errors.Is(verr, ErrDisconnected) {
+			t.Fatalf("parser accepted invalid instance: %v\ninput: %q", verr, data)
+		}
+		// Accepted instances must round-trip.
+		var buf bytes.Buffer
+		if err := WriteInstance(&buf, in); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ParseInstance("fuzz-rt", &buf)
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v", err)
+		}
+		if len(back.Nets) != len(in.Nets) || len(back.Groups) != len(in.Groups) {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}
+
+func FuzzParseSolution(f *testing.F) {
+	f.Add([]byte("1\n1 0 2\n"), 5)
+	f.Add([]byte("0\n"), 1)
+	f.Add([]byte("2\n0\n2 0 2 1 4\n"), 3)
+	f.Fuzz(func(t *testing.T, data []byte, numEdges int) {
+		if numEdges < 0 || numEdges > 1000 {
+			numEdges = 10
+		}
+		sol, err := ParseSolution(bytes.NewReader(data), numEdges)
+		if err != nil {
+			return
+		}
+		for n := range sol.Routes {
+			if len(sol.Routes[n]) != len(sol.Assign.Ratios[n]) {
+				t.Fatal("accepted solution with mismatched lengths")
+			}
+			for _, e := range sol.Routes[n] {
+				if e < 0 || e >= numEdges {
+					t.Fatalf("accepted out-of-range edge %d", e)
+				}
+			}
+		}
+	})
+}
+
+func FuzzParseInstanceJSON(f *testing.F) {
+	f.Add([]byte(`{"fpgas":2,"edges":[[0,1]],"nets":[[0,1]],"groups":[[0]]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"fpgas":-5}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := ParseInstanceJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := ValidateInstance(in); verr != nil && !errors.Is(verr, ErrDisconnected) {
+			t.Fatalf("JSON parser accepted invalid instance: %v\ninput: %q", verr, data)
+		}
+	})
+}

@@ -1,0 +1,151 @@
+package problem
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tdmroute/internal/graph"
+)
+
+// jsonInstance is the interchange form of an Instance: a self-describing
+// JSON document for toolchains that prefer structured data over the
+// contest-style text format.
+type jsonInstance struct {
+	Name   string   `json:"name"`
+	FPGAs  int      `json:"fpgas"`
+	Edges  [][2]int `json:"edges"`
+	Nets   [][]int  `json:"nets"`   // terminal lists
+	Groups [][]int  `json:"groups"` // member net id lists
+}
+
+// jsonSolution is the interchange form of a Solution.
+type jsonSolution struct {
+	Nets []jsonNetSolution `json:"nets"`
+}
+
+type jsonNetSolution struct {
+	Edges  []int   `json:"edges"`
+	Ratios []int64 `json:"ratios"`
+}
+
+// WriteInstanceJSON encodes in as JSON.
+func WriteInstanceJSON(w io.Writer, in *Instance) error {
+	doc := jsonInstance{
+		Name:   in.Name,
+		FPGAs:  in.G.NumVertices(),
+		Edges:  make([][2]int, in.G.NumEdges()),
+		Nets:   make([][]int, len(in.Nets)),
+		Groups: make([][]int, len(in.Groups)),
+	}
+	for i, e := range in.G.Edges() {
+		doc.Edges[i] = [2]int{e.U, e.V}
+	}
+	for i := range in.Nets {
+		doc.Nets[i] = in.Nets[i].Terminals
+	}
+	for gi := range in.Groups {
+		doc.Groups[gi] = in.Groups[gi].Nets
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// ParseInstanceJSON decodes an instance from JSON and validates it
+// structurally (the same checks the text parser applies).
+func ParseInstanceJSON(r io.Reader) (*Instance, error) {
+	var doc jsonInstance
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("problem: json: %w", err)
+	}
+	if doc.FPGAs < 0 {
+		return nil, fmt.Errorf("problem: json: negative FPGA count")
+	}
+	g := graph.New(doc.FPGAs, len(doc.Edges))
+	for i, e := range doc.Edges {
+		if e[0] < 0 || e[0] >= doc.FPGAs || e[1] < 0 || e[1] >= doc.FPGAs {
+			return nil, fmt.Errorf("problem: json: edge %d endpoint out of range", i)
+		}
+		if e[0] == e[1] {
+			return nil, fmt.Errorf("problem: json: edge %d is a self loop", i)
+		}
+		g.AddEdge(e[0], e[1])
+	}
+	in := &Instance{Name: doc.Name, G: g, Nets: make([]Net, len(doc.Nets)), Groups: make([]Group, len(doc.Groups))}
+	for i, terms := range doc.Nets {
+		if len(terms) == 0 {
+			return nil, fmt.Errorf("problem: json: net %d has no terminals", i)
+		}
+		seen := make(map[int]bool, len(terms))
+		out := make([]int, 0, len(terms))
+		for _, t := range terms {
+			if t < 0 || t >= doc.FPGAs {
+				return nil, fmt.Errorf("problem: json: net %d terminal %d out of range", i, t)
+			}
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+		in.Nets[i].Terminals = out
+	}
+	for gi, members := range doc.Groups {
+		if len(members) == 0 {
+			return nil, fmt.Errorf("problem: json: group %d is empty", gi)
+		}
+		ms := append([]int(nil), members...)
+		insertionSortInts(ms)
+		ms = dedupSortedInts(ms)
+		for _, n := range ms {
+			if n < 0 || n >= len(in.Nets) {
+				return nil, fmt.Errorf("problem: json: group %d references net %d out of range", gi, n)
+			}
+		}
+		in.Groups[gi].Nets = ms
+	}
+	in.RebuildNetGroups()
+	return in, nil
+}
+
+// WriteSolutionJSON encodes sol as JSON.
+func WriteSolutionJSON(w io.Writer, sol *Solution) error {
+	doc := jsonSolution{Nets: make([]jsonNetSolution, len(sol.Routes))}
+	for n := range sol.Routes {
+		doc.Nets[n] = jsonNetSolution{Edges: sol.Routes[n], Ratios: sol.Assign.Ratios[n]}
+	}
+	return json.NewEncoder(w).Encode(doc)
+}
+
+// ParseSolutionJSON decodes a solution from JSON; numEdges bounds edge ids.
+func ParseSolutionJSON(r io.Reader, numEdges int) (*Solution, error) {
+	var doc jsonSolution
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("problem: json: %w", err)
+	}
+	sol := &Solution{
+		Routes: make(Routing, len(doc.Nets)),
+		Assign: Assignment{Ratios: make([][]int64, len(doc.Nets))},
+	}
+	for n, ns := range doc.Nets {
+		if len(ns.Edges) != len(ns.Ratios) {
+			return nil, fmt.Errorf("problem: json: net %d has %d edges but %d ratios", n, len(ns.Edges), len(ns.Ratios))
+		}
+		for _, e := range ns.Edges {
+			if e < 0 || e >= numEdges {
+				return nil, fmt.Errorf("problem: json: net %d edge %d out of range", n, e)
+			}
+		}
+		sol.Routes[n] = ns.Edges
+		sol.Assign.Ratios[n] = ns.Ratios
+	}
+	return sol, nil
+}
+
+func insertionSortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package problem
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestInstanceJSONRoundTrip(t *testing.T) {
+	in := tinyInstance()
+	var buf bytes.Buffer
+	if err := WriteInstanceJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseInstanceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateInstance(back); err != nil {
+		t.Fatal(err)
+	}
+	a, b := ComputeStats(in), ComputeStats(back)
+	a.Name, b.Name = "", ""
+	if a != b {
+		t.Errorf("stats differ:\n%+v\n%+v", a, b)
+	}
+	for i := range in.Nets {
+		if len(in.Nets[i].Terminals) != len(back.Nets[i].Terminals) {
+			t.Fatalf("net %d terminals differ", i)
+		}
+	}
+}
+
+func TestSolutionJSONRoundTrip(t *testing.T) {
+	sol := &Solution{
+		Routes: Routing{{0, 1}, {}, {2}},
+		Assign: Assignment{Ratios: [][]int64{{2, 4}, {}, {8}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteSolutionJSON(&buf, sol); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSolutionJSON(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Routes) != 3 || back.Routes[0][1] != 1 || back.Assign.Ratios[2][0] != 8 {
+		t.Errorf("round trip = %+v", back)
+	}
+}
+
+func TestParseInstanceJSONErrors(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"garbage", "{"},
+		{"negfpgas", `{"fpgas":-1}`},
+		{"edgerange", `{"fpgas":2,"edges":[[0,5]]}`},
+		{"selfloop", `{"fpgas":2,"edges":[[1,1]]}`},
+		{"emptynet", `{"fpgas":2,"edges":[[0,1]],"nets":[[]]}`},
+		{"termrange", `{"fpgas":2,"edges":[[0,1]],"nets":[[0,7]]}`},
+		{"emptygroup", `{"fpgas":2,"edges":[[0,1]],"nets":[[0,1]],"groups":[[]]}`},
+		{"groupref", `{"fpgas":2,"edges":[[0,1]],"nets":[[0,1]],"groups":[[5]]}`},
+	}
+	for _, c := range cases {
+		if _, err := ParseInstanceJSON(strings.NewReader(c.doc)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestParseInstanceJSONDedupAndSort(t *testing.T) {
+	doc := `{"fpgas":3,"edges":[[0,1],[1,2]],"nets":[[0,1,0],[1,2]],"groups":[[1,0,1]]}`
+	in, err := ParseInstanceJSON(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Nets[0].Terminals) != 2 {
+		t.Errorf("terminals not deduplicated: %v", in.Nets[0].Terminals)
+	}
+	g := in.Groups[0].Nets
+	if len(g) != 2 || g[0] != 0 || g[1] != 1 {
+		t.Errorf("group not sorted/deduped: %v", g)
+	}
+	if err := ValidateInstance(in); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseSolutionJSONErrors(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"garbage", "["},
+		{"lenmismatch", `{"nets":[{"edges":[0,1],"ratios":[2]}]}`},
+		{"edgerange", `{"nets":[{"edges":[9],"ratios":[2]}]}`},
+	}
+	for _, c := range cases {
+		if _, err := ParseSolutionJSON(strings.NewReader(c.doc), 3); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package problem
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+
+	"tdmroute/internal/graph"
+)
+
+// The instance text format mirrors the ICCAD 2019 CAD Contest Problem B
+// inputs (which are not redistributable) in a line-oriented form:
+//
+//	# comment lines and blank lines are ignored anywhere
+//	<numFPGAs> <numEdges> <numNets> <numGroups>
+//	u v                      (numEdges lines, 0-based FPGA ids)
+//	k t1 t2 ... tk           (numNets lines, k >= 1 terminals)
+//	m n1 n2 ... nm           (numGroups lines, m >= 1 net ids)
+//
+// Terminal lists are deduplicated on read; group member lists are sorted and
+// deduplicated. Both are 0-based.
+
+// ParseInstance reads an instance from r. name is attached for reporting.
+func ParseInstance(name string, r io.Reader) (*Instance, error) {
+	tr := newTokenReader(r)
+	nv, err := tr.Int()
+	if err != nil {
+		return nil, fmt.Errorf("problem: header: %w", err)
+	}
+	ne, err := tr.Int()
+	if err != nil {
+		return nil, fmt.Errorf("problem: header: %w", err)
+	}
+	nn, err := tr.Int()
+	if err != nil {
+		return nil, fmt.Errorf("problem: header: %w", err)
+	}
+	ng, err := tr.Int()
+	if err != nil {
+		return nil, fmt.Errorf("problem: header: %w", err)
+	}
+	if nv < 0 || ne < 0 || nn < 0 || ng < 0 {
+		return nil, fmt.Errorf("problem: negative count in header (%d %d %d %d)", nv, ne, nn, ng)
+	}
+	// Guard allocation against corrupt or hostile headers: the largest
+	// published benchmark is ~10^6 entities; refuse declared sizes that
+	// would pre-allocate unreasonable memory before any data is read, and
+	// grow all containers incrementally so a lying header costs nothing.
+	const maxDeclared = 1 << 22
+	if nv > maxDeclared || ne > maxDeclared || nn > maxDeclared || ng > maxDeclared {
+		return nil, fmt.Errorf("problem: header declares unreasonable sizes (%d %d %d %d)", nv, ne, nn, ng)
+	}
+
+	g := graph.New(nv, capHint(ne))
+	for i := 0; i < ne; i++ {
+		u, err := tr.Int()
+		if err != nil {
+			return nil, fmt.Errorf("problem: edge %d: %w", i, err)
+		}
+		v, err := tr.Int()
+		if err != nil {
+			return nil, fmt.Errorf("problem: edge %d: %w", i, err)
+		}
+		if u < 0 || u >= nv || v < 0 || v >= nv {
+			return nil, fmt.Errorf("problem: edge %d: endpoint out of range: (%d,%d)", i, u, v)
+		}
+		if u == v {
+			return nil, fmt.Errorf("problem: edge %d: self loop at FPGA %d", i, u)
+		}
+		g.AddEdge(u, v)
+	}
+
+	nets := make([]Net, 0, capHint(nn))
+	for i := 0; i < nn; i++ {
+		k, err := tr.Int()
+		if err != nil {
+			return nil, fmt.Errorf("problem: net %d: %w", i, err)
+		}
+		if k < 1 || k > maxDeclared {
+			return nil, fmt.Errorf("problem: net %d: bad terminal count %d", i, k)
+		}
+		// Duplicate terminals are tolerated in the input, so k may exceed
+		// the FPGA count; cap the pre-allocation at the deduplicated
+		// maximum.
+		hint := k
+		if hint > nv {
+			hint = nv
+		}
+		terms := make([]int, 0, capHint(hint))
+		seen := make(map[int]bool, capHint(hint))
+		for j := 0; j < k; j++ {
+			t, err := tr.Int()
+			if err != nil {
+				return nil, fmt.Errorf("problem: net %d terminal %d: %w", i, j, err)
+			}
+			if t < 0 || t >= nv {
+				return nil, fmt.Errorf("problem: net %d: terminal %d out of range", i, t)
+			}
+			if !seen[t] {
+				seen[t] = true
+				terms = append(terms, t)
+			}
+		}
+		nets = append(nets, Net{Terminals: terms})
+	}
+
+	groups := make([]Group, 0, capHint(ng))
+	for gi := 0; gi < ng; gi++ {
+		m, err := tr.Int()
+		if err != nil {
+			return nil, fmt.Errorf("problem: group %d: %w", gi, err)
+		}
+		if m < 1 || m > maxDeclared {
+			return nil, fmt.Errorf("problem: group %d: bad member count %d", gi, m)
+		}
+		members := make([]int, 0, capHint(m))
+		for j := 0; j < m; j++ {
+			n, err := tr.Int()
+			if err != nil {
+				return nil, fmt.Errorf("problem: group %d member %d: %w", gi, j, err)
+			}
+			if n < 0 || n >= nn {
+				return nil, fmt.Errorf("problem: group %d: net %d out of range", gi, n)
+			}
+			members = append(members, n)
+		}
+		sort.Ints(members)
+		members = dedupSortedInts(members)
+		groups = append(groups, Group{Nets: members})
+	}
+
+	in := &Instance{Name: name, G: g, Nets: nets, Groups: groups}
+	in.RebuildNetGroups()
+	return in, nil
+}
+
+// LoadInstance reads an instance from a file, naming it after the path.
+func LoadInstance(path string) (*Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseInstance(path, f)
+}
+
+// RebuildNetGroups recomputes each net's Groups list from the group member
+// lists. Generators and parsers call it after constructing Groups.
+func (in *Instance) RebuildNetGroups() {
+	for i := range in.Nets {
+		in.Nets[i].Groups = in.Nets[i].Groups[:0]
+	}
+	for gi := range in.Groups {
+		for _, n := range in.Groups[gi].Nets {
+			in.Nets[n].Groups = append(in.Nets[n].Groups, gi)
+		}
+	}
+}
+
+// capHint bounds an initial slice/map capacity taken from untrusted input:
+// real data still appends beyond it cheaply, while a lying header cannot
+// force a large allocation.
+func capHint(n int) int {
+	const limit = 1 << 16
+	if n > limit {
+		return limit
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+func dedupSortedInts(s []int) []int {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// tokenReader scans whitespace-separated integer tokens, skipping '#'
+// comments to end of line.
+type tokenReader struct {
+	r    *bufio.Reader
+	line int
+}
+
+func newTokenReader(r io.Reader) *tokenReader {
+	return &tokenReader{r: bufio.NewReaderSize(r, 1<<20), line: 1}
+}
+
+// Int returns the next integer token.
+func (tr *tokenReader) Int() (int, error) {
+	tok, err := tr.token()
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.Atoi(tok)
+	if err != nil {
+		return 0, fmt.Errorf("line %d: bad integer %q", tr.line, tok)
+	}
+	return v, nil
+}
+
+func (tr *tokenReader) token() (string, error) {
+	// Skip whitespace and comments.
+	for {
+		b, err := tr.r.ReadByte()
+		if err != nil {
+			return "", fmt.Errorf("line %d: %w", tr.line, err)
+		}
+		switch {
+		case b == '\n':
+			tr.line++
+		case b == ' ' || b == '\t' || b == '\r':
+			// skip
+		case b == '#':
+			if _, err := tr.r.ReadString('\n'); err != nil {
+				if err == io.EOF {
+					return "", fmt.Errorf("line %d: %w", tr.line, io.EOF)
+				}
+				return "", err
+			}
+			tr.line++
+		default:
+			// Start of a token.
+			buf := make([]byte, 1, 16)
+			buf[0] = b
+			for {
+				c, err := tr.r.ReadByte()
+				if err == io.EOF {
+					return string(buf), nil
+				}
+				if err != nil {
+					return "", err
+				}
+				if c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '#' {
+					if err := tr.r.UnreadByte(); err != nil {
+						return "", err
+					}
+					return string(buf), nil
+				}
+				buf = append(buf, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package problem
+
+import (
+	"fmt"
+
+	"tdmroute/internal/graph"
+)
+
+// Stats summarizes an instance with the columns of Table I of the paper plus
+// a few shape descriptors used by the generator's self-checks.
+type Stats struct {
+	Name      string
+	FPGAs     int
+	Edges     int
+	Nets      int
+	NetGroups int
+
+	TwoPinNets   int     // nets with exactly two terminals
+	MaxTerminals int     // largest terminal set
+	AvgTerminals float64 // mean terminals per net
+	MaxGroupSize int     // largest group
+	AvgGroupSize float64 // mean nets per group
+	UngroupedNet int     // nets in no group
+	Bridges      int     // board edges whose failure splits the system
+}
+
+// ComputeStats derives Stats from an instance.
+func ComputeStats(in *Instance) Stats {
+	s := Stats{
+		Name:      in.Name,
+		FPGAs:     in.G.NumVertices(),
+		Edges:     in.G.NumEdges(),
+		Nets:      len(in.Nets),
+		NetGroups: len(in.Groups),
+	}
+	var sumTerms int
+	for i := range in.Nets {
+		k := len(in.Nets[i].Terminals)
+		sumTerms += k
+		if k == 2 {
+			s.TwoPinNets++
+		}
+		if k > s.MaxTerminals {
+			s.MaxTerminals = k
+		}
+		if len(in.Nets[i].Groups) == 0 {
+			s.UngroupedNet++
+		}
+	}
+	if len(in.Nets) > 0 {
+		s.AvgTerminals = float64(sumTerms) / float64(len(in.Nets))
+	}
+	var sumGroup int
+	for gi := range in.Groups {
+		m := len(in.Groups[gi].Nets)
+		sumGroup += m
+		if m > s.MaxGroupSize {
+			s.MaxGroupSize = m
+		}
+	}
+	if len(in.Groups) > 0 {
+		s.AvgGroupSize = float64(sumGroup) / float64(len(in.Groups))
+	}
+	s.Bridges = len(graph.Bridges(in.G))
+	return s
+}
+
+// String formats the Table I columns.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: FPGAs=%d Edges=%d Nets=%d NetGroups=%d (2-pin=%d, maxTerm=%d, avgTerm=%.2f, maxGrp=%d, avgGrp=%.2f, ungrouped=%d, bridges=%d)",
+		s.Name, s.FPGAs, s.Edges, s.Nets, s.NetGroups,
+		s.TwoPinNets, s.MaxTerminals, s.AvgTerminals, s.MaxGroupSize, s.AvgGroupSize, s.UngroupedNet, s.Bridges)
+}

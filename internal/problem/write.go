@@ -1,0 +1,176 @@
+package problem
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WriteInstance emits in in the text format accepted by ParseInstance.
+func WriteInstance(w io.Writer, in *Instance) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	fmt.Fprintf(bw, "# instance %s\n", in.Name)
+	fmt.Fprintf(bw, "%d %d %d %d\n", in.G.NumVertices(), in.G.NumEdges(), len(in.Nets), len(in.Groups))
+	for _, e := range in.G.Edges() {
+		writeInts(bw, e.U, e.V)
+	}
+	for i := range in.Nets {
+		terms := in.Nets[i].Terminals
+		bw.WriteString(strconv.Itoa(len(terms)))
+		for _, t := range terms {
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.Itoa(t))
+		}
+		bw.WriteByte('\n')
+	}
+	for gi := range in.Groups {
+		members := in.Groups[gi].Nets
+		bw.WriteString(strconv.Itoa(len(members)))
+		for _, n := range members {
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.Itoa(n))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// SaveInstance writes in to path.
+func SaveInstance(path string, in *Instance) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteInstance(f, in); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// The solution text format lists, for every net, its routed edges with their
+// TDM ratios:
+//
+//	<numNets>
+//	k e1 r1 e2 r2 ... ek rk     (numNets lines; k may be 0)
+//
+// e are 0-based edge ids of the instance graph; r are the (even, positive)
+// legalized TDM ratios. It is the machine-checkable equivalent of the
+// contest output format and is what cmd/eval verifies.
+
+// WriteSolution emits sol in the text format accepted by ParseSolution.
+func WriteSolution(w io.Writer, sol *Solution) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	fmt.Fprintf(bw, "%d\n", len(sol.Routes))
+	for n, edges := range sol.Routes {
+		bw.WriteString(strconv.Itoa(len(edges)))
+		for k, e := range edges {
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.Itoa(e))
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(sol.Assign.Ratios[n][k], 10))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// SaveSolution writes sol to path.
+func SaveSolution(path string, sol *Solution) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteSolution(f, sol); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ParseSolution reads a solution in the format produced by WriteSolution.
+// numEdges bounds the edge ids; pass the instance's edge count.
+func ParseSolution(r io.Reader, numEdges int) (*Solution, error) {
+	tr := newTokenReader(r)
+	nn, err := tr.Int()
+	if err != nil {
+		return nil, fmt.Errorf("problem: solution header: %w", err)
+	}
+	const maxDeclared = 1 << 22
+	if nn < 0 || nn > maxDeclared {
+		return nil, fmt.Errorf("problem: bad net count %d", nn)
+	}
+	sol := &Solution{
+		Routes: make(Routing, 0, capHint(nn)),
+		Assign: Assignment{Ratios: make([][]int64, 0, capHint(nn))},
+	}
+	for n := 0; n < nn; n++ {
+		k, err := tr.Int()
+		if err != nil {
+			return nil, fmt.Errorf("problem: solution net %d: %w", n, err)
+		}
+		if k < 0 || k > numEdges {
+			return nil, fmt.Errorf("problem: solution net %d: edge count %d outside [0,%d]", n, k, numEdges)
+		}
+		edges := make([]int, k)
+		ratios := make([]int64, k)
+		for j := 0; j < k; j++ {
+			e, err := tr.Int()
+			if err != nil {
+				return nil, fmt.Errorf("problem: solution net %d edge %d: %w", n, j, err)
+			}
+			if e < 0 || e >= numEdges {
+				return nil, fmt.Errorf("problem: solution net %d: edge id %d out of range", n, e)
+			}
+			rr, err := tr.Int()
+			if err != nil {
+				return nil, fmt.Errorf("problem: solution net %d ratio %d: %w", n, j, err)
+			}
+			edges[j] = e
+			ratios[j] = int64(rr)
+		}
+		sol.Routes = append(sol.Routes, edges)
+		sol.Assign.Ratios = append(sol.Assign.Ratios, ratios)
+	}
+	return sol, nil
+}
+
+// LoadSolution reads a solution file from path.
+func LoadSolution(path string, numEdges int) (*Solution, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseSolution(f, numEdges)
+}
+
+// WriteRouting emits only the topology (ratios written as 0) so that routing
+// stages can exchange topologies with the TDM assigner, mirroring the
+// paper's "read in the routing topologies of the top three winners"
+// experiment.
+func WriteRouting(w io.Writer, routes Routing) error {
+	sol := &Solution{Routes: routes, Assign: Assignment{Ratios: make([][]int64, len(routes))}}
+	for n := range routes {
+		sol.Assign.Ratios[n] = make([]int64, len(routes[n]))
+	}
+	return WriteSolution(w, sol)
+}
+
+// ParseRouting reads a topology written by WriteRouting (ratios ignored).
+func ParseRouting(r io.Reader, numEdges int) (Routing, error) {
+	sol, err := ParseSolution(r, numEdges)
+	if err != nil {
+		return nil, err
+	}
+	return sol.Routes, nil
+}
+
+func writeInts(bw *bufio.Writer, a, b int) {
+	bw.WriteString(strconv.Itoa(a))
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.Itoa(b))
+	bw.WriteByte('\n')
+}

@@ -1,0 +1,468 @@
+// Package route implements the NetGroup-aware inter-FPGA routing stage of
+// Sec. III of the paper: KMB-style initial Steiner routing with the θ(n) net
+// ordering of Eq. (1), congestion-aware shortest paths, and the φ(g)-driven
+// rip-up-and-reroute refinement of Sec. III-B.
+package route
+
+import (
+	"fmt"
+	"sort"
+
+	"tdmroute/internal/graph"
+	"tdmroute/internal/problem"
+)
+
+// SteinerAlg selects the Steiner-tree construction algorithm.
+type SteinerAlg int
+
+const (
+	// SteinerKMB is the Kou-Markowsky-Berman construction the paper uses
+	// for initial routing (ref [22]): MST of the terminal complete graph
+	// under LUT distances, each tree edge embedded as a shortest path.
+	SteinerKMB SteinerAlg = iota
+	// SteinerMehlhorn is Mehlhorn's Voronoi-region algorithm (the
+	// paper's ref [26], cited for rerouting): one multi-source search
+	// instead of k single-source ones.
+	SteinerMehlhorn
+)
+
+// NetOrder selects the order in which nets are routed initially.
+type NetOrder int
+
+const (
+	// OrderThetaAsc routes nets by increasing criticality θ(n) (Eq. 1) —
+	// the paper's ordering: critical nets route last and see the most
+	// congestion information.
+	OrderThetaAsc NetOrder = iota
+	// OrderNetID routes in netlist order (ablation baseline).
+	OrderNetID
+	// OrderThetaDesc routes critical nets first (ablation baseline).
+	OrderThetaDesc
+)
+
+// Options tunes the router. The zero value selects the paper's defaults.
+type Options struct {
+	// RipUpRounds is the number of rip-up-and-reroute rounds. Each round
+	// rips the NetGroup with the largest congestion estimate φ(g) and
+	// reroutes its nets. Negative disables rip-up; zero selects the
+	// default.
+	RipUpRounds int
+	// KeepWorse keeps a rip-up round's result even if it increased the
+	// ripped group's φ estimate. The default reverts such rounds.
+	KeepWorse bool
+	// InitialSteiner selects the initial-routing construction (paper:
+	// KMB).
+	InitialSteiner SteinerAlg
+	// RerouteSteiner selects the rip-up reroute construction (paper
+	// cites Mehlhorn's algorithm there; SteinerKMB is accepted too).
+	RerouteSteiner SteinerAlg
+	// Order selects the initial net ordering (paper: OrderThetaAsc).
+	Order NetOrder
+}
+
+// DefaultRipUpRounds is used when Options.RipUpRounds == 0.
+const DefaultRipUpRounds = 5
+
+func (o Options) ripUpRounds() int {
+	switch {
+	case o.RipUpRounds < 0:
+		return 0
+	case o.RipUpRounds == 0:
+		return DefaultRipUpRounds
+	default:
+		return o.RipUpRounds
+	}
+}
+
+// Stats reports what the router did, for logging and the Fig. 3(a) runtime
+// breakdown.
+type Stats struct {
+	RoutedNets    int
+	RipUpRounds   int // rounds executed
+	RevertedRound int // rounds whose result was reverted
+	RippedNets    int // total nets ripped and rerouted
+}
+
+// Route computes a routing topology for in. The returned routing satisfies
+// problem.ValidateRouting for every connected instance.
+func Route(in *problem.Instance, opt Options) (problem.Routing, Stats, error) {
+	r := newRouter(in, opt)
+	if err := r.initialRoute(); err != nil {
+		return nil, Stats{}, err
+	}
+	rounds := opt.ripUpRounds()
+	for round := 0; round < rounds; round++ {
+		improved, err := r.ripUpWorstGroup(opt.KeepWorse)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		r.stats.RipUpRounds++
+		if !improved && !opt.KeepWorse {
+			break // converged: the worst group cannot be improved
+		}
+	}
+	return r.routes, r.stats, nil
+}
+
+type router struct {
+	in      *problem.Instance
+	opt     Options
+	apsp    *graph.APSP
+	dij     *graph.Dijkstra
+	mehl    *graph.MehlhornSolver
+	cleaner *graph.SteinerCleaner
+
+	routes  problem.Routing
+	usage   []uint32 // nets currently routed on each edge (|N_e|)
+	mstCost []int64  // per net: cost of its terminal MST on the distance LUT
+
+	// Scratch for path search: marks edges already used by the net being
+	// routed so that reusing them costs no congestion.
+	ownStamp []uint32
+	ownEpoch uint32
+	// unionBuf is the reusable path-union scratch of embedNet.
+	unionBuf []int
+
+	stats Stats
+}
+
+func newRouter(in *problem.Instance, opt Options) *router {
+	r := &router{
+		in:       in,
+		opt:      opt,
+		apsp:     graph.NewAPSP(in.G),
+		dij:      graph.NewDijkstra(in.G),
+		cleaner:  graph.NewSteinerCleaner(in.G),
+		routes:   make(problem.Routing, len(in.Nets)),
+		usage:    make([]uint32, in.G.NumEdges()),
+		mstCost:  make([]int64, len(in.Nets)),
+		ownStamp: make([]uint32, in.G.NumEdges()),
+	}
+	if opt.InitialSteiner == SteinerMehlhorn || opt.RerouteSteiner == SteinerMehlhorn {
+		r.mehl = graph.NewMehlhornSolver(in.G)
+	}
+	return r
+}
+
+// RerouteNets rips the given nets out of an existing topology and reroutes
+// them sequentially against the remaining global congestion (edge cost =
+// nets currently routed on the edge). routes is modified in place. It is
+// the building block of the iterated co-optimization extension, where the
+// group realizing GTR_max — known only after TDM assignment — is rerouted.
+func RerouteNets(in *problem.Instance, routes problem.Routing, nets []int, opt Options) error {
+	if len(routes) != len(in.Nets) {
+		return fmt.Errorf("route: routing has %d nets, instance has %d", len(routes), len(in.Nets))
+	}
+	r := newRouter(in, opt)
+	for n, edges := range routes {
+		r.routes[n] = edges
+		for _, e := range edges {
+			r.usage[e]++
+		}
+	}
+	for _, n := range nets {
+		for _, e := range r.routes[n] {
+			r.usage[e]--
+		}
+		r.routes[n] = nil
+	}
+	costFn := r.congestionCost
+	for _, n := range nets {
+		var mst []graph.WeightedEdge
+		if opt.RerouteSteiner != SteinerMehlhorn {
+			var err error
+			mst, err = r.terminalMST(n)
+			if err != nil {
+				return err
+			}
+		}
+		if err := r.embed(n, opt.RerouteSteiner, mst, costFn); err != nil {
+			return err
+		}
+	}
+	for _, n := range nets {
+		routes[n] = r.routes[n]
+	}
+	return nil
+}
+
+// terminalMST computes the KMB first step for net n: the MST of the complete
+// graph over the net's terminals under LUT distances. It returns the tree as
+// terminal-index pairs into the net's terminal slice.
+func (r *router) terminalMST(n int) ([]graph.WeightedEdge, error) {
+	terms := r.in.Nets[n].Terminals
+	k := len(terms)
+	if k <= 1 {
+		return nil, nil
+	}
+	if k == 2 {
+		// Fast path for the dominant 2-pin case: the MST is the pair.
+		d := r.apsp.Dist(terms[0], terms[1])
+		if d == graph.Unreachable {
+			return nil, fmt.Errorf("route: net %d: terminals %d and %d are disconnected", n, terms[0], terms[1])
+		}
+		return []graph.WeightedEdge{{U: 0, V: 1, Weight: int64(d)}}, nil
+	}
+	edges := make([]graph.WeightedEdge, 0, k*(k-1)/2)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			d := r.apsp.Dist(terms[i], terms[j])
+			if d == graph.Unreachable {
+				return nil, fmt.Errorf("route: net %d: terminals %d and %d are disconnected", n, terms[i], terms[j])
+			}
+			edges = append(edges, graph.WeightedEdge{U: i, V: j, Weight: int64(d)})
+		}
+	}
+	return graph.Kruskal(k, edges), nil
+}
+
+// initialRoute performs Sec. III-A: compute every net's terminal MST, order
+// nets by increasing θ(n), and embed each MST edge as a congestion-aware
+// shortest path.
+func (r *router) initialRoute() error {
+	nets := r.in.Nets
+	msts := make([][]graph.WeightedEdge, len(nets))
+	for n := range nets {
+		mst, err := r.terminalMST(n)
+		if err != nil {
+			return err
+		}
+		msts[n] = mst
+		r.mstCost[n] = graph.MSTCost(mst)
+	}
+
+	// θ(n) = max over groups containing n of the group's summed MST cost.
+	groupCost := make([]int64, len(r.in.Groups))
+	for gi := range r.in.Groups {
+		var sum int64
+		for _, n := range r.in.Groups[gi].Nets {
+			sum += r.mstCost[n]
+		}
+		groupCost[gi] = sum
+	}
+	theta := make([]int64, len(nets))
+	for n := range nets {
+		for _, gi := range nets[n].Groups {
+			if groupCost[gi] > theta[n] {
+				theta[n] = groupCost[gi]
+			}
+		}
+	}
+
+	order := make([]int, len(nets))
+	for i := range order {
+		order[i] = i
+	}
+	switch r.opt.Order {
+	case OrderThetaAsc:
+		sort.SliceStable(order, func(a, b int) bool { return theta[order[a]] < theta[order[b]] })
+	case OrderThetaDesc:
+		sort.SliceStable(order, func(a, b int) bool { return theta[order[a]] > theta[order[b]] })
+	case OrderNetID:
+		// netlist order as initialized
+	}
+
+	costFn := r.congestionCost
+	for _, n := range order {
+		if err := r.embed(n, r.opt.InitialSteiner, msts[n], costFn); err != nil {
+			return err
+		}
+		r.stats.RoutedNets++
+	}
+	return nil
+}
+
+// embed dispatches to the selected Steiner construction. mst may be nil for
+// SteinerMehlhorn.
+func (r *router) embed(n int, alg SteinerAlg, mst []graph.WeightedEdge, costFn graph.EdgeCostFunc) error {
+	if alg == SteinerMehlhorn {
+		return r.embedNetMehlhorn(n, costFn)
+	}
+	return r.embedNet(n, mst, costFn)
+}
+
+// embedNetMehlhorn routes net n with the Voronoi-region construction and
+// updates edge usage.
+func (r *router) embedNetMehlhorn(n int, costFn graph.EdgeCostFunc) error {
+	terms := r.in.Nets[n].Terminals
+	if len(terms) <= 1 {
+		r.routes[n] = nil
+		return nil
+	}
+	// ownStamp-based self-edge discounting also applies here.
+	r.ownEpoch++
+	if r.ownEpoch == 0 {
+		for i := range r.ownStamp {
+			r.ownStamp[i] = 0
+		}
+		r.ownEpoch = 1
+	}
+	tree, ok := r.mehl.SteinerTree(terms, costFn)
+	if !ok {
+		return fmt.Errorf("route: net %d: terminals disconnected", n)
+	}
+	r.routes[n] = tree
+	for _, e := range tree {
+		r.usage[e]++
+	}
+	return nil
+}
+
+// congestionCost is the initial-routing edge cost: the number of nets
+// already routed on the edge, with the current net's own edges free to
+// encourage Steiner sharing.
+func (r *router) congestionCost(e int) uint64 {
+	if r.ownStamp[e] == r.ownEpoch {
+		return 0
+	}
+	return uint64(r.usage[e])
+}
+
+// embedNet replaces each MST edge of net n by a shortest path under costFn,
+// cleans the union into a Steiner tree, stores it, and updates edge usage.
+// Any previous route of n must already have been removed from usage.
+func (r *router) embedNet(n int, mst []graph.WeightedEdge, costFn graph.EdgeCostFunc) error {
+	terms := r.in.Nets[n].Terminals
+	if len(terms) <= 1 {
+		r.routes[n] = nil
+		return nil
+	}
+	r.ownEpoch++
+	if r.ownEpoch == 0 {
+		for i := range r.ownStamp {
+			r.ownStamp[i] = 0
+		}
+		r.ownEpoch = 1
+	}
+	union := r.unionBuf[:0]
+	for _, me := range mst {
+		start := len(union)
+		var ok bool
+		union, _, ok = r.dij.ShortestPath(terms[me.U], terms[me.V], costFn, union)
+		if !ok {
+			return fmt.Errorf("route: net %d: no path between terminals %d and %d", n, terms[me.U], terms[me.V])
+		}
+		for _, e := range union[start:] {
+			r.ownStamp[e] = r.ownEpoch
+		}
+	}
+	r.unionBuf = union
+	tree, ok := r.cleaner.Clean(union, terms)
+	if !ok {
+		return fmt.Errorf("route: net %d: path union does not connect terminals", n)
+	}
+	r.routes[n] = tree
+	for _, e := range tree {
+		r.usage[e]++
+	}
+	return nil
+}
+
+// psi computes ψ(n) of Eq. (2): the sum over the net's routed edges of the
+// number of nets on each edge.
+func (r *router) psi(n int) int64 {
+	var sum int64
+	for _, e := range r.routes[n] {
+		sum += int64(r.usage[e])
+	}
+	return sum
+}
+
+// phiAll computes φ(g) of Eq. (2) for every group.
+func (r *router) phiAll() []int64 {
+	psi := make([]int64, len(r.in.Nets))
+	for n := range r.in.Nets {
+		psi[n] = r.psi(n)
+	}
+	phi := make([]int64, len(r.in.Groups))
+	for gi := range r.in.Groups {
+		var sum int64
+		for _, n := range r.in.Groups[gi].Nets {
+			sum += psi[n]
+		}
+		phi[gi] = sum
+	}
+	return phi
+}
+
+// ripUpWorstGroup performs one Sec. III-B round: rip every net of the group
+// with the largest φ(g) and reroute them with edge costs counting only the
+// ripped group's own nets. Unless keepWorse is set, the round is reverted
+// when it fails to reduce max φ, and improved=false is returned.
+func (r *router) ripUpWorstGroup(keepWorse bool) (improved bool, err error) {
+	if len(r.in.Groups) == 0 {
+		return false, nil
+	}
+	phi := r.phiAll()
+	gmax, best := 0, phi[0]
+	for gi, v := range phi {
+		if v > best {
+			gmax, best = gi, v
+		}
+	}
+	members := r.in.Groups[gmax].Nets
+
+	// Snapshot the members' routes for possible revert.
+	saved := make([][]int, len(members))
+	for i, n := range members {
+		saved[i] = r.routes[n]
+	}
+
+	// Rip up.
+	groupUsage := make([]uint32, r.in.G.NumEdges())
+	for _, n := range members {
+		for _, e := range r.routes[n] {
+			r.usage[e]--
+		}
+		r.routes[n] = nil
+	}
+
+	costFn := func(e int) uint64 {
+		if r.ownStamp[e] == r.ownEpoch {
+			return 0
+		}
+		return uint64(groupUsage[e])
+	}
+	for _, n := range members {
+		var mst []graph.WeightedEdge
+		if r.opt.RerouteSteiner != SteinerMehlhorn {
+			mst, err = r.terminalMST(n)
+			if err != nil {
+				return false, err
+			}
+		}
+		if err := r.embed(n, r.opt.RerouteSteiner, mst, costFn); err != nil {
+			return false, err
+		}
+		for _, e := range r.routes[n] {
+			groupUsage[e]++
+		}
+		r.stats.RippedNets++
+	}
+
+	if keepWorse {
+		return true, nil
+	}
+	newPhi := r.phiAll()
+	newMax := newPhi[0]
+	for _, v := range newPhi {
+		if v > newMax {
+			newMax = v
+		}
+	}
+	if newMax >= best {
+		// Revert: restore the saved routes and usage.
+		for i, n := range members {
+			for _, e := range r.routes[n] {
+				r.usage[e]--
+			}
+			r.routes[n] = saved[i]
+			for _, e := range saved[i] {
+				r.usage[e]++
+			}
+		}
+		r.stats.RevertedRound++
+		return false, nil
+	}
+	return true, nil
+}

@@ -1,0 +1,257 @@
+// Package sim is a discrete-event simulator for a solved multi-FPGA
+// system: it materializes every edge's TDM slot schedule (internal/mux),
+// streams words from each net's driver toward its worst sink through the
+// per-hop slot timing, and measures the end-to-end latencies and
+// throughput that the analytic model of internal/timing only estimates.
+//
+// The simulation works in TDM-clock ticks. Each edge owns a frame; at tick
+// t the edge transmits one word of the signal owning slot t mod L (if that
+// signal has a word queued at the edge's upstream side). A word injected at
+// the driver must traverse its path's edges in order, waiting at every hop
+// for the net's next slot.
+package sim
+
+import (
+	"fmt"
+
+	"tdmroute/internal/mux"
+	"tdmroute/internal/problem"
+)
+
+// Options tunes a run.
+type Options struct {
+	// WordsPerNet is the number of words each simulated net injects.
+	// Zero selects 8.
+	WordsPerNet int
+	// MaxTicks aborts pathological runs. Zero selects 1 << 22.
+	MaxTicks int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.WordsPerNet == 0 {
+		o.WordsPerNet = 8
+	}
+	if o.MaxTicks == 0 {
+		o.MaxTicks = 1 << 22
+	}
+	return o
+}
+
+// NetStats is the measured behaviour of one simulated net.
+type NetStats struct {
+	// Simulated reports whether the net took part (multi-FPGA nets only).
+	Simulated bool
+	// Hops is the path length to the worst sink.
+	Hops int
+	// Delivered is the number of words that reached the sink.
+	Delivered int
+	// FirstLatency and MaxLatency are end-to-end latencies in TDM ticks
+	// (injection to sink arrival) of the first word and the worst word.
+	FirstLatency int64
+	MaxLatency   int64
+	// Span is the tick at which the last word arrived.
+	Span int64
+}
+
+// Result is the outcome of Run.
+type Result struct {
+	Nets  []NetStats
+	Ticks int64 // ticks simulated until all words arrived
+}
+
+// Run simulates the solution. Every net's words travel along the tree path
+// from the driver (first terminal) to the sink maximizing hop count; words
+// are injected one per source period (the largest ratio on the path), so
+// queues stay bounded. Edges whose ratio sets exceed mux.MaxFrameLen make
+// Run fail; use the LegalPow2 domain for simulable solutions.
+func Run(in *problem.Instance, sol *problem.Solution, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+
+	// Build one schedule per used edge. The signal index within the
+	// schedule corresponds to problem.EdgeLoads order.
+	loads := problem.EdgeLoads(in.G.NumEdges(), sol.Routes)
+	schedules := make([]*mux.Schedule, in.G.NumEdges())
+	slotIndex := make([]map[int]int, in.G.NumEdges()) // edge -> net -> signal idx
+	for e, ls := range loads {
+		if len(ls) == 0 {
+			continue
+		}
+		ratios := make([]int64, len(ls))
+		idx := make(map[int]int, len(ls))
+		for i, l := range ls {
+			ratios[i] = sol.Assign.Ratios[l.Net][l.Pos]
+			idx[l.Net] = i
+		}
+		s, err := mux.Build(ratios)
+		if err != nil {
+			return nil, fmt.Errorf("sim: edge %d: %w", e, err)
+		}
+		schedules[e] = s
+		slotIndex[e] = idx
+	}
+
+	res := &Result{Nets: make([]NetStats, len(in.Nets))}
+	paths := make([][]int, len(in.Nets))
+	period := make([]int64, len(in.Nets))
+	for n := range in.Nets {
+		p, err := worstSinkPath(in, sol, n)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			continue
+		}
+		paths[n] = p
+		res.Nets[n].Simulated = true
+		res.Nets[n].Hops = len(p)
+		var maxR int64 = 1
+		for k, e := range p {
+			_ = k
+			r := ratioOn(sol, loads, slotIndex, n, e)
+			if r > maxR {
+				maxR = r
+			}
+		}
+		period[n] = maxR
+	}
+
+	// Per-word state: for each net, the words' current hop index (0 =
+	// waiting at driver for path[0]) and injection/arrival ticks.
+	type wordState struct {
+		hop      int // next edge index to traverse; == len(path) when done
+		injected int64
+		arrived  int64
+		moved    int64 // tick of the last hop (a word moves once per tick)
+	}
+	words := make([][]wordState, len(in.Nets))
+	remaining := 0
+	for n := range in.Nets {
+		if !res.Nets[n].Simulated {
+			continue
+		}
+		ws := make([]wordState, opt.WordsPerNet)
+		for w := range ws {
+			ws[w] = wordState{hop: 0, injected: int64(w) * period[n], arrived: -1, moved: -1}
+		}
+		words[n] = ws
+		remaining += opt.WordsPerNet
+	}
+	if remaining == 0 {
+		return res, nil
+	}
+
+	for tick := int64(0); remaining > 0; tick++ {
+		if tick > opt.MaxTicks {
+			return nil, fmt.Errorf("sim: exceeded %d ticks with %d words in flight", opt.MaxTicks, remaining)
+		}
+		for e, s := range schedules {
+			if s == nil {
+				continue
+			}
+			owner := s.Slots[tick%s.FrameLen]
+			if owner == mux.Idle {
+				continue
+			}
+			n := loads[e][owner].Net
+			if !res.Nets[n].Simulated {
+				continue
+			}
+			// Deliver the earliest word of net n waiting for edge e.
+			path := paths[n]
+			for w := range words[n] {
+				ws := &words[n][w]
+				if ws.hop >= len(path) || path[ws.hop] != e {
+					continue
+				}
+				if ws.injected > tick {
+					break // later words are injected even later
+				}
+				if ws.moved == tick {
+					continue // one hop per tick per word
+				}
+				ws.moved = tick
+				ws.hop++
+				if ws.hop == len(path) {
+					ws.arrived = tick + 1 // arrives at the end of the slot
+					remaining--
+					st := &res.Nets[n]
+					lat := ws.arrived - ws.injected
+					if st.Delivered == 0 {
+						st.FirstLatency = lat
+					}
+					if lat > st.MaxLatency {
+						st.MaxLatency = lat
+					}
+					st.Delivered++
+					if ws.arrived > st.Span {
+						st.Span = ws.arrived
+					}
+				}
+				break // one word per slot
+			}
+		}
+		res.Ticks = tick + 1
+	}
+	return res, nil
+}
+
+// worstSinkPath returns the edge sequence from the driver to the sink with
+// the largest hop count through net n's routed tree, or nil for
+// single-terminal nets.
+func worstSinkPath(in *problem.Instance, sol *problem.Solution, n int) ([]int, error) {
+	terms := in.Nets[n].Terminals
+	if len(terms) <= 1 {
+		return nil, nil
+	}
+	edges := sol.Routes[n]
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("sim: net %d unrouted", n)
+	}
+	type arc struct{ to, edge int }
+	adj := map[int][]arc{}
+	for _, e := range edges {
+		ed := in.G.Edge(e)
+		adj[ed.U] = append(adj[ed.U], arc{ed.V, e})
+		adj[ed.V] = append(adj[ed.V], arc{ed.U, e})
+	}
+	driver := terms[0]
+	prev := map[int]arc{driver: {-1, -1}}
+	queue := []int{driver}
+	depth := map[int]int{driver: 0}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, a := range adj[u] {
+			if _, ok := prev[a.to]; !ok {
+				prev[a.to] = arc{u, a.edge}
+				depth[a.to] = depth[u] + 1
+				queue = append(queue, a.to)
+			}
+		}
+	}
+	worst, wd := -1, -1
+	for _, sink := range terms[1:] {
+		d, ok := depth[sink]
+		if !ok {
+			return nil, fmt.Errorf("sim: net %d: sink %d unreachable", n, sink)
+		}
+		if d > wd {
+			worst, wd = sink, d
+		}
+	}
+	// Reconstruct edge sequence driver -> worst.
+	var rev []int
+	for v := worst; v != driver; v = prev[v].to {
+		rev = append(rev, prev[v].edge)
+	}
+	path := make([]int, len(rev))
+	for i := range rev {
+		path[i] = rev[len(rev)-1-i]
+	}
+	return path, nil
+}
+
+func ratioOn(sol *problem.Solution, loads [][]problem.EdgeLoad, slotIndex []map[int]int, n, e int) int64 {
+	i := slotIndex[e][n]
+	l := loads[e][i]
+	return sol.Assign.Ratios[l.Net][l.Pos]
+}

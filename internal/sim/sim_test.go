@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"testing"
+
+	"tdmroute/internal/gen"
+	"tdmroute/internal/graph"
+	"tdmroute/internal/problem"
+	tr "tdmroute/internal/route"
+	"tdmroute/internal/tdm"
+	"tdmroute/internal/timing"
+)
+
+// singleHop: one edge, one net at ratio 4 plus a filler net, so the frame
+// is non-trivial.
+func singleHop() (*problem.Instance, *problem.Solution) {
+	g := graph.New(2, 1)
+	g.AddEdge(0, 1)
+	in := &problem.Instance{
+		G: g,
+		Nets: []problem.Net{
+			{Terminals: []int{0, 1}},
+			{Terminals: []int{0, 1}},
+		},
+		Groups: []problem.Group{{Nets: []int{0}}, {Nets: []int{1}}},
+	}
+	in.RebuildNetGroups()
+	sol := &problem.Solution{
+		Routes: problem.Routing{{0}, {0}},
+		Assign: problem.Assignment{Ratios: [][]int64{{4}, {2}}},
+	}
+	return in, sol
+}
+
+func TestRunSingleHopDeliversAll(t *testing.T) {
+	in, sol := singleHop()
+	res, err := Run(in, sol, Options{WordsPerNet: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 2; n++ {
+		st := res.Nets[n]
+		if !st.Simulated || st.Delivered != 5 {
+			t.Fatalf("net %d: %+v", n, st)
+		}
+		if st.Hops != 1 {
+			t.Errorf("net %d hops = %d", n, st.Hops)
+		}
+		// One hop: worst latency bounded by twice the ratio (WRR gap).
+		r := sol.Assign.Ratios[n][0]
+		if st.MaxLatency > 2*r {
+			t.Errorf("net %d: max latency %d exceeds 2x ratio %d", n, st.MaxLatency, r)
+		}
+		if st.FirstLatency < 1 {
+			t.Errorf("net %d: first latency %d < 1", n, st.FirstLatency)
+		}
+	}
+}
+
+func TestRunThroughputMatchesRatio(t *testing.T) {
+	// With injection at the source period, the last word of a ratio-r
+	// single-hop net arrives around (words-1)*r + O(r).
+	in, sol := singleHop()
+	const words = 20
+	res, err := Run(in, sol, Options{WordsPerNet: words})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 2; n++ {
+		r := sol.Assign.Ratios[n][0]
+		want := int64(words-1) * r
+		if res.Nets[n].Span < want || res.Nets[n].Span > want+2*r {
+			t.Errorf("net %d: span %d, want ~%d", n, res.Nets[n].Span, want)
+		}
+	}
+}
+
+func TestRunMultiHopLatency(t *testing.T) {
+	// Path 0-1-2: net 0 crosses both edges at ratios 2 and 4.
+	g := graph.New(3, 2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	in := &problem.Instance{
+		G:      g,
+		Nets:   []problem.Net{{Terminals: []int{0, 2}}},
+		Groups: []problem.Group{{Nets: []int{0}}},
+	}
+	in.RebuildNetGroups()
+	sol := &problem.Solution{
+		Routes: problem.Routing{{0, 1}},
+		Assign: problem.Assignment{Ratios: [][]int64{{2, 4}}},
+	}
+	res, err := Run(in, sol, Options{WordsPerNet: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Nets[0]
+	if st.Delivered != 6 || st.Hops != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Latency bounds: at least one tick per hop; at most Σ 2r.
+	if st.MaxLatency < 2 || st.MaxLatency > 2*(2+4) {
+		t.Errorf("max latency = %d", st.MaxLatency)
+	}
+}
+
+func TestRunSkipsIntraFPGANets(t *testing.T) {
+	g := graph.New(2, 1)
+	g.AddEdge(0, 1)
+	in := &problem.Instance{
+		G:    g,
+		Nets: []problem.Net{{Terminals: []int{0}}},
+	}
+	in.RebuildNetGroups()
+	sol := &problem.Solution{Routes: problem.Routing{{}}, Assign: problem.Assignment{Ratios: [][]int64{{}}}}
+	res, err := Run(in, sol, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nets[0].Simulated {
+		t.Error("intra-FPGA net simulated")
+	}
+}
+
+func TestRunAgreesWithAnalyticModel(t *testing.T) {
+	// End-to-end: solve a benchmark in pow2 mode, simulate, and compare
+	// the measured per-net first-word latencies against the analytic
+	// timing estimate expressed in ticks: the measured latency must lie
+	// within [hops, Σ 2r] and correlate with the model.
+	cfg, err := gen.SuiteConfig("synopsys01", 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes, _, err := tr.Route(in, tr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, _, err := tdm.Assign(in, routes, tdm.Options{Legal: tdm.LegalPow2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := &problem.Solution{Routes: routes, Assign: assign}
+	res, err := Run(in, sol, Options{WordsPerNet: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic model in tick units: Base=1 tick (transmission), wait
+	// r/2 per hop on average; upper bound 2r per hop.
+	rep, err := timing.Analyze(in, sol, timing.Model{BaseNS: 1, PerRatioNS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for n := range in.Nets {
+		st := res.Nets[n]
+		if !st.Simulated {
+			continue
+		}
+		checked++
+		if st.Delivered != 3 {
+			t.Fatalf("net %d delivered %d", n, st.Delivered)
+		}
+		if st.MaxLatency < int64(st.Hops) {
+			t.Fatalf("net %d: latency %d below hop count %d", n, st.MaxLatency, st.Hops)
+		}
+		// Upper bound: sum of 2r over the worst path >= measured. The
+		// analytic estimate uses r/2 per hop, so 4x the analytic wait
+		// plus hops is a safe cap.
+		cap64 := int64(4*rep.Nets[n].DelayNS) + int64(st.Hops) + 4
+		if st.MaxLatency > cap64 {
+			t.Errorf("net %d: measured %d exceeds model-derived cap %d", n, st.MaxLatency, cap64)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no nets simulated")
+	}
+	t.Logf("simulated %d nets over %d ticks", checked, res.Ticks)
+}
+
+func TestRunRejectsUnroutedNet(t *testing.T) {
+	g := graph.New(2, 1)
+	g.AddEdge(0, 1)
+	in := &problem.Instance{G: g, Nets: []problem.Net{{Terminals: []int{0, 1}}}}
+	in.RebuildNetGroups()
+	sol := &problem.Solution{Routes: problem.Routing{{}}, Assign: problem.Assignment{Ratios: [][]int64{{}}}}
+	if _, err := Run(in, sol, Options{}); err == nil {
+		t.Error("unrouted net accepted")
+	}
+}
+
+func BenchmarkRunSmall(b *testing.B) {
+	cfg, err := gen.SuiteConfig("synopsys01", 0.002)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := gen.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	routes, _, err := tr.Route(in, tr.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	assign, _, err := tdm.Assign(in, routes, tdm.Options{Legal: tdm.LegalPow2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sol := &problem.Solution{Routes: routes, Assign: assign}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(in, sol, Options{WordsPerNet: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestNewWindowPanicsOnBadWidth(t *testing.T) {
+	for _, width := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewWindow(%d) did not panic", width)
+				}
+			}()
+			NewWindow(width)
+		}()
+	}
+}
+
+func TestWindowEmpty(t *testing.T) {
+	w := NewWindow(4)
+	if w.Len() != 0 || w.Full() {
+		t.Fatalf("empty window: Len=%d Full=%v", w.Len(), w.Full())
+	}
+	if w.Mean() != 0 {
+		t.Errorf("empty Mean = %g, want 0", w.Mean())
+	}
+	if w.StdDev() != 0 {
+		t.Errorf("empty StdDev = %g, want 0", w.StdDev())
+	}
+}
+
+func TestWindowSingleSample(t *testing.T) {
+	w := NewWindow(3)
+	w.Push(7.5)
+	if got := w.Mean(); got != 7.5 {
+		t.Errorf("Mean = %g, want 7.5", got)
+	}
+	if got := w.StdDev(); got != 0 {
+		t.Errorf("StdDev with 1 sample = %g, want 0", got)
+	}
+}
+
+func TestWindowPartialFill(t *testing.T) {
+	w := NewWindow(10)
+	w.Push(1)
+	w.Push(2)
+	w.Push(3)
+	if got, want := w.Mean(), 2.0; !almostEqual(got, want, 1e-12) {
+		t.Errorf("Mean = %g, want %g", got, want)
+	}
+	// population stddev of {1,2,3} = sqrt(2/3)
+	if got, want := w.StdDev(), math.Sqrt(2.0/3.0); !almostEqual(got, want, 1e-12) {
+		t.Errorf("StdDev = %g, want %g", got, want)
+	}
+	if w.Full() {
+		t.Error("window reported Full with 3/10 samples")
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	w := NewWindow(3)
+	for _, x := range []float64{10, 20, 30, 40} { // 10 evicted
+		w.Push(x)
+	}
+	if !w.Full() {
+		t.Fatal("window should be full")
+	}
+	if got, want := w.Mean(), 30.0; !almostEqual(got, want, 1e-12) {
+		t.Errorf("Mean after eviction = %g, want %g", got, want)
+	}
+	got := w.Samples(nil)
+	want := []float64{20, 30, 40}
+	if len(got) != len(want) {
+		t.Fatalf("Samples = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Samples = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWindowWidthOne(t *testing.T) {
+	w := NewWindow(1)
+	w.Push(5)
+	w.Push(9)
+	if got := w.Mean(); got != 9 {
+		t.Errorf("Mean = %g, want 9", got)
+	}
+	if got := w.StdDev(); got != 0 {
+		t.Errorf("StdDev = %g, want 0 for width-1 window", got)
+	}
+}
+
+func TestWindowReset(t *testing.T) {
+	w := NewWindow(4)
+	w.Push(1)
+	w.Push(2)
+	w.Reset()
+	if w.Len() != 0 || w.Mean() != 0 || w.StdDev() != 0 {
+		t.Errorf("after Reset: Len=%d Mean=%g StdDev=%g", w.Len(), w.Mean(), w.StdDev())
+	}
+	w.Push(3)
+	if got := w.Mean(); got != 3 {
+		t.Errorf("Mean after Reset+Push = %g, want 3", got)
+	}
+}
+
+// referenceStats computes mean/stddev of the last min(len, width) samples the
+// slow, obviously-correct way.
+func referenceStats(samples []float64, width int) (mean, std float64) {
+	if len(samples) > width {
+		samples = samples[len(samples)-width:]
+	}
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	for _, x := range samples {
+		mean += x
+	}
+	mean /= float64(len(samples))
+	if len(samples) < 2 {
+		return mean, 0
+	}
+	for _, x := range samples {
+		std += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(std / float64(len(samples)))
+}
+
+func TestWindowMatchesReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		width := 1 + rng.Intn(12)
+		w := NewWindow(width)
+		var history []float64
+		n := 1 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			x := rng.NormFloat64() * 10
+			w.Push(x)
+			history = append(history, x)
+			wantMean, wantStd := referenceStats(history, width)
+			if !almostEqual(w.Mean(), wantMean, 1e-9) {
+				t.Fatalf("trial %d step %d: Mean=%g want %g", trial, i, w.Mean(), wantMean)
+			}
+			if !almostEqual(w.StdDev(), wantStd, 1e-9) {
+				t.Fatalf("trial %d step %d: StdDev=%g want %g", trial, i, w.StdDev(), wantStd)
+			}
+		}
+	}
+}
+
+func TestWindowStdDevNeverNegativeVariance(t *testing.T) {
+	// Near-constant large samples stress the streaming variance formula;
+	// the window must never return NaN.
+	w := NewWindow(8)
+	for i := 0; i < 1000; i++ {
+		w.Push(1e12 + float64(i%2)*1e-3)
+		if s := w.StdDev(); math.IsNaN(s) || s < 0 {
+			t.Fatalf("step %d: StdDev = %g", i, s)
+		}
+	}
+}
+
+func TestSigmoidBasics(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{math.Inf(1), 1},
+		{math.Inf(-1), 0},
+	}
+	for _, c := range cases {
+		if got := Sigmoid(c.x); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Sigmoid(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+	if got, want := Sigmoid(1), 1/(1+math.Exp(-1)); !almostEqual(got, want, 1e-12) {
+		t.Errorf("Sigmoid(1) = %g, want %g", got, want)
+	}
+}
+
+func TestSigmoidPropertyQuick(t *testing.T) {
+	// Symmetry: sigmoid(-x) == 1 - sigmoid(x); range within (0,1);
+	// monotone nondecreasing.
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		s := Sigmoid(x)
+		if s < 0 || s > 1 {
+			return false
+		}
+		if !almostEqual(Sigmoid(-x), 1-s, 1e-9) {
+			return false
+		}
+		return Sigmoid(x+1) >= s-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamplesAppend(t *testing.T) {
+	w := NewWindow(2)
+	w.Push(1)
+	w.Push(2)
+	got := w.Samples([]float64{99})
+	if len(got) != 3 || got[0] != 99 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("Samples append = %v", got)
+	}
+}
+
+func BenchmarkWindowPush(b *testing.B) {
+	w := NewWindow(10)
+	for i := 0; i < b.N; i++ {
+		w.Push(float64(i))
+		_ = w.StdDev()
+	}
+}

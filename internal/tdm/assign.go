@@ -1,0 +1,107 @@
+package tdm
+
+import (
+	"fmt"
+	"math"
+
+	"tdmroute/internal/eval"
+	"tdmroute/internal/problem"
+)
+
+// Assign runs the complete TDM ratio assignment stage of the paper on a
+// fixed routing topology: Lagrangian relaxation (Algorithm 1), legalization,
+// and refinement (Algorithm 2). It returns a legal assignment (every ratio
+// even and >= 2, per-edge reciprocal sums <= 1) and a Report with the
+// Table II metrics.
+func Assign(in *problem.Instance, routes problem.Routing, opt Options) (problem.Assignment, Report, error) {
+	if len(routes) != len(in.Nets) {
+		return problem.Assignment{}, Report{}, fmt.Errorf("tdm: routing has %d nets, instance has %d", len(routes), len(in.Nets))
+	}
+	opt = opt.withDefaults()
+
+	relaxed, z, lb, iters, converged := RunLR(in, routes, opt)
+	assign, rep, err := Finish(in, routes, relaxed, opt)
+	if err != nil {
+		return problem.Assignment{}, Report{}, err
+	}
+	rep.Iterations = iters
+	rep.Converged = converged
+	rep.LowerBound = lb
+	rep.RelaxedZ = z
+	return assign, rep, nil
+}
+
+// Finish legalizes a relaxed assignment and applies the refinement passes,
+// filling the GTRNoRef and GTRMax fields of the report. It is split from
+// Assign so callers can time the LR and legalization+refinement stages
+// separately (the Fig. 3(a) breakdown).
+func Finish(in *problem.Instance, routes problem.Routing, relaxed [][]float64, opt Options) (problem.Assignment, Report, error) {
+	if len(relaxed) != len(routes) {
+		return problem.Assignment{}, Report{}, fmt.Errorf("tdm: relaxed assignment has %d nets, routing has %d", len(relaxed), len(routes))
+	}
+	opt = opt.withDefaults()
+	var ratios [][]int64
+	if opt.Legal == LegalPow2 {
+		ratios = LegalizePow2(relaxed)
+	} else {
+		ratios = Legalize(relaxed)
+	}
+
+	var rep Report
+	sol := &problem.Solution{Routes: routes, Assign: problem.Assignment{Ratios: ratios}}
+	rep.GTRNoRef, _ = eval.MaxGroupTDM(in, sol)
+
+	for pass := 0; pass < opt.RefinePasses; pass++ {
+		if opt.Legal == LegalPow2 {
+			RefinePow2(in, routes, ratios, opt.Tol)
+		} else {
+			Refine(in, routes, ratios, opt.Tol)
+		}
+	}
+	compactUngrouped(in, routes, ratios, opt.Tol, opt.Legal == LegalPow2)
+	rep.GTRMax, _ = eval.MaxGroupTDM(in, sol)
+
+	return problem.Assignment{Ratios: ratios}, rep, nil
+}
+
+// compactUngrouped rewrites the ratios of nets that belong to no NetGroup.
+// The LR patterns give such nets enormous ratios (their π is floored near
+// zero), which is legal but makes the per-edge TDM slot frame
+// unrealizable. Since their ratios never enter the objective, each edge's
+// residual budget is instead split evenly among its ungrouped cells,
+// yielding the smallest legal (even or power-of-two) common ratio.
+func compactUngrouped(in *problem.Instance, routes problem.Routing, ratios [][]int64, tol float64, pow2 bool) {
+	loads := problem.EdgeLoads(in.G.NumEdges(), routes)
+	for _, ls := range loads {
+		if len(ls) == 0 {
+			continue
+		}
+		var grouped float64
+		u := 0
+		for _, l := range ls {
+			if len(in.Nets[l.Net].Groups) > 0 {
+				grouped += 1 / float64(ratios[l.Net][l.Pos])
+			} else {
+				u++
+			}
+		}
+		if u == 0 {
+			continue
+		}
+		budget := 1 - tol - grouped
+		if budget <= 0 {
+			continue // keep the existing (legal) huge ratios
+		}
+		r := int64(math.Ceil(float64(u) / budget))
+		if pow2 {
+			r = legalizeRatioPow2(float64(r))
+		} else {
+			r = legalizeRatio(float64(r))
+		}
+		for _, l := range ls {
+			if len(in.Nets[l.Net].Groups) == 0 {
+				ratios[l.Net][l.Pos] = r
+			}
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package tdm
+
+import "math"
+
+// Legalize rounds a relaxed assignment to legal TDM ratios (Sec. IV-E):
+// each ratio is raised to the next even integer, never below 2. Raising a
+// ratio lowers its reciprocal, so if the relaxed per-edge reciprocal sums
+// were at most 1 the legalized ones are too.
+func Legalize(relaxed [][]float64) [][]int64 {
+	out := make([][]int64, len(relaxed))
+	for n, ts := range relaxed {
+		row := make([]int64, len(ts))
+		for k, t := range ts {
+			row[k] = legalizeRatio(t)
+		}
+		out[n] = row
+	}
+	return out
+}
+
+// legalizeRatio returns the smallest even integer >= max(t, 2).
+func legalizeRatio(t float64) int64 {
+	if !(t > 2) { // also catches NaN
+		return 2
+	}
+	c := int64(math.Ceil(t))
+	if c%2 != 0 {
+		c++
+	}
+	return c
+}
+
+// LegalizePow2 rounds a relaxed assignment up to powers of two (>= 2).
+// This reproduces the ratio restriction of the paper's refs [2][3] (Pui et
+// al.), which real TDM hardware favours because the per-edge slot frame
+// stays as short as the largest ratio. Compared to Legalize it trades
+// objective quality for schedulability; the ablation benchmarks quantify
+// the cost.
+func LegalizePow2(relaxed [][]float64) [][]int64 {
+	out := make([][]int64, len(relaxed))
+	for n, ts := range relaxed {
+		row := make([]int64, len(ts))
+		for k, t := range ts {
+			row[k] = legalizeRatioPow2(t)
+		}
+		out[n] = row
+	}
+	return out
+}
+
+// legalizeRatioPow2 returns the smallest power of two >= max(t, 2).
+func legalizeRatioPow2(t float64) int64 {
+	if !(t > 2) {
+		return 2
+	}
+	p := int64(2)
+	for float64(p) < t && p < 1<<62 {
+		p <<= 1
+	}
+	return p
+}

@@ -1,0 +1,414 @@
+package tdm
+
+import (
+	"math"
+
+	"tdmroute/internal/problem"
+	"tdmroute/internal/stats"
+)
+
+// lrState carries the per-iteration work arrays of Algorithm 1. The
+// (net, edge) incidence is stored twice in CSR form — edge-major for the
+// per-edge pattern generation and net-major for the per-net TDM sums — so
+// the inner loops stream through flat arrays.
+type lrState struct {
+	in  *problem.Instance
+	opt Options
+
+	// Edge-major cells: cells of edge e are cellNet[edgeStart[e]:edgeStart[e+1]].
+	edgeStart []int32
+	cellNet   []int32
+	cellPos   []int32 // route position of the cell within its net
+	// Net-major view: the flat cell indices of net n are
+	// netCell[netStart[n]:netStart[n+1]], ordered by route position.
+	netStart []int32
+	netCell  []int32
+
+	lambda    []float64 // λ_g, kept projected to sum 1
+	pi        []float64 // π_n = Σ_{g ∋ n} λ_g
+	sqrtPi    []float64 // sqrt(max(π_n, PiFloor)) — pattern weights
+	sqrtPiX   []float64 // sqrt(π_n) exact — lower-bound weights
+	cellRatio []float64 // t_en per edge-major cell
+	netTDM    []float64
+	grpTDM    []float64
+
+	windows *groupWindows // SMA history of normalized group TDMs
+}
+
+// newLRState allocates state for the given topology.
+func newLRState(in *problem.Instance, routes problem.Routing, opt Options) *lrState {
+	numEdges := in.G.NumEdges()
+	s := &lrState{
+		in:      in,
+		opt:     opt,
+		lambda:  make([]float64, len(in.Groups)),
+		pi:      make([]float64, len(in.Nets)),
+		sqrtPi:  make([]float64, len(in.Nets)),
+		sqrtPiX: make([]float64, len(in.Nets)),
+		netTDM:  make([]float64, len(in.Nets)),
+		grpTDM:  make([]float64, len(in.Groups)),
+		windows: newGroupWindows(len(in.Groups), opt.Window),
+	}
+	// Build both CSR views in two counting passes.
+	s.edgeStart = make([]int32, numEdges+1)
+	for _, edges := range routes {
+		for _, e := range edges {
+			s.edgeStart[e+1]++
+		}
+	}
+	for e := 0; e < numEdges; e++ {
+		s.edgeStart[e+1] += s.edgeStart[e]
+	}
+	totalCells := int(s.edgeStart[numEdges])
+	s.cellNet = make([]int32, totalCells)
+	s.cellPos = make([]int32, totalCells)
+	s.cellRatio = make([]float64, totalCells)
+	s.netStart = make([]int32, len(routes)+1)
+	for n, edges := range routes {
+		s.netStart[n+1] = s.netStart[n] + int32(len(edges))
+	}
+	s.netCell = make([]int32, totalCells)
+	fill := append([]int32(nil), s.edgeStart[:numEdges]...)
+	for n, edges := range routes {
+		for k, e := range edges {
+			idx := fill[e]
+			fill[e]++
+			s.cellNet[idx] = int32(n)
+			s.cellPos[idx] = int32(k)
+			s.netCell[s.netStart[n]+int32(k)] = idx
+		}
+	}
+	// Line 2 of Algorithm 1: uniform initial multipliers, or a warm start
+	// projected back onto the simplex.
+	if g := len(in.Groups); g > 0 {
+		if len(opt.WarmLambda) == g {
+			var total float64
+			for i, v := range opt.WarmLambda {
+				if v < minLambda {
+					v = minLambda
+				}
+				s.lambda[i] = v
+				total += v
+			}
+			inv := 1 / total
+			for i := range s.lambda {
+				s.lambda[i] *= inv
+			}
+		} else {
+			for i := range s.lambda {
+				s.lambda[i] = 1 / float64(g)
+			}
+		}
+	}
+	return s
+}
+
+// computePi evaluates π_n = Σ_{g ∋ n} λ_g and the derived square roots.
+func (s *lrState) computePi() {
+	parallelFor(len(s.pi), s.opt.Workers, func(_, start, end int) {
+		for n := start; n < end; n++ {
+			var p float64
+			for _, gi := range s.in.Nets[n].Groups {
+				p += s.lambda[gi]
+			}
+			s.pi[n] = p
+			s.sqrtPiX[n] = math.Sqrt(p)
+			if p < s.opt.PiFloor {
+				p = s.opt.PiFloor
+			}
+			s.sqrtPi[n] = math.Sqrt(p)
+		}
+	})
+}
+
+// solveLRS generates the optimal pattern of every edge via Eq. (13):
+// t_en = (Σ_{n̂ ∈ N_e} √π_n̂) / √π_n, and returns the Lagrangian dual value
+// L_λ = Σ_e (Σ_{n ∈ N_e} √π_n)² (Eq. 11), which lower-bounds the primal
+// optimum because the multipliers are kept on the simplex Σλ = 1.
+func (s *lrState) solveLRS() (lowerBound float64) {
+	// Every cell belongs to exactly one edge, so per-edge pattern writes
+	// from different chunks never alias.
+	numEdges := len(s.edgeStart) - 1
+	partial := make([]float64, numChunks(numEdges, s.opt.Workers))
+	parallelFor(numEdges, s.opt.Workers, func(chunk, start, end int) {
+		var lb float64
+		for e := start; e < end; e++ {
+			lo, hi := s.edgeStart[e], s.edgeStart[e+1]
+			if lo == hi {
+				continue
+			}
+			var sum, sumExact float64
+			for i := lo; i < hi; i++ {
+				n := s.cellNet[i]
+				sum += s.sqrtPi[n]
+				sumExact += s.sqrtPiX[n]
+			}
+			for i := lo; i < hi; i++ {
+				s.cellRatio[i] = sum / s.sqrtPi[s.cellNet[i]]
+			}
+			lb += sumExact * sumExact
+		}
+		partial[chunk] = lb
+	})
+	for _, p := range partial {
+		lowerBound += p
+	}
+	return lowerBound
+}
+
+// groupTDMs evaluates every group's fractional TDM ratio under the current
+// patterns and returns z = max_g GTR_g (0 when there are no groups).
+func (s *lrState) groupTDMs() (z float64) {
+	parallelFor(len(s.netTDM), s.opt.Workers, func(_, start, end int) {
+		for n := start; n < end; n++ {
+			var sum float64
+			for _, idx := range s.netCell[s.netStart[n]:s.netStart[n+1]] {
+				sum += s.cellRatio[idx]
+			}
+			s.netTDM[n] = sum
+		}
+	})
+	partial := make([]float64, numChunks(len(s.grpTDM), s.opt.Workers))
+	parallelFor(len(s.grpTDM), s.opt.Workers, func(chunk, start, end int) {
+		var zc float64
+		for gi := start; gi < end; gi++ {
+			var sum float64
+			for _, n := range s.in.Groups[gi].Nets {
+				sum += s.netTDM[n]
+			}
+			s.grpTDM[gi] = sum
+			if sum > zc {
+				zc = sum
+			}
+		}
+		partial[chunk] = zc
+	})
+	for _, p := range partial {
+		if p > z {
+			z = p
+		}
+	}
+	return z
+}
+
+// updateMultipliers applies Eq. (15) with the acceleration factor of
+// Eq. (16), then projects λ back onto the simplex to restore the KKT
+// condition Σλ = 1.
+func (s *lrState) updateMultipliers(z float64) {
+	if z <= 0 {
+		return
+	}
+	alpha, beta := s.opt.Alpha, s.opt.Beta
+	partial := make([]float64, numChunks(len(s.lambda), s.opt.Workers))
+	parallelFor(len(s.lambda), s.opt.Workers, func(chunk, start, end int) {
+		var sum float64
+		for gi := start; gi < end; gi++ {
+			norm := s.grpTDM[gi] / z // normalized group TDM ∈ (0, 1]
+			x := s.windows.zscore(gi, norm)
+			k := (alpha-1)*stats.Sigmoid(beta*x) + 1
+			s.windows.push(gi, norm)
+			lg := s.lambda[gi] * math.Pow(norm, k)
+			if lg < minLambda {
+				lg = minLambda // keep multiplicative updates alive
+			}
+			s.lambda[gi] = lg
+			sum += lg
+		}
+		partial[chunk] = sum
+	})
+	var total float64
+	for _, p := range partial {
+		total += p
+	}
+	if total > 0 {
+		inv := 1 / total
+		parallelFor(len(s.lambda), s.opt.Workers, func(_, start, end int) {
+			for gi := start; gi < end; gi++ {
+				s.lambda[gi] *= inv
+			}
+		})
+	}
+}
+
+// minLambda prevents multipliers of persistently non-critical groups from
+// underflowing to exactly zero, which would freeze them forever under the
+// multiplicative update.
+const minLambda = 1e-300
+
+// updateSubgradient applies the classic projected subgradient ascent with a
+// Polyak step, kept for the ablation study of the Sec. IV-C update rule:
+//
+//	λ_g ← max(λ_g + step·(GTR_g − z), floor),  step = s·(ẑ − LB)/‖grad‖²
+//
+// where ẑ is the best primal value seen (an upper estimate of the dual
+// optimum), followed by simplex projection.
+func (s *lrState) updateSubgradient(z, lb, bestZ float64) {
+	if z <= 0 {
+		return
+	}
+	var norm2 float64
+	for gi := range s.lambda {
+		g := s.grpTDM[gi] - z
+		norm2 += g * g
+	}
+	if norm2 == 0 {
+		return // all groups tied at the max: λ is optimal for this t
+	}
+	gap := bestZ - lb
+	if gap <= 0 {
+		return
+	}
+	step := s.opt.SubgradientStep * gap / norm2
+	var total float64
+	const floor = 1e-12
+	for gi := range s.lambda {
+		lg := s.lambda[gi] + step*(s.grpTDM[gi]-z)
+		if lg < floor {
+			lg = floor
+		}
+		s.lambda[gi] = lg
+		total += lg
+	}
+	if total > 0 {
+		inv := 1 / total
+		for gi := range s.lambda {
+			s.lambda[gi] *= inv
+		}
+	}
+}
+
+// RunLR executes Algorithm 1 on the topology and returns the best relaxed
+// assignment found, its fractional objective z, the best lower bound, the
+// iteration count, and whether the ε criterion was reached.
+//
+// The convergence test compares the running z against the best (largest)
+// dual value seen so far; every dual value is a valid lower bound, so using
+// the best one only tightens the test.
+func RunLR(in *problem.Instance, routes problem.Routing, opt Options) (ratios [][]float64, z, lb float64, iters int, converged bool) {
+	opt = opt.withDefaults()
+	s := newLRState(in, routes, opt)
+
+	bestZ := math.Inf(1)
+	bestLB := 0.0
+	var best []float64
+
+	for iters = 0; iters < opt.MaxIter; iters++ {
+		s.computePi()
+		curLB := s.solveLRS()
+		curZ := s.groupTDMs()
+
+		if curLB > bestLB {
+			bestLB = curLB
+		}
+		if curZ < bestZ {
+			bestZ = curZ
+			if best == nil {
+				best = make([]float64, len(s.cellRatio))
+			}
+			copy(best, s.cellRatio)
+		}
+		if opt.Trace != nil {
+			opt.Trace(iters, curZ, curLB)
+		}
+		if bestLB > 0 && (bestZ-bestLB)/bestLB <= opt.Epsilon {
+			iters++
+			converged = true
+			break
+		}
+		switch opt.Update {
+		case UpdateSubgradient:
+			s.updateSubgradient(curZ, curLB, bestZ)
+		default:
+			s.updateMultipliers(curZ)
+		}
+	}
+
+	if best == nil {
+		// MaxIter == 0 or no groups: fall back to a single pattern pass
+		// with the uniform initial multipliers.
+		s.computePi()
+		lbOnce := s.solveLRS()
+		zOnce := s.groupTDMs()
+		best = append([]float64(nil), s.cellRatio...)
+		if lbOnce > bestLB {
+			bestLB = lbOnce
+		}
+		bestZ = zOnce
+	}
+	if opt.CaptureLambda != nil {
+		opt.CaptureLambda(append([]float64(nil), s.lambda...))
+	}
+	return s.unflatten(best, routes), bestZ, bestLB, iters, converged
+}
+
+// unflatten converts an edge-major flat cell-ratio vector back to the
+// per-net layout parallel to the routing.
+func (s *lrState) unflatten(flat []float64, routes problem.Routing) [][]float64 {
+	out := make([][]float64, len(routes))
+	for n := range routes {
+		row := make([]float64, len(routes[n]))
+		base := s.netStart[n]
+		for k := range row {
+			row[k] = flat[s.netCell[base+int32(k)]]
+		}
+		out[n] = row
+	}
+	return out
+}
+
+// groupWindows stores, for every group, a ring buffer of the last w
+// normalized TDM samples with streaming sum and sum of squares — a flat
+// memory layout equivalent of stats.Window, avoiding one allocation per
+// NetGroup on million-group instances.
+type groupWindows struct {
+	w     int
+	buf   []float64 // g*w + slot
+	count []int32
+	head  []int32
+	sum   []float64
+	sumSq []float64
+}
+
+func newGroupWindows(groups, w int) *groupWindows {
+	return &groupWindows{
+		w:     w,
+		buf:   make([]float64, groups*w),
+		count: make([]int32, groups),
+		head:  make([]int32, groups),
+		sum:   make([]float64, groups),
+		sumSq: make([]float64, groups),
+	}
+}
+
+// zscore returns x_g of Eq. (16): the deviation of sample x from the window
+// mean in units of the window standard deviation. With fewer than two
+// samples, or a degenerate deviation, it returns 0 (neutral acceleration).
+func (gw *groupWindows) zscore(g int, x float64) float64 {
+	n := float64(gw.count[g])
+	if n < 2 {
+		return 0
+	}
+	mean := gw.sum[g] / n
+	variance := gw.sumSq[g]/n - mean*mean
+	if variance <= 0 {
+		return 0
+	}
+	return (x - mean) / math.Sqrt(variance)
+}
+
+// push appends a sample to group g's window, evicting the oldest when full.
+func (gw *groupWindows) push(g int, x float64) {
+	base := g * gw.w
+	if int(gw.count[g]) == gw.w {
+		old := gw.buf[base+int(gw.head[g])]
+		gw.sum[g] -= old
+		gw.sumSq[g] -= old * old
+		gw.buf[base+int(gw.head[g])] = x
+		gw.head[g] = int32((int(gw.head[g]) + 1) % gw.w)
+	} else {
+		gw.buf[base+(int(gw.head[g])+int(gw.count[g]))%gw.w] = x
+		gw.count[g]++
+	}
+	gw.sum[g] += x
+	gw.sumSq[g] += x * x
+}

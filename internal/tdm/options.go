@@ -1,0 +1,161 @@
+// Package tdm implements the TDM ratio assignment stage of Sec. IV of the
+// paper: the Lagrangian-relaxation formulation whose subproblem is solved in
+// closed form per edge by the Cauchy–Schwarz inequality (Eq. 13), the
+// Sigmoid + simple-moving-average multiplier update strategy (Eqs. 15–16),
+// and the legalization and refinement pass of Sec. IV-E (Algorithm 2).
+package tdm
+
+// Options tunes Algorithm 1 and the refinement. The zero value selects the
+// paper's published parameters.
+type Options struct {
+	// Epsilon is the LR convergence criterion: iteration stops when
+	// (z - LB)/LB <= Epsilon. The paper uses 0.0027 for the small
+	// benchmarks and 0.0005 for the large ones. Zero selects
+	// DefaultEpsilon.
+	Epsilon float64
+	// MaxIter caps LR iterations (the paper's "lim"). Zero selects
+	// DefaultMaxIter; negative means "no LR iterations" (useful to
+	// benchmark legalization alone).
+	MaxIter int
+	// Window is the SMA window width w (paper: 10).
+	Window int
+	// Alpha is the Sigmoid magnitude α (paper: 3).
+	Alpha float64
+	// Beta is the Sigmoid steepness β (paper: 10).
+	Beta float64
+	// PiFloor is the lower clamp applied to π_n when generating edge
+	// patterns, keeping Eq. (13) well-defined for nets whose every group
+	// has a vanishing multiplier (including nets in no group at all).
+	PiFloor float64
+	// Tol is the preset tolerance subtracted from the refinement margin
+	// ξ_e to absorb floating-point imprecision (Sec. IV-E step 2).
+	Tol float64
+	// RefinePasses is the number of full refinement sweeps over the
+	// edges. The paper performs one; more passes recompute Γ(n) with the
+	// ratios already refined. Zero selects 1; negative disables
+	// refinement (reported results then equal GTR_noref).
+	RefinePasses int
+	// Update selects the multiplier update rule. The default is the
+	// paper's Sigmoid+SMA strategy; UpdateSubgradient is the classic
+	// projected-subgradient baseline kept for the ablation study.
+	Update UpdateRule
+	// SubgradientStep scales the Polyak step of the subgradient rule.
+	// Zero selects 1.
+	SubgradientStep float64
+	// Legal selects the legalization rule: LegalEven (the contest's and
+	// the paper's "positive even integer" domain, the default) or
+	// LegalPow2 (the power-of-two restriction of the paper's refs [2][3],
+	// which keeps TDM slot frames short at some objective cost).
+	Legal Legalizer
+	// Workers is the number of goroutines used by the LR inner loops
+	// (following the multi-threaded LR of the paper's ref [14]); <= 1
+	// runs serially. Results are deterministic for a fixed Workers value;
+	// different worker counts may differ in the last floating-point ulps
+	// because partial sums associate differently.
+	Workers int
+	// Trace, when non-nil, receives (iteration, z, LB) after every LR
+	// iteration — the series plotted in Fig. 3(b).
+	Trace func(iter int, z, lb float64)
+	// WarmLambda, when non-nil, initializes the multipliers from a
+	// previous run instead of uniformly (line 2 of Algorithm 1). It must
+	// have one entry per NetGroup; entries are clamped positive and
+	// re-projected onto the simplex. Useful when re-assigning after a
+	// small topology change (the iterated co-optimization extension).
+	WarmLambda []float64
+	// CaptureLambda, when non-nil, receives a copy of the final
+	// multipliers when LR stops — feed it back via WarmLambda on the
+	// next round.
+	CaptureLambda func([]float64)
+}
+
+// Legalizer selects the integral domain ratios are rounded into.
+type Legalizer int
+
+const (
+	// LegalEven rounds up to even integers >= 2 (Sec. II-A domain).
+	LegalEven Legalizer = iota
+	// LegalPow2 rounds up to powers of two >= 2 (refs [2][3] domain).
+	LegalPow2
+)
+
+// UpdateRule selects how the Lagrangian multipliers are updated between
+// iterations.
+type UpdateRule int
+
+const (
+	// UpdateSigmoidSMA is the paper's strategy (Eqs. 15-16):
+	// λ_g ← λ_g · (GTR_g/z)^K with K driven by a Sigmoid over the
+	// SMA-windowed z-score of the normalized group TDM.
+	UpdateSigmoidSMA UpdateRule = iota
+	// UpdateSubgradient is the classic projected subgradient:
+	// λ_g ← max(λ_g + step·(GTR_g - z)/z, 0), then simplex projection.
+	UpdateSubgradient
+)
+
+// Paper defaults.
+const (
+	DefaultEpsilon = 0.0027
+	DefaultMaxIter = 500
+	DefaultWindow  = 10
+	DefaultAlpha   = 3
+	DefaultBeta    = 10
+	DefaultPiFloor = 1e-12
+	DefaultTol     = 1e-9
+)
+
+func (o Options) withDefaults() Options {
+	if o.Epsilon == 0 {
+		o.Epsilon = DefaultEpsilon
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = DefaultMaxIter
+	}
+	if o.MaxIter < 0 {
+		o.MaxIter = 0
+	}
+	if o.Window <= 0 {
+		o.Window = DefaultWindow
+	}
+	if o.Alpha == 0 {
+		o.Alpha = DefaultAlpha
+	}
+	if o.Beta == 0 {
+		o.Beta = DefaultBeta
+	}
+	if o.PiFloor <= 0 {
+		o.PiFloor = DefaultPiFloor
+	}
+	if o.Tol <= 0 {
+		o.Tol = DefaultTol
+	}
+	if o.RefinePasses == 0 {
+		o.RefinePasses = 1
+	}
+	if o.RefinePasses < 0 {
+		o.RefinePasses = 0
+	}
+	if o.SubgradientStep == 0 {
+		o.SubgradientStep = 1
+	}
+	return o
+}
+
+// Report summarizes one assignment run with the Table II columns.
+type Report struct {
+	// Iterations is the number of LR iterations executed ("Iter").
+	Iterations int
+	// Converged reports whether the ε criterion was met before MaxIter.
+	Converged bool
+	// LowerBound is the best Lagrangian dual value seen ("LB"): no TDM
+	// assignment on this topology, even with relaxed integrality, can
+	// achieve a smaller maximum group TDM ratio.
+	LowerBound float64
+	// RelaxedZ is the best fractional maximum group TDM ratio achieved
+	// by LR before legalization.
+	RelaxedZ float64
+	// GTRNoRef is the maximum group TDM ratio after legalization but
+	// before refinement ("GTR_noref").
+	GTRNoRef int64
+	// GTRMax is the final maximum group TDM ratio ("GTR_max").
+	GTRMax int64
+}

@@ -1,0 +1,44 @@
+package tdm
+
+import "sync"
+
+// parallelFor splits [0, n) into one contiguous chunk per worker and runs
+// fn(chunk, start, end) concurrently. Chunk boundaries depend only on n and
+// workers, and callers combine per-chunk partial results in chunk order, so
+// results are deterministic for a fixed worker count. workers <= 1 runs
+// inline.
+func parallelFor(n, workers int, fn func(chunk, start, end int)) {
+	if workers <= 1 || n < workers*parallelMinChunk {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunkSize := (n + workers - 1) / workers
+	chunk := 0
+	for start := 0; start < n; start += chunkSize {
+		end := start + chunkSize
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(c, s, e int) {
+			defer wg.Done()
+			fn(c, s, e)
+		}(chunk, start, end)
+		chunk++
+	}
+	wg.Wait()
+}
+
+// parallelMinChunk avoids spawning goroutines for trivially small loops.
+const parallelMinChunk = 256
+
+// numChunks returns how many chunks parallelFor will use, for sizing
+// partial-result buffers.
+func numChunks(n, workers int) int {
+	if workers <= 1 || n < workers*parallelMinChunk {
+		return 1
+	}
+	chunkSize := (n + workers - 1) / workers
+	return (n + chunkSize - 1) / chunkSize
+}

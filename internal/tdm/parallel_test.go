@@ -1,0 +1,169 @@
+package tdm
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"tdmroute/internal/graph"
+	"tdmroute/internal/problem"
+)
+
+// ringGraph builds an n-cycle whose edge k connects vertices k and (k+1)%n.
+func ringGraph(n int) *graph.Graph {
+	g := graph.New(n, n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 7} {
+		for _, n := range []int{0, 1, 255, 256, 1000, 4096} {
+			var count int64
+			seen := make([]int32, n)
+			parallelFor(n, workers, func(_, start, end int) {
+				for i := start; i < end; i++ {
+					atomic.AddInt32(&seen[i], 1)
+					atomic.AddInt64(&count, 1)
+				}
+			})
+			if count != int64(n) {
+				t.Fatalf("workers=%d n=%d: visited %d", workers, n, count)
+			}
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestNumChunksMatchesParallelFor(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		for _, n := range []int{0, 1, 255, 256, 257, 5000} {
+			var maxChunk int64 = -1
+			parallelFor(n, workers, func(chunk, _, _ int) {
+				for {
+					old := atomic.LoadInt64(&maxChunk)
+					if int64(chunk) <= old || atomic.CompareAndSwapInt64(&maxChunk, old, int64(chunk)) {
+						break
+					}
+				}
+			})
+			want := numChunks(n, workers)
+			if n == 0 {
+				// parallelFor still invokes fn(0,0,0) once in serial mode.
+				continue
+			}
+			if int(maxChunk)+1 != want {
+				t.Fatalf("workers=%d n=%d: %d chunks used, numChunks says %d", workers, n, maxChunk+1, want)
+			}
+		}
+	}
+}
+
+func TestParallelLRMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 5; trial++ {
+		in, routes := randomAssignInstance(rng)
+		serial, zs, lbs, is, cs := RunLR(in, routes, Options{Epsilon: 1e-4, MaxIter: 800})
+		par, zp, lbp, ip, cp := RunLR(in, routes, Options{Epsilon: 1e-4, MaxIter: 800, Workers: 4})
+		// These tiny instances stay below the parallel chunking threshold,
+		// so the arithmetic is bit-identical.
+		if zs != zp || lbs != lbp || is != ip || cs != cp {
+			t.Fatalf("trial %d: serial (z=%g lb=%g it=%d) vs parallel (z=%g lb=%g it=%d)",
+				trial, zs, lbs, is, zp, lbp, ip)
+		}
+		for n := range serial {
+			for k := range serial[n] {
+				if serial[n][k] != par[n][k] {
+					t.Fatalf("trial %d: ratio mismatch at net %d pos %d", trial, n, k)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelLRLargeInstanceClose(t *testing.T) {
+	// Above the chunking threshold float sums may differ in the last
+	// ulps; z, LB and the legalized GTR must agree to high precision.
+	in, routes := bigSyntheticTopology(4000, 300, 2500)
+	serial, zs, lbs, _, _ := RunLR(in, routes, Options{Epsilon: 1e-4, MaxIter: 200})
+	par, zp, lbp, _, _ := RunLR(in, routes, Options{Epsilon: 1e-4, MaxIter: 200, Workers: 8})
+	if math.Abs(zs-zp) > 1e-6*zs || math.Abs(lbs-lbp) > 1e-6*lbs {
+		t.Fatalf("serial z=%g lb=%g vs parallel z=%g lb=%g", zs, lbs, zp, lbp)
+	}
+	a := maxGroupTDMInt(in, Legalize(serial))
+	b := maxGroupTDMInt(in, Legalize(par))
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 2 {
+		t.Fatalf("legalized GTR: serial %d vs parallel %d", a, b)
+	}
+}
+
+func TestParallelLRDeterministicAcrossRuns(t *testing.T) {
+	in, routes := bigSyntheticTopology(3000, 200, 1500)
+	_, z1, lb1, it1, _ := RunLR(in, routes, Options{Epsilon: 1e-4, MaxIter: 150, Workers: 6})
+	_, z2, lb2, it2, _ := RunLR(in, routes, Options{Epsilon: 1e-4, MaxIter: 150, Workers: 6})
+	if z1 != z2 || lb1 != lb2 || it1 != it2 {
+		t.Fatalf("same worker count differs across runs: z %g/%g lb %g/%g it %d/%d",
+			z1, z2, lb1, lb2, it1, it2)
+	}
+}
+
+// bigSyntheticTopology builds a wide instance (many nets over a ring) that
+// exceeds the parallel chunking threshold.
+func bigSyntheticTopology(nets, vertices, groups int) (*problem.Instance, problem.Routing) {
+	rng := rand.New(rand.NewSource(123))
+	netList := make([]problem.Net, nets)
+	routes := make(problem.Routing, nets)
+	for i := 0; i < nets; i++ {
+		u := rng.Intn(vertices)
+		span := 1 + rng.Intn(4)
+		netList[i].Terminals = []int{u, (u + span) % vertices}
+		edges := make([]int, span)
+		for k := 0; k < span; k++ {
+			edges[k] = (u + k) % vertices // ring edge ids
+		}
+		routes[i] = edges
+	}
+	groupList := make([]problem.Group, groups)
+	for gi := 0; gi < groups; gi++ {
+		m := 1 + rng.Intn(4)
+		seen := map[int]bool{}
+		for j := 0; j < m; j++ {
+			n := rng.Intn(nets)
+			if !seen[n] {
+				seen[n] = true
+				groupList[gi].Nets = append(groupList[gi].Nets, n)
+			}
+		}
+		sortInts(groupList[gi].Nets)
+	}
+	in := &problem.Instance{Name: "big", Nets: netList, Groups: groupList}
+	in.G = ringGraph(vertices)
+	in.RebuildNetGroups()
+	return in, routes
+}
+
+func BenchmarkLRParallel(b *testing.B) {
+	in, routes := bigSyntheticTopology(40000, 300, 25000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(benchName(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				RunLR(in, routes, Options{Epsilon: 1e-12, MaxIter: 30, Workers: workers})
+			}
+		})
+	}
+}
+
+func benchName(workers int) string {
+	return "workers-" + string(rune('0'+workers))
+}

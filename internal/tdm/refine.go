@@ -1,0 +1,169 @@
+package tdm
+
+import (
+	"sort"
+
+	"tdmroute/internal/problem"
+)
+
+// Refine performs the Sec. IV-E refinement (Algorithm 2) in place on a
+// legalized assignment: on every edge it selects the candidate nets Ñ_e —
+// those whose maximum containing-group TDM ratio Γ(n) (Eq. 18) is largest —
+// and spends the edge's residual margin ξ_e = 1 − tol − Σ 1/t_en decreasing
+// their ratios, largest first, in even decrements d computed by Eq. (21).
+//
+// One call is one full sweep over the edges; Γ is computed once per sweep
+// from the assignment at sweep start, as in the paper.
+func Refine(in *problem.Instance, routes problem.Routing, ratios [][]int64, tol float64) {
+	loads := problem.EdgeLoads(in.G.NumEdges(), routes)
+	gamma := computeGamma(in, routes, ratios)
+
+	var cand []candidate
+	for _, ls := range loads {
+		if len(ls) == 0 {
+			continue
+		}
+		// Candidate selection: nets on this edge with maximum Γ.
+		maxG := int64(-1)
+		for _, l := range ls {
+			if g := gamma[l.Net]; g > maxG {
+				maxG = g
+			}
+		}
+		if maxG < 0 {
+			continue // only ungrouped nets: refining them is wasted margin
+		}
+		cand = cand[:0]
+		var recip float64
+		for _, l := range ls {
+			t := ratios[l.Net][l.Pos]
+			recip += 1 / float64(t)
+			if gamma[l.Net] == maxG {
+				cand = append(cand, candidate{net: l.Net, pos: l.Pos, t: t})
+			}
+		}
+		xi := 1 - tol - recip
+		if xi <= 0 || len(cand) == 0 {
+			continue
+		}
+		refineEdge(cand, xi)
+		for _, c := range cand {
+			ratios[c.net][c.pos] = c.t
+		}
+	}
+}
+
+type candidate struct {
+	net, pos int
+	t        int64
+}
+
+// refineEdge is the loop of Algorithm 2 over one edge's candidates: sort
+// non-increasing once, then repeatedly decrease all maximum-valued ratios by
+// a common even decrement d, chosen so the margin is consumed without
+// breaking the ordering (d capped by the gap b to the next distinct value).
+//
+// When the remaining margin cannot afford an even decrement of the whole
+// maximum block, a final suffix step decreases as many of the block's last
+// elements by 2 as the margin affords (the suffix keeps the non-increasing
+// order); Algorithm 2 as printed leaves that tail margin unused.
+func refineEdge(cand []candidate, xi float64) {
+	sort.Slice(cand, func(i, j int) bool { return cand[i].t > cand[j].t })
+	for xi > 0 {
+		tmax := cand[0].t
+		if tmax <= 2 {
+			return
+		}
+		// CALCMD: m covers every ratio equal to tmax; b is the largest
+		// decrement that keeps the sorted order (gap to the next
+		// distinct value), or down to the legal minimum 2 when every
+		// candidate already equals tmax.
+		m := 1
+		for m < len(cand) && cand[m].t == tmax {
+			m++
+		}
+		var b int64
+		if m < len(cand) {
+			b = tmax - cand[m].t
+		} else {
+			b = tmax - 2
+		}
+		d := decrement(xi, tmax, m)
+		if d > b {
+			d = b
+		}
+		if d > tmax-2 {
+			d = tmax - 2
+		}
+		d -= d % 2 // greatest even integer <= d
+		if d >= 2 {
+			for j := 0; j < m; j++ {
+				cand[j].t -= d
+			}
+			// Eq. (19): margin consumed by m ratios dropping to tmax-d.
+			xi -= float64(m) * (1/float64(tmax-d) - 1/float64(tmax))
+			continue
+		}
+		// Suffix fallback: decrement by 2 the largest affordable count of
+		// the block's trailing elements.
+		perElem := 1/float64(tmax-2) - 1/float64(tmax)
+		j := int(xi / perElem)
+		if j <= 0 {
+			return
+		}
+		if j > m {
+			j = m
+		}
+		for i := m - j; i < m; i++ {
+			cand[i].t -= 2
+		}
+		xi -= float64(j) * perElem
+	}
+}
+
+// decrement evaluates Eq. (21): the d that would consume the whole margin
+// if m ratios of value tmax drop to tmax-d, i.e. ξ = m(1/(tmax-d) - 1/tmax)
+// solved for d. A non-positive margin yields 0; a margin large enough to
+// push the denominator past tmax clamps to tmax (callers cap it further).
+func decrement(xi float64, tmax int64, m int) int64 {
+	if xi <= 0 {
+		return 0
+	}
+	tm := float64(tmax)
+	d := xi * tm * tm / (xi*tm + float64(m))
+	if d >= tm {
+		return tmax
+	}
+	return int64(d)
+}
+
+// computeGamma evaluates Γ(n) of Eq. (18) for every net: the maximum TDM
+// ratio among the groups containing n, or -1 for ungrouped nets.
+func computeGamma(in *problem.Instance, routes problem.Routing, ratios [][]int64) []int64 {
+	netTDM := make([]int64, len(in.Nets))
+	for n := range routes {
+		var sum int64
+		for _, t := range ratios[n] {
+			sum += t
+		}
+		netTDM[n] = sum
+	}
+	grpTDM := make([]int64, len(in.Groups))
+	for gi := range in.Groups {
+		var sum int64
+		for _, n := range in.Groups[gi].Nets {
+			sum += netTDM[n]
+		}
+		grpTDM[gi] = sum
+	}
+	gamma := make([]int64, len(in.Nets))
+	for n := range gamma {
+		gamma[n] = -1
+		for _, gi := range in.Nets[n].Groups {
+			if grpTDM[gi] > gamma[n] {
+				gamma[n] = grpTDM[gi]
+			}
+		}
+	}
+	return gamma
+}

@@ -1,0 +1,137 @@
+package tdm
+
+import (
+	"math/rand"
+	"testing"
+
+	"tdmroute/internal/problem"
+)
+
+func TestRefineNaiveLegalAndEffective(t *testing.T) {
+	in, routes, ratios := buildRefineFixture()
+	before := maxGroupTDMInt(in, ratios)
+	RefineNaive(in, routes, ratios, DefaultTol)
+	after := maxGroupTDMInt(in, ratios)
+	if after >= before {
+		t.Fatalf("naive refinement made no progress: %d -> %d", before, after)
+	}
+	sol := &problem.Solution{Routes: routes, Assign: problem.Assignment{Ratios: ratios}}
+	if err := problem.ValidateSolution(in, sol); err != nil {
+		t.Fatalf("invalid after naive refinement: %v", err)
+	}
+}
+
+func TestRefineNaiveMatchesAlgorithm2(t *testing.T) {
+	// Both refinements must exhaust the margin on the same candidate set;
+	// the resulting GTR_max must agree (the block decrement of Algorithm 2
+	// and the per-2 heap decrements reach the same balanced fixed point on
+	// each edge up to element permutation).
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 10; trial++ {
+		in, routes := randomAssignInstance(rng)
+		relaxed, _, _, _, _ := RunLR(in, routes, Options{Epsilon: 1e-4, MaxIter: 500})
+		a := Legalize(relaxed)
+		b := make([][]int64, len(a))
+		for n := range a {
+			b[n] = append([]int64(nil), a[n]...)
+		}
+		Refine(in, routes, a, DefaultTol)
+		RefineNaive(in, routes, b, DefaultTol)
+		ga, gb := maxGroupTDMInt(in, a), maxGroupTDMInt(in, b)
+		// Allow a small slack: the two schedules may split the last
+		// decrement across different nets.
+		diff := ga - gb
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > 0.05*float64(ga)+4 {
+			t.Errorf("trial %d: Algorithm 2 GTR %d vs naive %d", trial, ga, gb)
+		}
+		for n := range b {
+			for k, v := range b[n] {
+				if v < 2 || v%2 != 0 {
+					t.Fatalf("trial %d: naive produced illegal ratio %d", trial, v)
+				}
+				_ = k
+			}
+		}
+	}
+}
+
+func TestRefineEdgeNaiveStopsAtMinimum(t *testing.T) {
+	cand := []candidate{{0, 0, 4}, {1, 0, 4}}
+	refineEdgeNaive(cand, 100)
+	for _, c := range cand {
+		if c.t != 2 {
+			t.Errorf("ratio %d, want 2", c.t)
+		}
+	}
+}
+
+func TestRefineEdgeNaiveRespectsMargin(t *testing.T) {
+	// Margin affords exactly one 8->6 step (1/6-1/8 = 1/24).
+	cand := []candidate{{0, 0, 8}, {1, 0, 8}}
+	refineEdgeNaive(cand, 1.0/24+1e-12)
+	total := cand[0].t + cand[1].t
+	if total != 14 { // one net refined to 6
+		t.Errorf("ratios = %d,%d", cand[0].t, cand[1].t)
+	}
+}
+
+func BenchmarkRefineVsNaive(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	in, routes := randomAssignInstance(rng)
+	relaxed, _, _, _, _ := RunLR(in, routes, Options{Epsilon: 1e-4, MaxIter: 500})
+	base := Legalize(relaxed)
+	clone := func() [][]int64 {
+		c := make([][]int64, len(base))
+		for n := range base {
+			c[n] = append([]int64(nil), base[n]...)
+		}
+		return c
+	}
+	b.Run("Algorithm2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Refine(in, routes, clone(), DefaultTol)
+		}
+	})
+	b.Run("NaiveHeap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			RefineNaive(in, routes, clone(), DefaultTol)
+		}
+	})
+}
+
+// BenchmarkRefineEdgeLargeRatios isolates the per-edge refinement loops in
+// the paper's regime (ratios in the thousands): Algorithm 2 amortizes a
+// whole block decrement into one step where the naive heap pays one
+// operation per 2 units of decrement.
+func BenchmarkRefineEdgeLargeRatios(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	mk := func() ([]candidate, float64) {
+		cand := make([]candidate, 64)
+		var recip float64
+		for i := range cand {
+			r := int64(10000 + 2*rng.Intn(2000))
+			cand[i] = candidate{net: i, pos: 0, t: r}
+			recip += 1 / float64(r)
+		}
+		return cand, 1 - DefaultTol - recip
+	}
+	b.Run("Algorithm2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cand, xi := mk()
+			b.StartTimer()
+			refineEdge(cand, xi)
+		}
+	})
+	b.Run("NaiveHeap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cand, xi := mk()
+			b.StartTimer()
+			refineEdgeNaive(cand, xi)
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package tdm
+
+import (
+	"sort"
+
+	"tdmroute/internal/problem"
+)
+
+// RefinePow2 is the refinement pass for power-of-two legalized ratios: the
+// only quality move that preserves the restriction is halving a ratio,
+// which consumes exactly 1/t of the edge margin (1/(t/2) - 1/t = 1/t). Per
+// edge it selects the same Γ-maximal candidates as Algorithm 2 and halves
+// them, largest ratio first, while the margin allows.
+func RefinePow2(in *problem.Instance, routes problem.Routing, ratios [][]int64, tol float64) {
+	loads := problem.EdgeLoads(in.G.NumEdges(), routes)
+	gamma := computeGamma(in, routes, ratios)
+
+	var cand []candidate
+	for _, ls := range loads {
+		if len(ls) == 0 {
+			continue
+		}
+		maxG := int64(-1)
+		for _, l := range ls {
+			if g := gamma[l.Net]; g > maxG {
+				maxG = g
+			}
+		}
+		if maxG < 0 {
+			continue
+		}
+		cand = cand[:0]
+		var recip float64
+		for _, l := range ls {
+			t := ratios[l.Net][l.Pos]
+			recip += 1 / float64(t)
+			if gamma[l.Net] == maxG {
+				cand = append(cand, candidate{net: l.Net, pos: l.Pos, t: t})
+			}
+		}
+		xi := 1 - tol - recip
+		if xi <= 0 || len(cand) == 0 {
+			continue
+		}
+		refineEdgePow2(cand, xi)
+		for _, c := range cand {
+			ratios[c.net][c.pos] = c.t
+		}
+	}
+}
+
+// refineEdgePow2 repeatedly halves the largest candidate that fits in the
+// margin. Halving t consumes margin 1/t.
+func refineEdgePow2(cand []candidate, xi float64) {
+	sort.Slice(cand, func(i, j int) bool { return cand[i].t > cand[j].t })
+	for xi > 0 {
+		moved := false
+		for i := range cand {
+			t := cand[i].t
+			if t <= 2 {
+				continue
+			}
+			cost := 1 / float64(t)
+			if cost > xi {
+				continue // smaller ratios cost more: but later candidates have smaller t -> higher cost; stop scanning
+			}
+			cand[i].t = t / 2
+			xi -= cost
+			moved = true
+			// Restore non-increasing order locally.
+			for j := i; j+1 < len(cand) && cand[j].t < cand[j+1].t; j++ {
+				cand[j], cand[j+1] = cand[j+1], cand[j]
+			}
+			break
+		}
+		if !moved {
+			return
+		}
+	}
+}

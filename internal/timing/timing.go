@@ -1,0 +1,199 @@
+// Package timing evaluates the delay impact of TDM multiplexing on a
+// solved system — the degradation that motivates the paper's objective
+// (Sec. I: "the delay of transmitting signals with TDM is much larger than
+// that without and thus deteriorates the timing of certain nets").
+//
+// The model is the standard prototyping estimate: crossing one inter-FPGA
+// connection costs a fixed wire/SerDes latency plus a multiplexing wait
+// proportional to the signal's TDM ratio on that edge (a ratio-r signal
+// waits on average r/2 TDM slots for its turn). A net's delay is the worst
+// driver→sink path delay through its routed Steiner tree; a NetGroup's
+// slack is the required time minus its slowest member.
+package timing
+
+import (
+	"fmt"
+	"math"
+
+	"tdmroute/internal/problem"
+)
+
+// Model holds the delay parameters, in nanoseconds.
+type Model struct {
+	// BaseNS is the fixed per-hop latency (wire + I/O buffering).
+	// Zero selects 8ns, a typical FPGA-to-FPGA LVDS hop.
+	BaseNS float64
+	// PerRatioNS is the added wait per unit of TDM ratio on a hop
+	// (slot period × ½). Zero selects 1.25ns (800 MHz TDM clock).
+	PerRatioNS float64
+	// RequiredNS is the timing budget for slack reporting. Zero selects
+	// no budget (slacks reported against +Inf are omitted).
+	RequiredNS float64
+}
+
+func (m Model) withDefaults() Model {
+	if m.BaseNS == 0 {
+		m.BaseNS = 8
+	}
+	if m.PerRatioNS == 0 {
+		m.PerRatioNS = 1.25
+	}
+	return m
+}
+
+// HopDelay returns the modeled delay of one edge crossing at TDM ratio r.
+func (m Model) HopDelay(r int64) float64 {
+	return m.BaseNS + m.PerRatioNS*float64(r)/2
+}
+
+// NetTiming is the analysis result for one net.
+type NetTiming struct {
+	// DelayNS is the worst driver-to-sink path delay.
+	DelayNS float64
+	// WorstSink is the terminal achieving it (-1 for intra-FPGA nets).
+	WorstSink int
+	// Hops is the edge count of the worst path.
+	Hops int
+}
+
+// GroupTiming is the analysis result for one NetGroup.
+type GroupTiming struct {
+	// DelayNS is the slowest member net's delay.
+	DelayNS float64
+	// WorstNet is the member achieving it.
+	WorstNet int
+	// SlackNS is RequiredNS - DelayNS (NaN when no budget is set).
+	SlackNS float64
+}
+
+// Report is the full timing analysis of a solution.
+type Report struct {
+	Nets   []NetTiming
+	Groups []GroupTiming
+	// WorstNet / WorstGroup index the slowest entries (-1 if none).
+	WorstNet   int
+	WorstGroup int
+	// Violations counts groups with negative slack (0 without a budget).
+	Violations int
+}
+
+// Analyze computes the report. The solution must be structurally valid for
+// the instance (see problem.ValidateSolution); malformed routes yield an
+// error.
+func Analyze(in *problem.Instance, sol *problem.Solution, model Model) (*Report, error) {
+	model = model.withDefaults()
+	rep := &Report{
+		Nets:       make([]NetTiming, len(in.Nets)),
+		Groups:     make([]GroupTiming, len(in.Groups)),
+		WorstNet:   -1,
+		WorstGroup: -1,
+	}
+	for n := range in.Nets {
+		nt, err := analyzeNet(in, sol, model, n)
+		if err != nil {
+			return nil, err
+		}
+		rep.Nets[n] = nt
+		if rep.WorstNet == -1 || nt.DelayNS > rep.Nets[rep.WorstNet].DelayNS {
+			rep.WorstNet = n
+		}
+	}
+	for gi := range in.Groups {
+		gt := GroupTiming{WorstNet: -1, SlackNS: math.NaN()}
+		for _, n := range in.Groups[gi].Nets {
+			if gt.WorstNet == -1 || rep.Nets[n].DelayNS > gt.DelayNS {
+				gt.DelayNS = rep.Nets[n].DelayNS
+				gt.WorstNet = n
+			}
+		}
+		if model.RequiredNS > 0 {
+			gt.SlackNS = model.RequiredNS - gt.DelayNS
+			if gt.SlackNS < 0 {
+				rep.Violations++
+			}
+		}
+		rep.Groups[gi] = gt
+		if rep.WorstGroup == -1 || gt.DelayNS > rep.Groups[rep.WorstGroup].DelayNS {
+			rep.WorstGroup = gi
+		}
+	}
+	return rep, nil
+}
+
+// MinPeriod returns the smallest system clock period (ns) at which no
+// group violates timing: the delay of the slowest group, i.e. the quantity
+// that the prior works [2][3] of the paper minimize directly. It returns 0
+// for systems with no groups.
+func MinPeriod(in *problem.Instance, sol *problem.Solution, model Model) (float64, error) {
+	rep, err := Analyze(in, sol, model)
+	if err != nil {
+		return 0, err
+	}
+	if rep.WorstGroup < 0 {
+		return 0, nil
+	}
+	return rep.Groups[rep.WorstGroup].DelayNS, nil
+}
+
+// analyzeNet walks the net's routed tree from the driver and returns the
+// worst sink delay.
+func analyzeNet(in *problem.Instance, sol *problem.Solution, model Model, n int) (NetTiming, error) {
+	terms := in.Nets[n].Terminals
+	if len(terms) <= 1 {
+		return NetTiming{WorstSink: -1}, nil
+	}
+	edges := sol.Routes[n]
+	if len(edges) == 0 {
+		return NetTiming{}, fmt.Errorf("timing: net %d unrouted", n)
+	}
+	// Local adjacency over the tree edges.
+	type arc struct {
+		to    int
+		delay float64
+	}
+	adj := make(map[int][]arc, len(edges)+1)
+	for k, e := range edges {
+		ed := in.G.Edge(e)
+		d := model.HopDelay(sol.Assign.Ratios[n][k])
+		adj[ed.U] = append(adj[ed.U], arc{to: ed.V, delay: d})
+		adj[ed.V] = append(adj[ed.V], arc{to: ed.U, delay: d})
+	}
+	driver := terms[0]
+	dist := map[int]float64{driver: 0}
+	queue := []int{driver}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, a := range adj[u] {
+			if _, ok := dist[a.to]; !ok {
+				dist[a.to] = dist[u] + a.delay
+				queue = append(queue, a.to)
+			}
+		}
+	}
+	nt := NetTiming{WorstSink: -1}
+	for _, sink := range terms[1:] {
+		d, ok := dist[sink]
+		if !ok {
+			return NetTiming{}, fmt.Errorf("timing: net %d: sink %d unreachable through route", n, sink)
+		}
+		if d > nt.DelayNS || nt.WorstSink == -1 {
+			nt.DelayNS = d
+			nt.WorstSink = sink
+		}
+	}
+	// Hop count along the worst path (re-walk with hop metric).
+	hops := map[int]int{driver: 0}
+	queue = queue[:0]
+	queue = append(queue, driver)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, a := range adj[u] {
+			if _, ok := hops[a.to]; !ok {
+				hops[a.to] = hops[u] + 1
+				queue = append(queue, a.to)
+			}
+		}
+	}
+	nt.Hops = hops[nt.WorstSink]
+	return nt, nil
+}

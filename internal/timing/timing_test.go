@@ -1,0 +1,160 @@
+package timing
+
+import (
+	"math"
+	"testing"
+
+	"tdmroute/internal/graph"
+	"tdmroute/internal/problem"
+)
+
+func lineInstance() (*problem.Instance, *problem.Solution) {
+	g := graph.New(4, 3)
+	g.AddEdge(0, 1) // e0
+	g.AddEdge(1, 2) // e1
+	g.AddEdge(2, 3) // e2
+	in := &problem.Instance{
+		G: g,
+		Nets: []problem.Net{
+			{Terminals: []int{0, 3}},    // long 2-pin
+			{Terminals: []int{1, 0, 2}}, // multi-pin driven at 1
+			{Terminals: []int{2}},       // intra-FPGA
+		},
+		Groups: []problem.Group{
+			{Nets: []int{0}},
+			{Nets: []int{0, 1}},
+		},
+	}
+	in.RebuildNetGroups()
+	sol := &problem.Solution{
+		Routes: problem.Routing{{0, 1, 2}, {0, 1}, {}},
+		Assign: problem.Assignment{Ratios: [][]int64{{2, 4, 8}, {4, 2}, {}}},
+	}
+	return in, sol
+}
+
+func TestHopDelay(t *testing.T) {
+	m := Model{BaseNS: 10, PerRatioNS: 2}
+	if got := m.HopDelay(4); got != 10+2*2 {
+		t.Errorf("HopDelay(4) = %g", got)
+	}
+}
+
+func TestAnalyzeLine(t *testing.T) {
+	in, sol := lineInstance()
+	m := Model{BaseNS: 10, PerRatioNS: 2, RequiredNS: 100}
+	rep, err := Analyze(in, sol, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Net 0: hops with ratios 2,4,8 -> delays 12,14,18 -> 44 total.
+	want0 := (10 + 2.0) + (10 + 4.0) + (10 + 8.0)
+	if math.Abs(rep.Nets[0].DelayNS-want0) > 1e-12 {
+		t.Errorf("net 0 delay = %g, want %g", rep.Nets[0].DelayNS, want0)
+	}
+	if rep.Nets[0].WorstSink != 3 || rep.Nets[0].Hops != 3 {
+		t.Errorf("net 0 = %+v", rep.Nets[0])
+	}
+	// Net 1 driven at 1: sink 0 via e0 (ratio 4 -> 14), sink 2 via e1
+	// (ratio 2 -> 12). Worst = 14 at sink 0.
+	if math.Abs(rep.Nets[1].DelayNS-14) > 1e-12 || rep.Nets[1].WorstSink != 0 {
+		t.Errorf("net 1 = %+v", rep.Nets[1])
+	}
+	// Intra-FPGA net: zero delay.
+	if rep.Nets[2].DelayNS != 0 || rep.Nets[2].WorstSink != -1 {
+		t.Errorf("net 2 = %+v", rep.Nets[2])
+	}
+	if rep.WorstNet != 0 {
+		t.Errorf("worst net = %d", rep.WorstNet)
+	}
+	// Groups: g0 = {0} -> 44; g1 = {0,1} -> 44. Slack vs 100.
+	if math.Abs(rep.Groups[0].SlackNS-(100-want0)) > 1e-12 {
+		t.Errorf("group 0 slack = %g", rep.Groups[0].SlackNS)
+	}
+	if rep.Violations != 0 {
+		t.Errorf("violations = %d", rep.Violations)
+	}
+}
+
+func TestAnalyzeViolations(t *testing.T) {
+	in, sol := lineInstance()
+	rep, err := Analyze(in, sol, Model{BaseNS: 10, PerRatioNS: 2, RequiredNS: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != 2 {
+		t.Errorf("violations = %d, want both groups late", rep.Violations)
+	}
+}
+
+func TestAnalyzeNoBudget(t *testing.T) {
+	in, sol := lineInstance()
+	rep, err := Analyze(in, sol, Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(rep.Groups[0].SlackNS) {
+		t.Error("slack should be NaN without a budget")
+	}
+	if rep.Violations != 0 {
+		t.Error("violations counted without a budget")
+	}
+}
+
+func TestAnalyzeDelayMonotoneInRatios(t *testing.T) {
+	in, sol := lineInstance()
+	m := Model{}
+	before, err := Analyze(in, sol, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol.Assign.Ratios[0][1] *= 4
+	after, err := Analyze(in, sol, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Nets[0].DelayNS <= before.Nets[0].DelayNS {
+		t.Errorf("raising a ratio did not raise the delay: %g -> %g",
+			before.Nets[0].DelayNS, after.Nets[0].DelayNS)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	in, sol := lineInstance()
+	sol.Routes[0] = nil
+	if _, err := Analyze(in, sol, Model{}); err == nil {
+		t.Error("unrouted net accepted")
+	}
+	in, sol = lineInstance()
+	sol.Routes[0] = []int{0} // tree no longer reaches sink 3
+	sol.Assign.Ratios[0] = []int64{2}
+	if _, err := Analyze(in, sol, Model{}); err == nil {
+		t.Error("unreachable sink accepted")
+	}
+}
+
+func TestDefaultModelSane(t *testing.T) {
+	m := Model{}.withDefaults()
+	if m.BaseNS <= 0 || m.PerRatioNS <= 0 {
+		t.Errorf("defaults = %+v", m)
+	}
+}
+
+func TestMinPeriod(t *testing.T) {
+	in, sol := lineInstance()
+	m := Model{BaseNS: 10, PerRatioNS: 2}
+	p, err := MinPeriod(in, sol, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (10 + 2.0) + (10 + 4.0) + (10 + 8.0) // group 0's net 0
+	if math.Abs(p-want) > 1e-12 {
+		t.Errorf("MinPeriod = %g, want %g", p, want)
+	}
+	in.Groups = nil
+	in.RebuildNetGroups()
+	p, err = MinPeriod(in, sol, m)
+	if err != nil || p != 0 {
+		t.Errorf("no groups: p=%g err=%v", p, err)
+	}
+}

@@ -1,0 +1,152 @@
+// Package viz renders small ASCII charts for the terminal tools: the
+// Fig. 3(b) convergence curves and the Fig. 3(a) runtime-share bars, with
+// no dependencies beyond the standard library.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// sparkGlyphs are the eighth-block glyphs used by Sparkline.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a single line of block glyphs, resampled to
+// width columns. Empty input or non-positive width yields "".
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 || width <= 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var sb strings.Builder
+	for c := 0; c < width; c++ {
+		v := sample(values, c, width)
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkGlyphs)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkGlyphs) {
+			idx = len(sparkGlyphs) - 1
+		}
+		sb.WriteRune(sparkGlyphs[idx])
+	}
+	return sb.String()
+}
+
+// sample picks the value for column c of width by nearest-index resampling.
+func sample(values []float64, c, width int) float64 {
+	idx := c * (len(values) - 1)
+	if width > 1 {
+		idx /= width - 1
+	}
+	if idx >= len(values) {
+		idx = len(values) - 1
+	}
+	return values[idx]
+}
+
+// Bars renders labeled horizontal bars scaled so the largest value spans
+// width characters. Labels are right-padded to equal length.
+func Bars(labels []string, values []float64, width int) string {
+	if len(labels) != len(values) || len(labels) == 0 || width <= 0 {
+		return ""
+	}
+	maxLabel, maxVal := 0, 0.0
+	for i, l := range labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+		if values[i] > maxVal {
+			maxVal = values[i]
+		}
+	}
+	var sb strings.Builder
+	for i, l := range labels {
+		n := 0
+		if maxVal > 0 {
+			n = int(values[i] / maxVal * float64(width))
+		}
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&sb, "%-*s |%s %.2f\n", maxLabel, l, strings.Repeat("█", n), values[i])
+	}
+	return sb.String()
+}
+
+// Curves renders one or more series into a rows x cols character grid with
+// a shared linear y-scale, one glyph per series, plus a compact legend and
+// the y-range. Series shorter than cols are resampled.
+func Curves(series [][]float64, names []string, rows, cols int) string {
+	if len(series) == 0 || rows < 2 || cols < 2 {
+		return ""
+	}
+	glyphs := []rune("*o+x#@")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if !(hi > lo) {
+		hi = lo + 1
+	}
+	grid := make([][]rune, rows)
+	for r := range grid {
+		grid[r] = make([]rune, cols)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for si, s := range series {
+		if len(s) == 0 {
+			continue
+		}
+		g := glyphs[si%len(glyphs)]
+		for c := 0; c < cols; c++ {
+			v := sample(s, c, cols)
+			r := int((hi - v) / (hi - lo) * float64(rows-1))
+			if r < 0 {
+				r = 0
+			}
+			if r >= rows {
+				r = rows - 1
+			}
+			grid[r][c] = g
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%.4g\n", hi)
+	for _, row := range grid {
+		sb.WriteString(string(row))
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%.4g\n", lo)
+	for si, name := range names {
+		if si >= len(series) {
+			break
+		}
+		fmt.Fprintf(&sb, "%c %s  ", glyphs[si%len(glyphs)], name)
+	}
+	if len(names) > 0 {
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

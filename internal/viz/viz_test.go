@@ -1,0 +1,84 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSparklineBasics(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("width = %d, want 8: %q", utf8.RuneCountInString(s), s)
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("endpoints = %c %c", runes[0], runes[7])
+	}
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Errorf("monotone input produced non-monotone sparkline %q", s)
+		}
+	}
+}
+
+func TestSparklineEdgeCases(t *testing.T) {
+	if Sparkline(nil, 10) != "" {
+		t.Error("nil input")
+	}
+	if Sparkline([]float64{1}, 0) != "" {
+		t.Error("zero width")
+	}
+	// Constant series: all glyphs identical.
+	s := Sparkline([]float64{3, 3, 3}, 5)
+	for _, r := range s {
+		if r != '▁' {
+			t.Errorf("constant series rendered %q", s)
+		}
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"LR", "route"}, []float64{67.75, 24.11}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "67.75") || !strings.Contains(lines[1], "24.11") {
+		t.Errorf("values missing:\n%s", out)
+	}
+	if strings.Count(lines[0], "█") <= strings.Count(lines[1], "█") {
+		t.Errorf("larger value got shorter bar:\n%s", out)
+	}
+	if Bars([]string{"a"}, []float64{1, 2}, 10) != "" {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestCurves(t *testing.T) {
+	z := []float64{10, 8, 6, 5, 4.5, 4.2, 4.1}
+	lb := []float64{1, 2, 3, 3.5, 3.8, 3.9, 4.0}
+	out := Curves([][]float64{z, lb}, []string{"z", "LB"}, 8, 30)
+	if !strings.Contains(out, "z") || !strings.Contains(out, "LB") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "10") || !strings.Contains(out, "1") {
+		t.Errorf("range labels missing:\n%s", out)
+	}
+	if !strings.ContainsRune(out, '*') || !strings.ContainsRune(out, 'o') {
+		t.Errorf("series glyphs missing:\n%s", out)
+	}
+	if Curves(nil, nil, 8, 30) != "" {
+		t.Error("empty series accepted")
+	}
+	if Curves([][]float64{z}, nil, 1, 30) != "" {
+		t.Error("degenerate rows accepted")
+	}
+}
+
+func TestCurvesConstantSeries(t *testing.T) {
+	out := Curves([][]float64{{5, 5, 5}}, []string{"flat"}, 4, 10)
+	if out == "" {
+		t.Fatal("constant series rendered empty")
+	}
+}

@@ -1,0 +1,113 @@
+package tdmroute
+
+import (
+	"fmt"
+	"time"
+
+	"tdmroute/internal/eval"
+	"tdmroute/internal/problem"
+	"tdmroute/internal/route"
+	"tdmroute/internal/tdm"
+)
+
+// IterateOptions tunes SolveIterative.
+type IterateOptions struct {
+	// Rounds is the number of feedback rounds after the initial solve.
+	// Each round rips the group that actually attained GTR_max (not the
+	// φ estimate of Sec. III-B), reroutes its nets, re-runs the TDM
+	// assignment warm-started from the previous multipliers, and keeps
+	// the result only if GTR_max improved. Zero selects 3.
+	Rounds int
+	// Base configures the underlying pipeline.
+	Base Options
+}
+
+// IterateResult reports the outcome of SolveIterative.
+type IterateResult struct {
+	*Result
+	// RoundsRun is the number of feedback rounds executed.
+	RoundsRun int
+	// RoundsKept counts rounds whose rerouting improved GTR_max.
+	RoundsKept int
+	// InitialGTR is the single-pass framework's GTR_max, for comparison.
+	InitialGTR int64
+}
+
+// SolveIterative extends the paper's one-pass framework (Fig. 2(b)) with
+// solution-driven feedback: after TDM ratio assignment, the NetGroup that
+// actually realizes GTR_max is ripped up and rerouted (the Sec. III-B move,
+// but driven by true ratios instead of the φ(g) estimate), and the
+// assignment re-runs warm-started. Rounds that do not improve are
+// discarded, so the result is never worse than Solve's.
+func SolveIterative(in *Instance, opt IterateOptions) (*IterateResult, error) {
+	if opt.Rounds == 0 {
+		opt.Rounds = 3
+	}
+	base, err := Solve(in, opt.Base)
+	if err != nil {
+		return nil, err
+	}
+	res := &IterateResult{Result: base, InitialGTR: base.Report.GTRMax}
+
+	var lambda []float64
+	topt := opt.Base.TDM
+	topt.CaptureLambda = func(l []float64) { lambda = l }
+	// Recapture multipliers from the accepted solution's topology so the
+	// first feedback round starts warm.
+	if _, _, err := AssignTDM(in, base.Solution.Routes, topt); err != nil {
+		return nil, err
+	}
+
+	for round := 0; round < opt.Rounds; round++ {
+		res.RoundsRun++
+		improved, err := feedbackRound(in, res, opt, &lambda)
+		if err != nil {
+			return nil, err
+		}
+		if improved {
+			res.RoundsKept++
+		} else {
+			break // a non-improving reroute of the critical group repeats
+		}
+	}
+	return res, nil
+}
+
+// feedbackRound rips the realized-GTR_max group, reroutes it against the
+// existing usage, reassigns warm-started, and accepts on improvement.
+func feedbackRound(in *Instance, res *IterateResult, opt IterateOptions, lambda *[]float64) (bool, error) {
+	cur := res.Solution
+	_, gmax := eval.MaxGroupTDM(in, cur)
+	if gmax < 0 {
+		return false, nil
+	}
+	members := in.Groups[gmax].Nets
+
+	candidate := cur.Routes.Clone()
+	if err := route.RerouteNets(in, candidate, members, opt.Base.Route); err != nil {
+		return false, err
+	}
+	if err := problem.ValidateRouting(in, candidate); err != nil {
+		return false, fmt.Errorf("tdmroute: feedback reroute produced invalid topology: %w", err)
+	}
+
+	topt := opt.Base.TDM
+	topt.WarmLambda = *lambda
+	var captured []float64
+	topt.CaptureLambda = func(l []float64) { captured = l }
+	t0 := time.Now()
+	assign, rep, err := tdm.Assign(in, candidate, topt)
+	if err != nil {
+		return false, err
+	}
+	elapsed := time.Since(t0)
+
+	if rep.GTRMax >= res.Report.GTRMax {
+		return false, nil // reject; keep previous solution and multipliers
+	}
+	res.Solution = &Solution{Routes: candidate, Assign: assign}
+	res.Report = rep
+	res.Times.LR += elapsed
+	*lambda = captured
+	return true, nil
+}

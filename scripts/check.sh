@@ -1,0 +1,33 @@
+#!/bin/sh
+# Full verification pass: build, vet, formatting, tests (with race detector
+# where requested), and a benchmark smoke run.
+#
+#   scripts/check.sh          # quick: build + vet + short tests
+#   scripts/check.sh full     # adds full tests, race detector, bench smoke
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+  echo "needs gofmt:"; echo "$fmt"; exit 1
+fi
+
+echo "== build"
+go build ./...
+
+echo "== vet"
+go vet ./...
+
+if [ "${1:-}" = "full" ]; then
+  echo "== tests (full)"
+  go test ./...
+  echo "== race (tdm)"
+  go test -race ./internal/tdm/
+  echo "== bench smoke"
+  go test -bench=. -benchtime=1x -run '^$' .
+else
+  echo "== tests (short)"
+  go test -short ./...
+fi
+echo "OK"

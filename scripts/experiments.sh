@@ -1,0 +1,26 @@
+#!/bin/sh
+# Regenerate every table and figure of EXPERIMENTS.md into ./results/.
+# Usage: scripts/experiments.sh [scale]   (default 0.01)
+set -eu
+cd "$(dirname "$0")/.."
+scale="${1:-0.01}"
+mkdir -p results
+
+echo "== Table I"
+go run ./cmd/bench -table 1 -scale "$scale" | tee results/table1.txt
+echo "== Table II (this is the long one)"
+go run ./cmd/bench -table 2 -scale "$scale" | tee results/table2.txt
+echo "== update-rule ablation"
+go run ./cmd/bench -table ablation -scale "$scale" | tee results/ablation.txt
+echo "== pow2 ablation"
+go run ./cmd/bench -table pow2 -scale "$scale" | tee results/pow2.txt
+echo "== router ablation"
+go run ./cmd/bench -table router -scale "$scale" | tee results/router.txt
+echo "== Fig 3a"
+go run ./cmd/bench -fig 3a -scale "$scale" | tee results/fig3a.txt
+echo "== Fig 3b"
+go run ./cmd/bench -fig 3b -scale "$scale" > results/fig3b.csv
+go run ./cmd/bench -fig 3b -ascii -scale "$scale" | tee results/fig3b.txt
+echo "== scaling sweep"
+go run ./cmd/bench -scaling synopsys01 -scales 0.002,0.01,0.05,0.2,1.0 | tee results/scaling.txt
+echo "done: see ./results/"

@@ -1,0 +1,239 @@
+package tdmroute_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tdmroute"
+	"tdmroute/internal/gen"
+)
+
+func genInstance(t testing.TB, name string, scale float64) *tdmroute.Instance {
+	t.Helper()
+	cfg, err := gen.SuiteConfig(name, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestSolveEndToEnd(t *testing.T) {
+	in := genInstance(t, "synopsys01", 0.005)
+	res, err := tdmroute.Solve(in, tdmroute.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tdmroute.ValidateSolution(in, res.Solution); err != nil {
+		t.Fatalf("invalid solution: %v", err)
+	}
+	gtr, _ := tdmroute.Evaluate(in, res.Solution)
+	if gtr != res.Report.GTRMax {
+		t.Errorf("reported GTRMax %d != evaluated %d", res.Report.GTRMax, gtr)
+	}
+	if res.Report.GTRMax > res.Report.GTRNoRef {
+		t.Errorf("refinement worsened: %d > %d", res.Report.GTRMax, res.Report.GTRNoRef)
+	}
+	if float64(res.Report.GTRMax) < res.Report.LowerBound {
+		t.Errorf("GTR %d below lower bound %g", res.Report.GTRMax, res.Report.LowerBound)
+	}
+	if res.Times.Route <= 0 || res.Times.LR <= 0 {
+		t.Errorf("stage times not recorded: %+v", res.Times)
+	}
+	if res.Times.Total() != res.Times.Route+res.Times.LR+res.Times.LegalRefine {
+		t.Error("Total() mismatch")
+	}
+}
+
+func TestAssignTDMOnExternalTopology(t *testing.T) {
+	in := genInstance(t, "synopsys02", 0.005)
+	res, err := tdmroute.Solve(in, tdmroute.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip the topology through the text format, as the "+TA"
+	// experiment does with the winners' output files.
+	var buf bytes.Buffer
+	if err := tdmroute.WriteRouting(&buf, res.Solution.Routes); err != nil {
+		t.Fatal(err)
+	}
+	routes, err := tdmroute.ParseRouting(&buf, in.G.NumEdges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tdmroute.ValidateRouting(in, routes); err != nil {
+		t.Fatal(err)
+	}
+	assign, rep, err := tdmroute.AssignTDM(in, routes, tdmroute.TDMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := &tdmroute.Solution{Routes: routes, Assign: assign}
+	if err := tdmroute.ValidateSolution(in, sol); err != nil {
+		t.Fatal(err)
+	}
+	// Same topology, same algorithm: the result must match Solve's.
+	if rep.GTRMax != res.Report.GTRMax {
+		t.Errorf("AssignTDM GTRMax %d != Solve's %d on identical topology", rep.GTRMax, res.Report.GTRMax)
+	}
+}
+
+func TestInstanceTextRoundTripThroughFacade(t *testing.T) {
+	in := genInstance(t, "hidden01", 0.002)
+	var buf bytes.Buffer
+	if err := tdmroute.WriteInstance(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := tdmroute.ParseInstance("rt", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tdmroute.ValidateInstance(back); err != nil {
+		t.Fatal(err)
+	}
+	a, b := tdmroute.ComputeStats(in), tdmroute.ComputeStats(back)
+	a.Name, b.Name = "", ""
+	if a != b {
+		t.Errorf("stats changed across round trip:\n  %+v\n  %+v", a, b)
+	}
+}
+
+func TestSolveDeterministic(t *testing.T) {
+	in := genInstance(t, "synopsys01", 0.003)
+	r1, err := tdmroute.Solve(in, tdmroute.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := tdmroute.Solve(in, tdmroute.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Report.GTRMax != r2.Report.GTRMax || r1.Report.Iterations != r2.Report.Iterations {
+		t.Errorf("nondeterministic: %+v vs %+v", r1.Report, r2.Report)
+	}
+}
+
+func TestSolveTraceOption(t *testing.T) {
+	in := genInstance(t, "synopsys01", 0.002)
+	count := 0
+	_, err := tdmroute.Solve(in, tdmroute.Options{
+		TDM: tdmroute.TDMOptions{Trace: func(iter int, z, lb float64) {
+			count++
+			if lb > z*(1+1e-9) {
+				t.Errorf("iter %d: lb %g above z %g", iter, lb, z)
+			}
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 {
+		t.Error("trace never fired")
+	}
+}
+
+func TestSolutionFileRoundTrip(t *testing.T) {
+	in := genInstance(t, "synopsys01", 0.002)
+	res, err := tdmroute.Solve(in, tdmroute.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tdmroute.WriteSolution(&buf, res.Solution); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.ContainsAny(buf.String(), "0123456789") {
+		t.Fatal("empty solution file")
+	}
+	back, err := tdmroute.ParseSolution(&buf, in.G.NumEdges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tdmroute.ValidateSolution(in, back); err != nil {
+		t.Fatal(err)
+	}
+	gtrA, _ := tdmroute.Evaluate(in, res.Solution)
+	gtrB, _ := tdmroute.Evaluate(in, back)
+	if gtrA != gtrB {
+		t.Errorf("GTR changed across file round trip: %d vs %d", gtrA, gtrB)
+	}
+}
+
+func TestVerifySchedulesOnSolvedInstance(t *testing.T) {
+	in := genInstance(t, "synopsys01", 0.003)
+	res, err := tdmroute.Solve(in, tdmroute.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verified, skipped, err := tdmroute.VerifySchedules(in, res.Solution)
+	if err != nil {
+		t.Fatalf("schedule verification failed: %v", err)
+	}
+	if verified == 0 {
+		t.Fatal("no edges verified")
+	}
+	t.Logf("schedules verified on %d edges (%d skipped for frame length)", verified, skipped)
+}
+
+func TestVerifySchedulesDetectsOverload(t *testing.T) {
+	in := genInstance(t, "synopsys01", 0.002)
+	res, err := tdmroute.Solve(in, tdmroute.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: drop every large ratio to 2 regardless of the edge's load,
+	// overloading the slot budget somewhere.
+	sol := res.Solution
+	broken := false
+	for n := range sol.Assign.Ratios {
+		for k := range sol.Assign.Ratios[n] {
+			if sol.Assign.Ratios[n][k] > 4 {
+				sol.Assign.Ratios[n][k] = 2
+				broken = true
+			}
+		}
+	}
+	if !broken {
+		t.Skip("instance too small to create an overload")
+	}
+	if _, _, err := tdmroute.VerifySchedules(in, sol); err == nil {
+		// Possible if no edge actually overflowed; force-check with the
+		// validator instead.
+		if verr := tdmroute.ValidateSolution(in, sol); verr == nil {
+			t.Skip("corruption did not overload any edge")
+		}
+	}
+}
+
+// TestGoldenDeterminism pins the exact objective of a fixed-seed benchmark;
+// any change to routing order, LR arithmetic, or refinement shows up here
+// as a diff rather than silently shifting results.
+func TestGoldenDeterminism(t *testing.T) {
+	in := genInstance(t, "synopsys01", 0.005)
+	res, err := tdmroute.Solve(in, tdmroute.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := tdmroute.Solve(in, tdmroute.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.GTRMax != r1.Report.GTRMax || res.Report.GTRNoRef != r1.Report.GTRNoRef ||
+		res.Report.Iterations != r1.Report.Iterations {
+		t.Fatalf("nondeterministic pipeline: %+v vs %+v", res.Report, r1.Report)
+	}
+	// Golden values for this seed/scale. If an intentional algorithm
+	// change shifts them, update the constants alongside the change.
+	const (
+		goldenGTR   = 60
+		goldenNoRef = 64
+	)
+	if res.Report.GTRMax != goldenGTR || res.Report.GTRNoRef != goldenNoRef {
+		t.Errorf("golden drift: GTRMax=%d (want %d) GTRNoRef=%d (want %d)",
+			res.Report.GTRMax, goldenGTR, res.Report.GTRNoRef, goldenNoRef)
+	}
+}
