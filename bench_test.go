@@ -7,7 +7,9 @@
 package tdmroute_test
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"tdmroute"
@@ -114,6 +116,21 @@ func BenchmarkStageRouting(b *testing.B) {
 		if _, _, err := route.Route(in, route.Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkStageRoutingParallel compares the sequential router against the
+// wave-parallel one at the machine's core count (Options.Workers).
+func BenchmarkStageRoutingParallel(b *testing.B) {
+	in := genInstance(b, "synopsys01", benchScale)
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := route.Route(in, route.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -37,11 +37,12 @@ func main() {
 		scaling = flag.String("scaling", "", "run the size sweep on this benchmark (uses -scales)")
 		scales  = flag.String("scales", "0.002,0.01,0.05", "comma-separated scale factors for -scaling")
 		ascii   = flag.Bool("ascii", false, "render figures as ASCII charts (3a bars, 3b curves)")
+		workers = flag.Int("workers", 1, "worker goroutines per solve (1 = sequential; try runtime.NumCPU())")
 		verbose = flag.Bool("v", false, "print per-benchmark progress to stderr")
 	)
 	flag.Parse()
 
-	cfg := exp.Config{Scale: *scale}
+	cfg := exp.Config{Scale: *scale, Workers: *workers}
 	if *subset != "" {
 		cfg.Benchmarks = strings.Split(*subset, ",")
 	}

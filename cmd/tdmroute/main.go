@@ -5,7 +5,7 @@
 // Usage:
 //
 //	tdmroute -in bench.txt [-out sol.txt] [-topology routes.txt]
-//	         [-epsilon 0.0027] [-maxiter 500] [-ripup 5] [-trace]
+//	         [-epsilon 0.0027] [-maxiter 500] [-ripup 5] [-workers N] [-trace]
 //
 // With -topology, the routing stage is skipped and the TDM ratio assignment
 // runs on the supplied topology (the "+TA" experiment of Table II).
@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"tdmroute"
@@ -32,19 +33,20 @@ func main() {
 		jsonIO   = flag.Bool("json", false, "read the instance and write the solution as JSON")
 		pow2     = flag.Bool("pow2", false, "restrict TDM ratios to powers of two (refs [2][3] domain)")
 		iterate  = flag.Int("iterate", 0, "feedback rounds of iterated co-optimization (0 = single pass)")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for routing and TDM assignment (1 = sequential)")
 	)
 	flag.Parse()
 	if *inPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*inPath, *outPath, *topoPath, *epsilon, *maxIter, *ripup, *trace, *jsonIO, *pow2, *iterate); err != nil {
+	if err := run(*inPath, *outPath, *topoPath, *epsilon, *maxIter, *ripup, *workers, *trace, *jsonIO, *pow2, *iterate); err != nil {
 		fmt.Fprintln(os.Stderr, "tdmroute:", err)
 		os.Exit(1)
 	}
 }
 
-func run(inPath, outPath, topoPath string, epsilon float64, maxIter, ripup int, trace, jsonIO, pow2 bool, iterate int) error {
+func run(inPath, outPath, topoPath string, epsilon float64, maxIter, ripup, workers int, trace, jsonIO, pow2 bool, iterate int) error {
 	t0 := time.Now()
 	in, err := loadInstance(inPath, jsonIO)
 	if err != nil {
@@ -57,7 +59,7 @@ func run(inPath, outPath, topoPath string, epsilon float64, maxIter, ripup int, 
 	stats := tdmroute.ComputeStats(in)
 	fmt.Println(stats)
 
-	topt := tdmroute.TDMOptions{Epsilon: epsilon, MaxIter: maxIter}
+	topt := tdmroute.TDMOptions{Epsilon: epsilon, MaxIter: maxIter, Workers: workers}
 	if pow2 {
 		topt.Legal = tdmroute.LegalPow2
 	}
@@ -96,8 +98,9 @@ func run(inPath, outPath, topoPath string, epsilon float64, maxIter, ripup int, 
 		res, err := tdmroute.SolveIterative(in, tdmroute.IterateOptions{
 			Rounds: iterate,
 			Base: tdmroute.Options{
-				Route: tdmroute.RouteOptions{RipUpRounds: ripup},
-				TDM:   topt,
+				Route:   tdmroute.RouteOptions{RipUpRounds: ripup},
+				TDM:     topt,
+				Workers: workers,
 			},
 		})
 		if err != nil {
@@ -111,8 +114,9 @@ func run(inPath, outPath, topoPath string, epsilon float64, maxIter, ripup int, 
 			res.InitialGTR, res.RoundsKept, res.RoundsRun)
 	} else {
 		res, err := tdmroute.Solve(in, tdmroute.Options{
-			Route: tdmroute.RouteOptions{RipUpRounds: ripup},
-			TDM:   topt,
+			Route:   tdmroute.RouteOptions{RipUpRounds: ripup},
+			TDM:     topt,
+			Workers: workers,
 		})
 		if err != nil {
 			return err

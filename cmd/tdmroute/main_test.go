@@ -29,7 +29,7 @@ func writeBench(t *testing.T) string {
 func TestRunFullFlow(t *testing.T) {
 	in := writeBench(t)
 	out := filepath.Join(t.TempDir(), "sol.txt")
-	if err := run(in, out, "", 0, 0, 0, false, false, false, 0); err != nil {
+	if err := run(in, out, "", 0, 0, 0, 2, false, false, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(out); err != nil {
@@ -52,12 +52,12 @@ func TestRunFullFlow(t *testing.T) {
 func TestRunTopologyOnly(t *testing.T) {
 	in := writeBench(t)
 	solPath := filepath.Join(t.TempDir(), "sol.txt")
-	if err := run(in, solPath, "", 0, 0, 0, false, false, false, 0); err != nil {
+	if err := run(in, solPath, "", 0, 0, 0, 1, false, false, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	// Use the solution file as a topology input (ratios ignored).
 	out2 := filepath.Join(t.TempDir(), "sol2.txt")
-	if err := run(in, out2, solPath, 0.01, 100, 0, true, false, false, 0); err != nil {
+	if err := run(in, out2, solPath, 0.01, 100, 0, 2, true, false, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(out2); err != nil {
@@ -66,11 +66,11 @@ func TestRunTopologyOnly(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("/nonexistent/x.txt", "", "", 0, 0, 0, false, false, false, 0); err == nil {
+	if err := run("/nonexistent/x.txt", "", "", 0, 0, 0, 0, false, false, false, 0); err == nil {
 		t.Error("missing input accepted")
 	}
 	in := writeBench(t)
-	if err := run(in, "", "/nonexistent/topo.txt", 0, 0, 0, false, false, false, 0); err == nil {
+	if err := run(in, "", "/nonexistent/topo.txt", 0, 0, 0, 0, false, false, false, 0); err == nil {
 		t.Error("missing topology accepted")
 	}
 	// Corrupt instance file.
@@ -78,7 +78,7 @@ func TestRunErrors(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("not numbers"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(bad, "", "", 0, 0, 0, false, false, false, 0); err == nil {
+	if err := run(bad, "", "", 0, 0, 0, 0, false, false, false, 0); err == nil {
 		t.Error("corrupt instance accepted")
 	}
 }
@@ -104,7 +104,7 @@ func TestRunJSONIO(t *testing.T) {
 	}
 	f.Close()
 	outPath := filepath.Join(dir, "sol.json")
-	if err := run(inPath, outPath, "", 0, 0, 0, false, true, false, 0); err != nil {
+	if err := run(inPath, outPath, "", 0, 0, 0, 0, false, true, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	sf, err := os.Open(outPath)
@@ -124,7 +124,7 @@ func TestRunJSONIO(t *testing.T) {
 func TestRunIterateAndPow2(t *testing.T) {
 	in := writeBench(t)
 	out := filepath.Join(t.TempDir(), "sol.txt")
-	if err := run(in, out, "", 0, 0, 0, false, false, true, 2); err != nil {
+	if err := run(in, out, "", 0, 0, 0, 2, false, false, true, 2); err != nil {
 		t.Fatal(err)
 	}
 	inst, err := tdmroute.LoadInstance(in)

@@ -28,6 +28,8 @@ type Config struct {
 	MaxIter int
 	// RipUpRounds forwards to the router (0 = default).
 	RipUpRounds int
+	// Workers forwards to both pipeline stages (0 = sequential).
+	Workers int
 	// Progress, when non-nil, receives one line per completed benchmark
 	// — long full-scale runs otherwise produce no output until the final
 	// table renders.
@@ -81,13 +83,14 @@ func (c Config) instances() ([]*problem.Instance, error) {
 }
 
 func (c Config) tdmOptions(bench string) tdmroute.TDMOptions {
-	return tdmroute.TDMOptions{Epsilon: epsilonFor(bench), MaxIter: c.MaxIter}
+	return tdmroute.TDMOptions{Epsilon: epsilonFor(bench), MaxIter: c.MaxIter, Workers: c.Workers}
 }
 
 func (c Config) solveOptions(bench string) tdmroute.Options {
 	return tdmroute.Options{
-		Route: tdmroute.RouteOptions{RipUpRounds: c.RipUpRounds},
-		TDM:   c.tdmOptions(bench),
+		Route:   tdmroute.RouteOptions{RipUpRounds: c.RipUpRounds},
+		TDM:     c.tdmOptions(bench),
+		Workers: c.Workers,
 	}
 }
 

@@ -119,6 +119,10 @@ type Dijkstra struct {
 	done     []bool
 }
 
+// Clone returns an independent search engine bound to the same graph, for
+// spawning one solver per worker goroutine.
+func (d *Dijkstra) Clone() *Dijkstra { return NewDijkstra(d.g) }
+
 // NewDijkstra returns a search engine bound to g.
 func NewDijkstra(g *Graph) *Dijkstra {
 	n := g.NumVertices()

@@ -20,6 +20,10 @@ type MehlhornSolver struct {
 	done     []bool
 }
 
+// Clone returns an independent solver bound to the same graph, for
+// spawning one solver per worker goroutine.
+func (m *MehlhornSolver) Clone() *MehlhornSolver { return NewMehlhornSolver(m.g) }
+
 // NewMehlhornSolver returns a solver bound to g.
 func NewMehlhornSolver(g *Graph) *MehlhornSolver {
 	n := g.NumVertices()

@@ -23,6 +23,10 @@ type SteinerCleaner struct {
 	queue     []int
 }
 
+// Clone returns an independent cleaner bound to the same graph, for
+// spawning one cleaner per worker goroutine.
+func (sc *SteinerCleaner) Clone() *SteinerCleaner { return NewSteinerCleaner(sc.g) }
+
 // NewSteinerCleaner returns a cleaner bound to g.
 func NewSteinerCleaner(g *Graph) *SteinerCleaner {
 	n, m := g.NumVertices(), g.NumEdges()

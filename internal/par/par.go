@@ -1,0 +1,76 @@
+// Package par provides the deterministic chunked fork-join helpers shared
+// by the TDM assignment and routing stages. Work over [0, n) is split into
+// one contiguous chunk per worker; chunk boundaries depend only on n, the
+// worker count, and the minimum chunk size, and callers combine per-chunk
+// partial results in chunk order, so results are deterministic for a fixed
+// worker count.
+package par
+
+import "sync"
+
+// MinChunk is the default minimum chunk size used by For and NumChunks: it
+// avoids spawning goroutines for trivially small loops whose per-item work
+// is cheap (the LR inner loops). Loops with expensive items (net routing)
+// should use ForMin with a smaller threshold.
+const MinChunk = 256
+
+// For splits [0, n) into one contiguous chunk per worker and runs
+// fn(chunk, start, end) concurrently, inlining the whole range when the
+// average chunk would fall below MinChunk. workers <= 1 runs inline.
+func For(n, workers int, fn func(chunk, start, end int)) {
+	ForMin(n, workers, MinChunk, fn)
+}
+
+// ForMin is For with an explicit minimum chunk size. minChunk = 1
+// parallelizes any n >= 2, which is appropriate when each item carries
+// substantial work (for example one shortest-path search per item).
+func ForMin(n, workers, minChunk int, fn func(chunk, start, end int)) {
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < workers*minChunk {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunkSize := (n + workers - 1) / workers
+	chunk := 0
+	for start := 0; start < n; start += chunkSize {
+		end := start + chunkSize
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(c, s, e int) {
+			defer wg.Done()
+			fn(c, s, e)
+		}(chunk, start, end)
+		chunk++
+	}
+	wg.Wait()
+}
+
+// NumChunks returns how many chunks For will use, for sizing partial-result
+// buffers.
+func NumChunks(n, workers int) int {
+	return NumChunksMin(n, workers, MinChunk)
+}
+
+// NumChunksMin returns how many chunks ForMin will use for the same
+// arguments.
+func NumChunksMin(n, workers, minChunk int) int {
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < workers*minChunk {
+		return 1
+	}
+	chunkSize := (n + workers - 1) / workers
+	return (n + chunkSize - 1) / chunkSize
+}

@@ -1,0 +1,97 @@
+// Wave-parallel routing: the θ-ordered net sequence is split into fixed
+// waves; every net of a wave is embedded concurrently against a frozen
+// usage snapshot by per-worker solvers, then the wave's trees are merged
+// into the shared usage in wave order. This is the speculative batch
+// routing of the parallel-router literature (ParaLarH, and the batched
+// net-parallelism of the open-source FPGA routers): nets within one wave do
+// not see each other's congestion, which trades a bounded amount of
+// congestion feedback for near-linear scaling, while the deterministic wave
+// partition and merge order keep the result reproducible for a fixed
+// worker count.
+package route
+
+import (
+	"tdmroute/internal/graph"
+	"tdmroute/internal/par"
+)
+
+// waveFactor sizes routing waves at waveFactor nets per worker: larger
+// waves amortize the per-wave fork-join barrier, smaller waves tighten the
+// congestion feedback between nets.
+const waveFactor = 4
+
+// buildMSTs fills msts and r.mstCost for every net. Each net's terminal MST
+// depends only on the immutable APSP LUT, so nets fan out across workers;
+// per-index writes keep the result identical to the sequential pass for
+// every worker count. On error, the first error of the lowest chunk is
+// returned (the same net-order-first error as the sequential pass when
+// Workers <= 1).
+func (r *router) buildMSTs(msts [][]graph.WeightedEdge) error {
+	n := len(r.in.Nets)
+	workers := r.opt.workers()
+	errs := make([]error, par.NumChunks(n, workers))
+	par.For(n, workers, func(chunk, start, end int) {
+		for i := start; i < end; i++ {
+			mst, err := r.terminalMST(i)
+			if err != nil {
+				errs[chunk] = err
+				return
+			}
+			msts[i] = mst
+			r.mstCost[i] = graph.MSTCost(mst)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// routeWaves embeds the ordered nets in waves of workers*waveFactor.
+// During a wave no shared state is mutated: workers read the usage array as
+// a frozen snapshot and write only their private scratch and their own
+// tree/error slots. The merge then commits the wave's trees in wave order.
+func (r *router) routeWaves(order []int, msts [][]graph.WeightedEdge) error {
+	workers := r.opt.workers()
+	ws := make([]*netWorker, workers)
+	ws[0] = r.w0
+	for i := 1; i < workers; i++ {
+		ws[i] = r.w0.clone()
+	}
+
+	waveSize := workers * waveFactor
+	trees := make([][]int, waveSize)
+	errs := make([]error, workers)
+	for start := 0; start < len(order); start += waveSize {
+		end := start + waveSize
+		if end > len(order) {
+			end = len(order)
+		}
+		wave := order[start:end]
+		par.ForMin(len(wave), workers, 1, func(chunk, s, e int) {
+			w := ws[chunk]
+			for i := s; i < e; i++ {
+				n := wave[i]
+				tree, err := r.computeTree(w, n, r.opt.InitialSteiner, msts[n], r.usage)
+				if err != nil {
+					errs[chunk] = err
+					return
+				}
+				trees[i] = tree
+			}
+		})
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		for i, n := range wave {
+			r.commit(n, trees[i])
+			r.stats.RoutedNets++
+			trees[i] = nil
+		}
+	}
+	return nil
+}

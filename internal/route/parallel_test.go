@@ -1,0 +1,174 @@
+package route
+
+import (
+	"fmt"
+	"testing"
+
+	"tdmroute/internal/problem"
+)
+
+// routesEqual reports whether two routings are byte-identical.
+func routesEqual(a, b problem.Routing) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for n := range a {
+		if len(a[n]) != len(b[n]) {
+			return false
+		}
+		for k := range a[n] {
+			if a[n][k] != b[n][k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestRouteWorkers1IdenticalToSequential asserts the Workers=1 configuration
+// is byte-identical to the historical sequential router (Workers unset).
+func TestRouteWorkers1IdenticalToSequential(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		in := randomInstance(14, 12, 300, 60, 500+seed)
+		seq, seqStats, err := Route(in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		one, oneStats, err := Route(in, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !routesEqual(seq, one) {
+			t.Fatalf("seed %d: Workers=1 differs from sequential", seed)
+		}
+		if seqStats != oneStats {
+			t.Fatalf("seed %d: stats differ: %+v vs %+v", seed, seqStats, oneStats)
+		}
+	}
+}
+
+// TestRouteParallelValidAndDeterministic exercises the wave-parallel router
+// across worker counts and Steiner constructions: every result must be a
+// valid routing, and repeated runs with the same worker count must be
+// byte-identical (the wave-determinism contract).
+func TestRouteParallelValidAndDeterministic(t *testing.T) {
+	for _, alg := range []SteinerAlg{SteinerKMB, SteinerMehlhorn} {
+		for _, workers := range []int{2, 3, 8} {
+			t.Run(fmt.Sprintf("alg=%d/workers=%d", alg, workers), func(t *testing.T) {
+				for seed := int64(0); seed < 3; seed++ {
+					in := randomInstance(14, 12, 400, 80, 600+seed)
+					opt := Options{Workers: workers, InitialSteiner: alg}
+					a, _, err := Route(in, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := problem.ValidateRouting(in, a); err != nil {
+						t.Fatalf("seed %d: invalid: %v", seed, err)
+					}
+					b, _, err := Route(in, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !routesEqual(a, b) {
+						t.Fatalf("seed %d: same worker count differs across runs", seed)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRouteParallelRace is the race-detector workload of the CI `-race`
+// job: a large wave-parallel run with rip-up rounds on top.
+func TestRouteParallelRace(t *testing.T) {
+	in := randomInstance(20, 25, 1500, 300, 77)
+	routes, _, err := Route(in, Options{Workers: 8, RipUpRounds: 3, KeepWorse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := problem.ValidateRouting(in, routes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRouteParallelQualityClose asserts the speculative wave routing does
+// not collapse quality: the parallel max-φ estimate must stay within 2x of
+// the sequential one summed over seeds (both are congestion-aware; the
+// waves only lose intra-wave feedback).
+func TestRouteParallelQualityClose(t *testing.T) {
+	var seqTotal, parTotal int64
+	for seed := int64(0); seed < 4; seed++ {
+		in := randomInstance(14, 12, 400, 80, 700+seed)
+		seq, _, err := Route(in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, _, err := Route(in, Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqTotal += maxPhi(in, seq)
+		parTotal += maxPhi(in, pr)
+	}
+	if parTotal > 2*seqTotal {
+		t.Errorf("parallel quality collapsed: max-φ %d vs sequential %d", parTotal, seqTotal)
+	}
+	t.Logf("max-φ totals: sequential=%d workers=4 %d", seqTotal, parTotal)
+}
+
+// TestRerouteNetsDuplicatesIgnored is the regression test for the usage
+// underflow: passing the same net index twice must behave exactly like
+// passing it once (formerly the double rip decremented — and wrapped — the
+// uint32 usage of the net's edges, poisoning the congestion costs).
+func TestRerouteNetsDuplicatesIgnored(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		in := randomInstance(12, 10, 60, 25, 800+seed)
+		base, _, err := Route(in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		withDup := base.Clone()
+		if err := RerouteNets(in, withDup, []int{1, 5, 1, 9, 5, 1}, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		deduped := base.Clone()
+		if err := RerouteNets(in, deduped, []int{1, 5, 9}, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if !routesEqual(withDup, deduped) {
+			t.Fatalf("seed %d: duplicate net list changed the result", seed)
+		}
+		if err := problem.ValidateRouting(in, withDup); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestRerouteNetsOutOfRange asserts index validation happens before any
+// state is touched.
+func TestRerouteNetsOutOfRange(t *testing.T) {
+	in := randomInstance(8, 5, 10, 4, 1)
+	routes, _, err := Route(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RerouteNets(in, routes, []int{0, 10}, Options{}); err == nil {
+		t.Error("out-of-range net index accepted")
+	}
+	if err := RerouteNets(in, routes, []int{-1}, Options{}); err == nil {
+		t.Error("negative net index accepted")
+	}
+}
+
+func BenchmarkRouteParallel(b *testing.B) {
+	in := randomInstance(40, 60, 4000, 1200, 1)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Route(in, Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"tdmroute/internal/graph"
+	"tdmroute/internal/par"
 	"tdmroute/internal/problem"
 )
 
@@ -58,6 +59,18 @@ type Options struct {
 	RerouteSteiner SteinerAlg
 	// Order selects the initial net ordering (paper: OrderThetaAsc).
 	Order NetOrder
+	// Workers is the number of goroutines used by the routing hot loops:
+	// terminal-MST construction, wave-parallel net embedding, and the
+	// ψ/φ(g) congestion sweeps. <= 1 routes sequentially and reproduces
+	// the historical single-threaded results exactly. >= 2 routes the
+	// θ-ordered net sequence in waves of Workers*waveFactor nets: every
+	// net of a wave is embedded concurrently against a frozen usage
+	// snapshot, then the wave's trees are merged into the shared usage in
+	// wave order (ParaLarH-style speculative routing). Results are
+	// deterministic for a fixed Workers value; different worker counts
+	// partition the waves differently and may route individual nets
+	// differently.
+	Workers int
 }
 
 // DefaultRipUpRounds is used when Options.RipUpRounds == 0.
@@ -72,6 +85,14 @@ func (o Options) ripUpRounds() int {
 	default:
 		return o.RipUpRounds
 	}
+}
+
+// workers normalizes Options.Workers to at least 1.
+func (o Options) workers() int {
+	if o.Workers <= 1 {
+		return 1
+	}
+	return o.Workers
 }
 
 // Stats reports what the router did, for logging and the Fig. 3(a) runtime
@@ -104,44 +125,101 @@ func Route(in *problem.Instance, opt Options) (problem.Routing, Stats, error) {
 	return r.routes, r.stats, nil
 }
 
-type router struct {
-	in      *problem.Instance
-	opt     Options
-	apsp    *graph.APSP
+// netWorker bundles the per-goroutine search state of one routing worker:
+// the path and Steiner solvers plus the own-edge stamps that make a net's
+// already-chosen edges free during its own embedding. None of it is shared,
+// so distinct workers may embed distinct nets concurrently as long as the
+// base usage array is not mutated meanwhile.
+type netWorker struct {
 	dij     *graph.Dijkstra
 	mehl    *graph.MehlhornSolver
 	cleaner *graph.SteinerCleaner
+
+	// base is the frozen per-edge congestion the worker routes against;
+	// cost is the reusable closure over it handed to the solvers.
+	base []uint32
+	cost graph.EdgeCostFunc
+
+	// ownStamp marks edges already used by the net being routed so that
+	// reusing them costs no congestion.
+	ownStamp []uint32
+	ownEpoch uint32
+	// unionBuf is the reusable path-union scratch of computeTree.
+	unionBuf []int
+}
+
+func newNetWorker(g *graph.Graph, mehlhorn bool) *netWorker {
+	w := &netWorker{
+		dij:      graph.NewDijkstra(g),
+		cleaner:  graph.NewSteinerCleaner(g),
+		ownStamp: make([]uint32, g.NumEdges()),
+	}
+	if mehlhorn {
+		w.mehl = graph.NewMehlhornSolver(g)
+	}
+	w.cost = func(e int) uint64 {
+		if w.ownStamp[e] == w.ownEpoch {
+			return 0
+		}
+		return uint64(w.base[e])
+	}
+	return w
+}
+
+// clone returns an independent worker over the same graph.
+func (w *netWorker) clone() *netWorker {
+	c := &netWorker{
+		dij:      w.dij.Clone(),
+		cleaner:  w.cleaner.Clone(),
+		ownStamp: make([]uint32, len(w.ownStamp)),
+	}
+	if w.mehl != nil {
+		c.mehl = w.mehl.Clone()
+	}
+	c.cost = func(e int) uint64 {
+		if c.ownStamp[e] == c.ownEpoch {
+			return 0
+		}
+		return uint64(c.base[e])
+	}
+	return c
+}
+
+// bumpEpoch starts a fresh own-edge scope, handling stamp wrap-around.
+func (w *netWorker) bumpEpoch() {
+	w.ownEpoch++
+	if w.ownEpoch == 0 {
+		for i := range w.ownStamp {
+			w.ownStamp[i] = 0
+		}
+		w.ownEpoch = 1
+	}
+}
+
+type router struct {
+	in   *problem.Instance
+	opt  Options
+	apsp *graph.APSP
+	w0   *netWorker // worker used by the sequential paths
 
 	routes  problem.Routing
 	usage   []uint32 // nets currently routed on each edge (|N_e|)
 	mstCost []int64  // per net: cost of its terminal MST on the distance LUT
 
-	// Scratch for path search: marks edges already used by the net being
-	// routed so that reusing them costs no congestion.
-	ownStamp []uint32
-	ownEpoch uint32
-	// unionBuf is the reusable path-union scratch of embedNet.
-	unionBuf []int
-
 	stats Stats
 }
 
 func newRouter(in *problem.Instance, opt Options) *router {
-	r := &router{
-		in:       in,
-		opt:      opt,
-		apsp:     graph.NewAPSP(in.G),
-		dij:      graph.NewDijkstra(in.G),
-		cleaner:  graph.NewSteinerCleaner(in.G),
-		routes:   make(problem.Routing, len(in.Nets)),
-		usage:    make([]uint32, in.G.NumEdges()),
-		mstCost:  make([]int64, len(in.Nets)),
-		ownStamp: make([]uint32, in.G.NumEdges()),
+	mehlhorn := opt.InitialSteiner == SteinerMehlhorn || opt.RerouteSteiner == SteinerMehlhorn
+	return &router{
+		in:      in,
+		opt:     opt,
+		apsp:    graph.NewAPSP(in.G),
+		w0:      newNetWorker(in.G, mehlhorn),
+		routes:  make(problem.Routing, len(in.Nets)),
+		usage:   make([]uint32, in.G.NumEdges()),
+		mstCost: make([]int64, len(in.Nets)),
 	}
-	if opt.InitialSteiner == SteinerMehlhorn || opt.RerouteSteiner == SteinerMehlhorn {
-		r.mehl = graph.NewMehlhornSolver(in.G)
-	}
-	return r
 }
 
 // RerouteNets rips the given nets out of an existing topology and reroutes
@@ -149,10 +227,26 @@ func newRouter(in *problem.Instance, opt Options) *router {
 // nets currently routed on the edge). routes is modified in place. It is
 // the building block of the iterated co-optimization extension, where the
 // group realizing GTR_max — known only after TDM assignment — is rerouted.
+// Duplicate entries in nets are ignored after the first occurrence.
 func RerouteNets(in *problem.Instance, routes problem.Routing, nets []int, opt Options) error {
 	if len(routes) != len(in.Nets) {
 		return fmt.Errorf("route: routing has %d nets, instance has %d", len(routes), len(in.Nets))
 	}
+	// Dedupe while preserving first-occurrence order: ripping the same net
+	// twice would decrement (and underflow) the usage of its edges twice.
+	seen := make(map[int]bool, len(nets))
+	dedup := make([]int, 0, len(nets))
+	for _, n := range nets {
+		if n < 0 || n >= len(routes) {
+			return fmt.Errorf("route: net index %d out of range [0, %d)", n, len(routes))
+		}
+		if !seen[n] {
+			seen[n] = true
+			dedup = append(dedup, n)
+		}
+	}
+	nets = dedup
+
 	r := newRouter(in, opt)
 	for n, edges := range routes {
 		r.routes[n] = edges
@@ -166,7 +260,6 @@ func RerouteNets(in *problem.Instance, routes problem.Routing, nets []int, opt O
 		}
 		r.routes[n] = nil
 	}
-	costFn := r.congestionCost
 	for _, n := range nets {
 		var mst []graph.WeightedEdge
 		if opt.RerouteSteiner != SteinerMehlhorn {
@@ -176,7 +269,7 @@ func RerouteNets(in *problem.Instance, routes problem.Routing, nets []int, opt O
 				return err
 			}
 		}
-		if err := r.embed(n, opt.RerouteSteiner, mst, costFn); err != nil {
+		if err := r.embed(n, opt.RerouteSteiner, mst, r.usage); err != nil {
 			return err
 		}
 	}
@@ -188,7 +281,8 @@ func RerouteNets(in *problem.Instance, routes problem.Routing, nets []int, opt O
 
 // terminalMST computes the KMB first step for net n: the MST of the complete
 // graph over the net's terminals under LUT distances. It returns the tree as
-// terminal-index pairs into the net's terminal slice.
+// terminal-index pairs into the net's terminal slice. It reads only the APSP
+// LUT and the instance, so distinct nets may be processed concurrently.
 func (r *router) terminalMST(n int) ([]graph.WeightedEdge, error) {
 	terms := r.in.Nets[n].Terminals
 	k := len(terms)
@@ -222,13 +316,8 @@ func (r *router) terminalMST(n int) ([]graph.WeightedEdge, error) {
 func (r *router) initialRoute() error {
 	nets := r.in.Nets
 	msts := make([][]graph.WeightedEdge, len(nets))
-	for n := range nets {
-		mst, err := r.terminalMST(n)
-		if err != nil {
-			return err
-		}
-		msts[n] = mst
-		r.mstCost[n] = graph.MSTCost(mst)
+	if err := r.buildMSTs(msts); err != nil {
+		return err
 	}
 
 	// θ(n) = max over groups containing n of the group's summed MST cost.
@@ -262,9 +351,11 @@ func (r *router) initialRoute() error {
 		// netlist order as initialized
 	}
 
-	costFn := r.congestionCost
+	if r.opt.workers() > 1 {
+		return r.routeWaves(order, msts)
+	}
 	for _, n := range order {
-		if err := r.embed(n, r.opt.InitialSteiner, msts[n], costFn); err != nil {
+		if err := r.embed(n, r.opt.InitialSteiner, msts[n], r.usage); err != nil {
 			return err
 		}
 		r.stats.RoutedNets++
@@ -272,90 +363,64 @@ func (r *router) initialRoute() error {
 	return nil
 }
 
-// embed dispatches to the selected Steiner construction. mst may be nil for
-// SteinerMehlhorn.
-func (r *router) embed(n int, alg SteinerAlg, mst []graph.WeightedEdge, costFn graph.EdgeCostFunc) error {
-	if alg == SteinerMehlhorn {
-		return r.embedNetMehlhorn(n, costFn)
+// embed computes net n's tree with the sequential worker against base and
+// commits it to the shared routing state.
+func (r *router) embed(n int, alg SteinerAlg, mst []graph.WeightedEdge, base []uint32) error {
+	tree, err := r.computeTree(r.w0, n, alg, mst, base)
+	if err != nil {
+		return err
 	}
-	return r.embedNet(n, mst, costFn)
+	r.commit(n, tree)
+	return nil
 }
 
-// embedNetMehlhorn routes net n with the Voronoi-region construction and
-// updates edge usage.
-func (r *router) embedNetMehlhorn(n int, costFn graph.EdgeCostFunc) error {
-	terms := r.in.Nets[n].Terminals
-	if len(terms) <= 1 {
-		r.routes[n] = nil
-		return nil
-	}
-	// ownStamp-based self-edge discounting also applies here.
-	r.ownEpoch++
-	if r.ownEpoch == 0 {
-		for i := range r.ownStamp {
-			r.ownStamp[i] = 0
-		}
-		r.ownEpoch = 1
-	}
-	tree, ok := r.mehl.SteinerTree(terms, costFn)
-	if !ok {
-		return fmt.Errorf("route: net %d: terminals disconnected", n)
-	}
+// commit stores net n's tree and adds it to the shared edge usage.
+func (r *router) commit(n int, tree []int) {
 	r.routes[n] = tree
 	for _, e := range tree {
 		r.usage[e]++
 	}
-	return nil
 }
 
-// congestionCost is the initial-routing edge cost: the number of nets
-// already routed on the edge, with the current net's own edges free to
-// encourage Steiner sharing.
-func (r *router) congestionCost(e int) uint64 {
-	if r.ownStamp[e] == r.ownEpoch {
-		return 0
-	}
-	return uint64(r.usage[e])
-}
-
-// embedNet replaces each MST edge of net n by a shortest path under costFn,
-// cleans the union into a Steiner tree, stores it, and updates edge usage.
-// Any previous route of n must already have been removed from usage.
-func (r *router) embedNet(n int, mst []graph.WeightedEdge, costFn graph.EdgeCostFunc) error {
+// computeTree computes net n's Steiner tree under the base edge congestion
+// using w's private scratch. It does not touch shared router state, so
+// distinct workers may compute trees concurrently as long as base is not
+// mutated meanwhile. mst may be nil for SteinerMehlhorn.
+func (r *router) computeTree(w *netWorker, n int, alg SteinerAlg, mst []graph.WeightedEdge, base []uint32) ([]int, error) {
 	terms := r.in.Nets[n].Terminals
 	if len(terms) <= 1 {
-		r.routes[n] = nil
-		return nil
+		return nil, nil
 	}
-	r.ownEpoch++
-	if r.ownEpoch == 0 {
-		for i := range r.ownStamp {
-			r.ownStamp[i] = 0
+	w.base = base
+	w.bumpEpoch()
+	if alg == SteinerMehlhorn {
+		tree, ok := w.mehl.SteinerTree(terms, w.cost)
+		if !ok {
+			return nil, fmt.Errorf("route: net %d: terminals disconnected", n)
 		}
-		r.ownEpoch = 1
+		return tree, nil
 	}
-	union := r.unionBuf[:0]
+	// KMB: replace each MST edge by a shortest path under the congestion
+	// cost (the net's own edges free to encourage Steiner sharing), then
+	// clean the union into a tree.
+	union := w.unionBuf[:0]
 	for _, me := range mst {
 		start := len(union)
 		var ok bool
-		union, _, ok = r.dij.ShortestPath(terms[me.U], terms[me.V], costFn, union)
+		union, _, ok = w.dij.ShortestPath(terms[me.U], terms[me.V], w.cost, union)
 		if !ok {
-			return fmt.Errorf("route: net %d: no path between terminals %d and %d", n, terms[me.U], terms[me.V])
+			return nil, fmt.Errorf("route: net %d: no path between terminals %d and %d", n, terms[me.U], terms[me.V])
 		}
 		for _, e := range union[start:] {
-			r.ownStamp[e] = r.ownEpoch
+			w.ownStamp[e] = w.ownEpoch
 		}
 	}
-	r.unionBuf = union
-	tree, ok := r.cleaner.Clean(union, terms)
+	w.unionBuf = union
+	tree, ok := w.cleaner.Clean(union, terms)
 	if !ok {
-		return fmt.Errorf("route: net %d: path union does not connect terminals", n)
+		return nil, fmt.Errorf("route: net %d: path union does not connect terminals", n)
 	}
-	r.routes[n] = tree
-	for _, e := range tree {
-		r.usage[e]++
-	}
-	return nil
+	return tree, nil
 }
 
 // psi computes ψ(n) of Eq. (2): the sum over the net's routed edges of the
@@ -368,20 +433,27 @@ func (r *router) psi(n int) int64 {
 	return sum
 }
 
-// phiAll computes φ(g) of Eq. (2) for every group.
+// phiAll computes φ(g) of Eq. (2) for every group. Both sweeps are integer
+// reductions over disjoint indices, so the parallel result is identical to
+// the sequential one for every worker count.
 func (r *router) phiAll() []int64 {
+	workers := r.opt.workers()
 	psi := make([]int64, len(r.in.Nets))
-	for n := range r.in.Nets {
-		psi[n] = r.psi(n)
-	}
-	phi := make([]int64, len(r.in.Groups))
-	for gi := range r.in.Groups {
-		var sum int64
-		for _, n := range r.in.Groups[gi].Nets {
-			sum += psi[n]
+	par.For(len(psi), workers, func(_, start, end int) {
+		for n := start; n < end; n++ {
+			psi[n] = r.psi(n)
 		}
-		phi[gi] = sum
-	}
+	})
+	phi := make([]int64, len(r.in.Groups))
+	par.For(len(phi), workers, func(_, start, end int) {
+		for gi := start; gi < end; gi++ {
+			var sum int64
+			for _, n := range r.in.Groups[gi].Nets {
+				sum += psi[n]
+			}
+			phi[gi] = sum
+		}
+	})
 	return phi
 }
 
@@ -417,12 +489,6 @@ func (r *router) ripUpWorstGroup(keepWorse bool) (improved bool, err error) {
 		r.routes[n] = nil
 	}
 
-	costFn := func(e int) uint64 {
-		if r.ownStamp[e] == r.ownEpoch {
-			return 0
-		}
-		return uint64(groupUsage[e])
-	}
 	for _, n := range members {
 		var mst []graph.WeightedEdge
 		if r.opt.RerouteSteiner != SteinerMehlhorn {
@@ -431,7 +497,7 @@ func (r *router) ripUpWorstGroup(keepWorse bool) (improved bool, err error) {
 				return false, err
 			}
 		}
-		if err := r.embed(n, r.opt.RerouteSteiner, mst, costFn); err != nil {
+		if err := r.embed(n, r.opt.RerouteSteiner, mst, groupUsage); err != nil {
 			return false, err
 		}
 		for _, e := range r.routes[n] {

@@ -2,7 +2,6 @@ package tdm
 
 import (
 	"fmt"
-	"math"
 
 	"tdmroute/internal/eval"
 	"tdmroute/internal/problem"
@@ -92,11 +91,15 @@ func compactUngrouped(in *problem.Instance, routes problem.Routing, ratios [][]i
 		if budget <= 0 {
 			continue // keep the existing (legal) huge ratios
 		}
-		r := int64(math.Ceil(float64(u) / budget))
+		// Feed the fractional ratio straight to the legalizer: it rounds
+		// up itself and saturates near-zero budgets instead of letting an
+		// int64(math.Ceil(...)) conversion overflow negative.
+		f := float64(u) / budget
+		var r int64
 		if pow2 {
-			r = legalizeRatioPow2(float64(r))
+			r = legalizeRatioPow2(f)
 		} else {
-			r = legalizeRatio(float64(r))
+			r = legalizeRatio(f)
 		}
 		for _, l := range ls {
 			if len(in.Nets[l.Net].Groups) == 0 {

@@ -1,0 +1,167 @@
+package tdm
+
+import (
+	"math"
+	"testing"
+
+	"tdmroute/internal/problem"
+)
+
+// TestLegalizeRatioSaturates is the regression test for the int64 overflow:
+// relaxed ratios beyond the int64 range (the LR assigns such values to
+// ungrouped nets whose π is floored near zero) must saturate at the largest
+// even int64 instead of converting to a negative number.
+func TestLegalizeRatioSaturates(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want int64
+	}{
+		{math.NaN(), 2},
+		{math.Inf(-1), 2},
+		{-5, 2},
+		{0, 2},
+		{2, 2},
+		{2.1, 4},
+		{7, 8},
+		{8, 8},
+		{1e15, 1000000000000000},
+		{1e15 + 1, 1000000000000002},
+		{1e18, 1000000000000000000},
+		{9.2e18, 9200000000000000000},
+		{float64(math.MaxInt64), maxEvenRatio},
+		{1e19, maxEvenRatio},
+		{1e300, maxEvenRatio},
+		{math.Inf(1), maxEvenRatio},
+	}
+	for _, c := range cases {
+		if got := legalizeRatio(c.in); got != c.want {
+			t.Errorf("legalizeRatio(%g) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLegalizeRatioPow2Saturates(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want int64
+	}{
+		{math.NaN(), 2},
+		{math.Inf(-1), 2},
+		{2, 2},
+		{3, 4},
+		{17, 32},
+		{1 << 40, 1 << 40},
+		{float64(maxPow2Ratio), maxPow2Ratio},
+		{1e300, maxPow2Ratio},
+		{math.Inf(1), maxPow2Ratio},
+	}
+	for _, c := range cases {
+		if got := legalizeRatioPow2(c.in); got != c.want {
+			t.Errorf("legalizeRatioPow2(%g) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestLegalizeNeverIllegal sweeps adversarial relaxed values through both
+// legalizers and asserts that no odd, negative, or sub-2 ratio can escape.
+func TestLegalizeNeverIllegal(t *testing.T) {
+	adversarial := []float64{
+		math.NaN(), math.Inf(1), math.Inf(-1),
+		-1e300, -2, 0, 1, 2, 2.0000001, 3,
+		1e9, 1e18, 9.22e18, 9.3e18, 1e19, 1e300,
+		float64(math.MaxInt64), float64(math.MaxInt64) * 2,
+	}
+	for _, v := range adversarial {
+		for name, r := range map[string]int64{
+			"legalizeRatio":     legalizeRatio(v),
+			"legalizeRatioPow2": legalizeRatioPow2(v),
+		} {
+			if r < 2 {
+				t.Errorf("%s(%g) = %d < 2", name, v, r)
+			}
+			if r%2 != 0 {
+				t.Errorf("%s(%g) = %d is odd", name, v, r)
+			}
+		}
+		if p := legalizeRatioPow2(v); p&(p-1) != 0 {
+			t.Errorf("legalizeRatioPow2(%g) = %d is not a power of two", v, p)
+		}
+	}
+}
+
+// overflowInstance is one net routed over the single edge of a 2-FPGA
+// system, the minimal carrier for a relaxed ratio.
+func overflowInstance() (*problem.Instance, problem.Routing) {
+	in := &problem.Instance{
+		Name:   "overflow",
+		Nets:   []problem.Net{{Terminals: []int{0, 1}}},
+		Groups: []problem.Group{{Nets: []int{0}}},
+	}
+	in.G = ringGraph(2)
+	in.RebuildNetGroups()
+	// Route the net over edge 0 only.
+	return in, problem.Routing{{0}}
+}
+
+// TestLegalizeOverflowSolutionValid runs the full legalization on relaxed
+// assignments containing 1e300, +Inf, and NaN and asserts the resulting
+// solutions pass ValidateSolution (every ratio a positive even integer,
+// per-edge reciprocal sums <= 1).
+func TestLegalizeOverflowSolutionValid(t *testing.T) {
+	for _, v := range []float64{1e300, math.Inf(1), math.NaN()} {
+		in, routes := overflowInstance()
+		relaxed := [][]float64{{v}}
+		for name, ratios := range map[string][][]int64{
+			"Legalize":     Legalize(relaxed),
+			"LegalizePow2": LegalizePow2(relaxed),
+		} {
+			sol := &problem.Solution{Routes: routes, Assign: problem.Assignment{Ratios: ratios}}
+			if err := problem.ValidateSolution(in, sol); err != nil {
+				t.Errorf("%s(%g): invalid solution: %v", name, v, err)
+			}
+		}
+	}
+}
+
+// TestCompactUngroupedNearZeroBudget drives compactUngrouped into the regime
+// where the residual budget is denormal-small and the common ratio formerly
+// overflowed int64: the rewritten ratios must stay legal.
+func TestCompactUngroupedNearZeroBudget(t *testing.T) {
+	for _, pow2 := range []bool{false, true} {
+		in, routes := overflowInstance()
+		in.Groups = nil
+		in.RebuildNetGroups() // net 0 is now ungrouped
+		ratios := [][]int64{{2}}
+		// tol chosen so budget = 1 - tol = 1e-300 and u/budget = 1e300.
+		compactUngrouped(in, routes, ratios, 1-1e-300, pow2)
+		r := ratios[0][0]
+		if r < 2 || r%2 != 0 {
+			t.Errorf("pow2=%v: compacted ratio %d is illegal", pow2, r)
+		}
+		sol := &problem.Solution{Routes: routes, Assign: problem.Assignment{Ratios: ratios}}
+		if err := problem.ValidateSolution(in, sol); err != nil {
+			t.Errorf("pow2=%v: %v", pow2, err)
+		}
+	}
+}
+
+// TestRefineEdgeHugeRatios drives refineEdge into the suffix fallback with a
+// block of enormous equal ratios: per-element margin underflows toward zero,
+// the quotient exceeds the int range, and the former int conversion turned
+// the affordable count negative (skipping the refinement entirely).
+func TestRefineEdgeHugeRatios(t *testing.T) {
+	const huge = int64(1) << 62
+	cand := []candidate{
+		{net: 0, pos: 0, t: huge},
+		{net: 1, pos: 0, t: huge},
+	}
+	refineEdge(cand, 0.5)
+	for i, c := range cand {
+		if c.t >= huge {
+			t.Errorf("candidate %d not refined: %d", i, c.t)
+		}
+		if c.t < 2 || c.t%2 != 0 {
+			t.Errorf("candidate %d: illegal ratio %d", i, c.t)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package tdm
 import (
 	"math"
 
+	"tdmroute/internal/par"
 	"tdmroute/internal/problem"
 	"tdmroute/internal/stats"
 )
@@ -105,7 +106,7 @@ func newLRState(in *problem.Instance, routes problem.Routing, opt Options) *lrSt
 
 // computePi evaluates π_n = Σ_{g ∋ n} λ_g and the derived square roots.
 func (s *lrState) computePi() {
-	parallelFor(len(s.pi), s.opt.Workers, func(_, start, end int) {
+	par.For(len(s.pi), s.opt.Workers, func(_, start, end int) {
 		for n := start; n < end; n++ {
 			var p float64
 			for _, gi := range s.in.Nets[n].Groups {
@@ -129,8 +130,8 @@ func (s *lrState) solveLRS() (lowerBound float64) {
 	// Every cell belongs to exactly one edge, so per-edge pattern writes
 	// from different chunks never alias.
 	numEdges := len(s.edgeStart) - 1
-	partial := make([]float64, numChunks(numEdges, s.opt.Workers))
-	parallelFor(numEdges, s.opt.Workers, func(chunk, start, end int) {
+	partial := make([]float64, par.NumChunks(numEdges, s.opt.Workers))
+	par.For(numEdges, s.opt.Workers, func(chunk, start, end int) {
 		var lb float64
 		for e := start; e < end; e++ {
 			lo, hi := s.edgeStart[e], s.edgeStart[e+1]
@@ -159,7 +160,7 @@ func (s *lrState) solveLRS() (lowerBound float64) {
 // groupTDMs evaluates every group's fractional TDM ratio under the current
 // patterns and returns z = max_g GTR_g (0 when there are no groups).
 func (s *lrState) groupTDMs() (z float64) {
-	parallelFor(len(s.netTDM), s.opt.Workers, func(_, start, end int) {
+	par.For(len(s.netTDM), s.opt.Workers, func(_, start, end int) {
 		for n := start; n < end; n++ {
 			var sum float64
 			for _, idx := range s.netCell[s.netStart[n]:s.netStart[n+1]] {
@@ -168,8 +169,8 @@ func (s *lrState) groupTDMs() (z float64) {
 			s.netTDM[n] = sum
 		}
 	})
-	partial := make([]float64, numChunks(len(s.grpTDM), s.opt.Workers))
-	parallelFor(len(s.grpTDM), s.opt.Workers, func(chunk, start, end int) {
+	partial := make([]float64, par.NumChunks(len(s.grpTDM), s.opt.Workers))
+	par.For(len(s.grpTDM), s.opt.Workers, func(chunk, start, end int) {
 		var zc float64
 		for gi := start; gi < end; gi++ {
 			var sum float64
@@ -199,8 +200,8 @@ func (s *lrState) updateMultipliers(z float64) {
 		return
 	}
 	alpha, beta := s.opt.Alpha, s.opt.Beta
-	partial := make([]float64, numChunks(len(s.lambda), s.opt.Workers))
-	parallelFor(len(s.lambda), s.opt.Workers, func(chunk, start, end int) {
+	partial := make([]float64, par.NumChunks(len(s.lambda), s.opt.Workers))
+	par.For(len(s.lambda), s.opt.Workers, func(chunk, start, end int) {
 		var sum float64
 		for gi := start; gi < end; gi++ {
 			norm := s.grpTDM[gi] / z // normalized group TDM ∈ (0, 1]
@@ -222,7 +223,7 @@ func (s *lrState) updateMultipliers(z float64) {
 	}
 	if total > 0 {
 		inv := 1 / total
-		parallelFor(len(s.lambda), s.opt.Workers, func(_, start, end int) {
+		par.For(len(s.lambda), s.opt.Workers, func(_, start, end int) {
 			for gi := start; gi < end; gi++ {
 				s.lambda[gi] *= inv
 			}

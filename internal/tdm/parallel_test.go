@@ -3,7 +3,6 @@ package tdm
 import (
 	"math"
 	"math/rand"
-	"sync/atomic"
 	"testing"
 
 	"tdmroute/internal/graph"
@@ -17,53 +16,6 @@ func ringGraph(n int) *graph.Graph {
 		g.AddEdge(i, (i+1)%n)
 	}
 	return g
-}
-
-func TestParallelForCoversRange(t *testing.T) {
-	for _, workers := range []int{0, 1, 2, 4, 7} {
-		for _, n := range []int{0, 1, 255, 256, 1000, 4096} {
-			var count int64
-			seen := make([]int32, n)
-			parallelFor(n, workers, func(_, start, end int) {
-				for i := start; i < end; i++ {
-					atomic.AddInt32(&seen[i], 1)
-					atomic.AddInt64(&count, 1)
-				}
-			})
-			if count != int64(n) {
-				t.Fatalf("workers=%d n=%d: visited %d", workers, n, count)
-			}
-			for i, c := range seen {
-				if c != 1 {
-					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
-				}
-			}
-		}
-	}
-}
-
-func TestNumChunksMatchesParallelFor(t *testing.T) {
-	for _, workers := range []int{1, 2, 4, 9} {
-		for _, n := range []int{0, 1, 255, 256, 257, 5000} {
-			var maxChunk int64 = -1
-			parallelFor(n, workers, func(chunk, _, _ int) {
-				for {
-					old := atomic.LoadInt64(&maxChunk)
-					if int64(chunk) <= old || atomic.CompareAndSwapInt64(&maxChunk, old, int64(chunk)) {
-						break
-					}
-				}
-			})
-			want := numChunks(n, workers)
-			if n == 0 {
-				// parallelFor still invokes fn(0,0,0) once in serial mode.
-				continue
-			}
-			if int(maxChunk)+1 != want {
-				t.Fatalf("workers=%d n=%d: %d chunks used, numChunks says %d", workers, n, maxChunk+1, want)
-			}
-		}
-	}
 }
 
 func TestParallelLRMatchesSerial(t *testing.T) {

@@ -1,6 +1,7 @@
 package tdm
 
 import (
+	"math"
 	"sort"
 
 	"tdmroute/internal/problem"
@@ -105,14 +106,17 @@ func refineEdge(cand []candidate, xi float64) {
 			continue
 		}
 		// Suffix fallback: decrement by 2 the largest affordable count of
-		// the block's trailing elements.
+		// the block's trailing elements. Clamp the quotient before the int
+		// conversion: for huge tmax, perElem underflows toward 0 and the
+		// quotient can exceed the int range (the conversion would be
+		// platform-defined, negative on amd64).
 		perElem := 1/float64(tmax-2) - 1/float64(tmax)
-		j := int(xi / perElem)
+		j := m
+		if q := xi / perElem; q < float64(m) {
+			j = int(q)
+		}
 		if j <= 0 {
 			return
-		}
-		if j > m {
-			j = m
 		}
 		for i := m - j; i < m; i++ {
 			cand[i].t -= 2
@@ -123,18 +127,28 @@ func refineEdge(cand []candidate, xi float64) {
 
 // decrement evaluates Eq. (21): the d that would consume the whole margin
 // if m ratios of value tmax drop to tmax-d, i.e. ξ = m(1/(tmax-d) - 1/tmax)
-// solved for d. A non-positive margin yields 0; a margin large enough to
-// push the denominator past tmax clamps to tmax (callers cap it further).
+// solved for d. A non-positive margin yields 0.
+//
+// The equation is solved for the new denominator u = tmax - d, as
+// u = m/(ξ + m/tmax), rather than for d directly: the two forms are
+// algebraically identical, but the direct d = ξ·tm²/(ξ·tm + m) rounds up to
+// tm when tmax is huge (saturated legalized ratios), and the callers' cap to
+// tmax-2 would then overspend the margin by a constant. u is small exactly
+// when the decrement is large, so rounding it up keeps the consumed margin
+// at most ξ to within an ulp.
 func decrement(xi float64, tmax int64, m int) int64 {
 	if xi <= 0 {
 		return 0
 	}
 	tm := float64(tmax)
-	d := xi * tm * tm / (xi*tm + float64(m))
-	if d >= tm {
-		return tmax
+	u := math.Ceil(float64(m) / (xi + float64(m)/tm))
+	if u >= tm {
+		return 0
 	}
-	return int64(d)
+	if u < 1 {
+		u = 1 // margin large enough for any d; callers cap at tmax-2
+	}
+	return tmax - int64(u)
 }
 
 // computeGamma evaluates Γ(n) of Eq. (18) for every net: the maximum TDM

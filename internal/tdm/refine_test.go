@@ -129,8 +129,28 @@ func TestDecrementEquation21(t *testing.T) {
 	if decrement(-1, 10, 1) != 0 {
 		t.Error("negative margin should yield 0")
 	}
-	if decrement(1e18, 10, 1) != 10 {
-		t.Error("huge margin should clamp to tmax")
+	if d := decrement(1e18, 10, 1); d < 8 || d > 10 {
+		t.Errorf("huge margin should allow decrementing to the legal minimum, got %d", d)
+	}
+	// The consumed margin must never exceed xi, even for saturated ratios
+	// where the direct Eq. (21) form rounds up to tmax (callers' cap to
+	// tmax-2 would then overspend).
+	for _, c := range []struct {
+		xi   float64
+		tmax int64
+		m    int
+	}{
+		{0.3, 20, 2}, {0.5, 1 << 62, 2}, {1e-9, 1000, 5}, {0.9, 1 << 40, 1},
+	} {
+		d := decrement(c.xi, c.tmax, c.m)
+		if d <= 0 {
+			continue
+		}
+		consumed := float64(c.m) * (1/float64(c.tmax-d) - 1/float64(c.tmax))
+		if consumed > c.xi*(1+1e-12) {
+			t.Errorf("decrement(%g, %d, %d) = %d overspends: consumed %g",
+				c.xi, c.tmax, c.m, d, consumed)
+		}
 	}
 }
 

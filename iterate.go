@@ -43,6 +43,7 @@ func SolveIterative(in *Instance, opt IterateOptions) (*IterateResult, error) {
 	if opt.Rounds == 0 {
 		opt.Rounds = 3
 	}
+	opt.Base = opt.Base.withWorkers()
 	base, err := Solve(in, opt.Base)
 	if err != nil {
 		return nil, err
@@ -53,10 +54,12 @@ func SolveIterative(in *Instance, opt IterateOptions) (*IterateResult, error) {
 	topt := opt.Base.TDM
 	topt.CaptureLambda = func(l []float64) { lambda = l }
 	// Recapture multipliers from the accepted solution's topology so the
-	// first feedback round starts warm.
-	if _, _, err := AssignTDM(in, base.Solution.Routes, topt); err != nil {
-		return nil, err
-	}
+	// first feedback round starts warm. Only the relaxation is needed for
+	// the multipliers, so skip the legalize+refine half of a full
+	// assignment.
+	t0 := time.Now()
+	tdm.RunLR(in, base.Solution.Routes, topt)
+	res.Times.LR += time.Since(t0)
 
 	for round := 0; round < opt.Rounds; round++ {
 		res.RoundsRun++
@@ -84,9 +87,11 @@ func feedbackRound(in *Instance, res *IterateResult, opt IterateOptions, lambda 
 	members := in.Groups[gmax].Nets
 
 	candidate := cur.Routes.Clone()
+	t0 := time.Now()
 	if err := route.RerouteNets(in, candidate, members, opt.Base.Route); err != nil {
 		return false, err
 	}
+	res.Times.Route += time.Since(t0)
 	if err := problem.ValidateRouting(in, candidate); err != nil {
 		return false, fmt.Errorf("tdmroute: feedback reroute produced invalid topology: %w", err)
 	}
@@ -95,19 +100,20 @@ func feedbackRound(in *Instance, res *IterateResult, opt IterateOptions, lambda 
 	topt.WarmLambda = *lambda
 	var captured []float64
 	topt.CaptureLambda = func(l []float64) { captured = l }
-	t0 := time.Now()
-	assign, rep, err := tdm.Assign(in, candidate, topt)
+	assign, rep, times, err := assignTimed(in, candidate, topt)
+	// Attribute the round's work to its true stages whether or not the
+	// candidate is kept — the time was spent either way.
+	res.Times.LR += times.LR
+	res.Times.LegalRefine += times.LegalRefine
 	if err != nil {
 		return false, err
 	}
-	elapsed := time.Since(t0)
 
 	if rep.GTRMax >= res.Report.GTRMax {
 		return false, nil // reject; keep previous solution and multipliers
 	}
 	res.Solution = &Solution{Routes: candidate, Assign: assign}
 	res.Report = rep
-	res.Times.LR += elapsed
 	*lambda = captured
 	return true, nil
 }

@@ -2,6 +2,7 @@ package tdmroute_test
 
 import (
 	"testing"
+	"time"
 
 	"tdmroute"
 )
@@ -63,6 +64,34 @@ func TestSolveIterativeDeterministic(t *testing.T) {
 	if a.Report.GTRMax != b.Report.GTRMax || a.RoundsKept != b.RoundsKept {
 		t.Errorf("nondeterministic: %+v vs %+v", a.Report, b.Report)
 	}
+}
+
+func TestIterativeStageTimesAccounted(t *testing.T) {
+	// Regression test for two timing bugs: feedbackRound charged the whole
+	// tdm.Assign (LR + legalize + refine) to Times.LR, and the λ-recapture
+	// run was not timed at all. Every stage must show work, and the
+	// per-stage sum must stay within the wall clock of the entire solve.
+	in := genInstance(t, "synopsys01", 0.005)
+	start := time.Now()
+	res, err := tdmroute.SolveIterative(in, tdmroute.IterateOptions{Rounds: 4})
+	wall := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Times.Route <= 0 {
+		t.Errorf("Times.Route not accounted: %v", res.Times.Route)
+	}
+	if res.Times.LR <= 0 {
+		t.Errorf("Times.LR not accounted: %v", res.Times.LR)
+	}
+	if res.Times.LegalRefine <= 0 {
+		t.Errorf("Times.LegalRefine not accounted: %v", res.Times.LegalRefine)
+	}
+	if total := res.Times.Total(); total > wall {
+		t.Errorf("stage times over-account: total %v > wall %v", total, wall)
+	}
+	t.Logf("wall=%v route=%v lr=%v legal+refine=%v",
+		wall, res.Times.Route, res.Times.LR, res.Times.LegalRefine)
 }
 
 func TestWarmStartConvergesFaster(t *testing.T) {

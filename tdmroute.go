@@ -141,6 +141,25 @@ type (
 type Options struct {
 	Route RouteOptions
 	TDM   TDMOptions
+	// Workers is the default worker count for both stages: it fills
+	// Route.Workers and TDM.Workers when those are zero, so one knob
+	// parallelizes the whole pipeline. Each stage is deterministic for a
+	// fixed worker count; see RouteOptions.Workers for the routing
+	// wave-determinism contract.
+	Workers int
+}
+
+// withWorkers propagates the pipeline-level worker count into the stages.
+func (o Options) withWorkers() Options {
+	if o.Workers != 0 {
+		if o.Route.Workers == 0 {
+			o.Route.Workers = o.Workers
+		}
+		if o.TDM.Workers == 0 {
+			o.TDM.Workers = o.Workers
+		}
+	}
+	return o
 }
 
 // StageTimes records wall-clock time per pipeline stage, matching the
@@ -166,6 +185,7 @@ type Result struct {
 // Solve runs the full framework of Fig. 2(b) — NetGroup-aware routing
 // followed by TDM ratio assignment — and returns a legal solution.
 func Solve(in *Instance, opt Options) (*Result, error) {
+	opt = opt.withWorkers()
 	res := &Result{}
 	t0 := time.Now()
 	routes, rstats, err := route.Route(in, opt.Route)
