@@ -1,0 +1,65 @@
+// Command tdmlint runs the repository's static-analysis suite: four
+// stdlib-only analyzers enforcing the solver's determinism and overflow
+// invariants (see internal/lint).
+//
+// Usage:
+//
+//	tdmlint [-tests] [-only floatcast,maporder] [pattern ...]
+//
+// Patterns are module-relative package directories ("internal/tdm") or
+// subtrees ("./..."); no patterns means the whole module. Each finding
+// prints as "file:line: analyzer: message". Exit status is 0 for a clean
+// tree, 1 when there are findings, and 2 on load or usage errors.
+//
+// A "//lint:ignore <analyzer> <reason>" comment on the flagged line, or on
+// the line directly above it, suppresses a finding; unused or malformed
+// directives are reported as findings themselves.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tdmroute/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("tdmlint", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	tests := fs.Bool("tests", false, "also analyze _test.go files and external test packages")
+	only := fs.String("only", "", "comma-separated analyzer subset (default: all)")
+	dir := fs.String("C", "", "directory inside the target module (default: current directory)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := lint.Config{
+		Dir:          *dir,
+		Patterns:     fs.Args(),
+		IncludeTests: *tests,
+	}
+	if *only != "" {
+		cfg.Analyzers = strings.Split(*only, ",")
+	}
+
+	findings, err := lint.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tdmlint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(out, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "tdmlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// fixtureDir points at the lint package's seeded fixture module; running the
+// CLI there exercises loading, analysis, and exit codes end to end.
+const fixtureDir = "../../internal/lint/testdata/src"
+
+func TestRunReportsFindings(t *testing.T) {
+	var out strings.Builder
+	code := run([]string{"-C", fixtureDir, "floatcast"}, &out)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; output:\n%s", code, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "floatcast/floatcast.go:13: floatcast:") {
+		t.Errorf("missing expected finding in output:\n%s", got)
+	}
+}
+
+func TestRunCleanSubsetExitsZero(t *testing.T) {
+	var out strings.Builder
+	// The floatcast fixture package has no floateq findings.
+	code := run([]string{"-C", fixtureDir, "-only", "floateq", "floatcast"}, &out)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; output:\n%s", code, out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run printed findings:\n%s", out.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-only", "nosuch", "-C", fixtureDir}, &out); code != 2 {
+		t.Errorf("unknown analyzer: exit code = %d, want 2", code)
+	}
+	if code := run([]string{"-nosuchflag"}, &out); code != 2 {
+		t.Errorf("bad flag: exit code = %d, want 2", code)
+	}
+	if code := run([]string{"-C", "/nonexistent-dir-xyz"}, &out); code != 2 {
+		t.Errorf("bad dir: exit code = %d, want 2", code)
+	}
+}

@@ -16,7 +16,7 @@ func AssignUniform(in *problem.Instance, routes problem.Routing) problem.Assignm
 		if len(ls) == 0 {
 			continue
 		}
-		r := evenCeil(float64(len(ls)))
+		r := problem.EvenCeilRatio(float64(len(ls)))
 		for _, l := range ls {
 			ratios[l.Net][l.Pos] = r
 		}
@@ -70,7 +70,9 @@ func assignWeighted(in *problem.Instance, routes problem.Routing, weights []floa
 		}
 		for _, l := range ls {
 			t := s / math.Sqrt(math.Max(weights[l.Net], floor))
-			ratios[l.Net][l.Pos] = evenCeil(t)
+			// The shared helper saturates non-finite or huge patterns (an
+			// unguarded int64(math.Ceil(t)) overflows platform-defined).
+			ratios[l.Net][l.Pos] = problem.EvenCeilRatio(t)
 		}
 	}
 	return problem.Assignment{Ratios: ratios}
@@ -82,16 +84,4 @@ func emptyRatios(routes problem.Routing) [][]int64 {
 		ratios[n] = make([]int64, len(routes[n]))
 	}
 	return ratios
-}
-
-// evenCeil returns the smallest even integer >= max(t, 2).
-func evenCeil(t float64) int64 {
-	if !(t > 2) {
-		return 2
-	}
-	c := int64(math.Ceil(t))
-	if c%2 != 0 {
-		c++
-	}
-	return c
 }

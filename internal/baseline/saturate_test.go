@@ -1,0 +1,70 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"tdmroute/internal/graph"
+	"tdmroute/internal/problem"
+)
+
+// twoNetInstance is the minimal carrier for adversarial weights: two nets
+// routed over the single edge of a 2-FPGA system.
+func twoNetInstance() (*problem.Instance, problem.Routing) {
+	g := graph.New(2, 1)
+	g.AddEdge(0, 1)
+	in := &problem.Instance{
+		Name:   "saturate",
+		G:      g,
+		Nets:   []problem.Net{{Terminals: []int{0, 1}}, {Terminals: []int{0, 1}}},
+		Groups: []problem.Group{{Nets: []int{0, 1}}},
+	}
+	in.RebuildNetGroups()
+	return in, problem.Routing{{0}, {0}}
+}
+
+// TestAssignWeightedSaturates mirrors the tdm legalizer regression test
+// (legalize_test.go) on the baseline assigners: the former unguarded
+// evenCeil turned an infinite Cauchy–Schwarz pattern value t = Σ√w/√w_n
+// into int64(math.Ceil(+Inf)), a platform-defined negative ratio. With the
+// shared problem.EvenCeilRatio helper the ratios must saturate and the
+// solution must stay legal.
+func TestAssignWeightedSaturates(t *testing.T) {
+	in, routes := twoNetInstance()
+	adversarial := [][]float64{
+		{math.Inf(1), 1},          // s = +Inf, finite-weight net gets t = +Inf
+		{math.NaN(), 1},           // NaN poisons the edge sum
+		{math.MaxFloat64, 1e-300}, // huge spread: t overflows without being Inf
+		{0, 0},                    // floored to 1e-6 on both
+	}
+	for _, weights := range adversarial {
+		a := assignWeighted(in, routes, weights)
+		for n, row := range a.Ratios {
+			for _, r := range row {
+				if r < 2 || r%2 != 0 {
+					t.Errorf("weights %v: net %d ratio %d is illegal", weights, n, r)
+				}
+			}
+		}
+	}
+}
+
+// TestAssignersSolutionsStayLegalOnDegenerateGroups runs the exported
+// assigners on an instance whose group structure yields zero weights for
+// some nets and asserts full solution validity.
+func TestAssignersSolutionsStayLegalOnDegenerateGroups(t *testing.T) {
+	in, routes := twoNetInstance()
+	in.Groups = nil // every net ungrouped: AssignProportional weights all 0
+	in.RebuildNetGroups()
+	for name, assign := range map[string]func(*problem.Instance, problem.Routing) problem.Assignment{
+		"AssignUniform":      AssignUniform,
+		"AssignProportional": AssignProportional,
+		"AssignGroupCount":   AssignGroupCount,
+	} {
+		a := assign(in, routes)
+		sol := &problem.Solution{Routes: routes, Assign: a}
+		if err := problem.ValidateSolution(in, sol); err != nil {
+			t.Errorf("%s: invalid solution: %v", name, err)
+		}
+	}
+}

@@ -8,7 +8,6 @@ package gen
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 
 	"tdmroute/internal/graph"
@@ -104,7 +103,11 @@ type board struct {
 }
 
 func newBoard(n int) *board {
-	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	// Integer ceil-sqrt: stays exact (and overflow-free) for any board size.
+	cols := 1
+	for cols*cols < n {
+		cols++
+	}
 	rows := (n + cols - 1) / cols
 	return &board{n: n, cols: cols, rows: rows}
 }

@@ -86,7 +86,15 @@ func Suite(scale float64) ([]*problem.Instance, error) {
 }
 
 func scaleCount(n int, scale float64) int {
-	v := int(math.Round(float64(n) * scale))
+	// Saturate before converting: a huge (or +Inf) scale would make the
+	// float→int conversion platform-defined. 2^31 nets is far beyond any
+	// suite the generator can materialize anyway.
+	const maxCount = 1 << 31
+	f := math.Round(float64(n) * scale)
+	if !(f < maxCount) { // also catches NaN
+		return maxCount
+	}
+	v := int(f)
 	if v < 1 {
 		v = 1
 	}

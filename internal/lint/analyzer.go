@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// Analyzer is one named check run over every selected package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Pass)
+}
+
+// All registers the analyzers in the order they run.
+var All = []*Analyzer{FloatCast, MapOrder, RawGo, FloatEq}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Fset *token.FileSet
+	Pkg  *Package
+	// SolverPkgs and ParAllowed are the resolved Config lists.
+	SolverPkgs []string
+	ParAllowed []string
+
+	root     string
+	analyzer string
+	findings []Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.findings = append(p.findings, Finding{
+		Pos:      relPos(p.Fset.Position(pos), p.root),
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InSolverPkg reports whether the pass's package is one of (or nested under)
+// the configured solver packages.
+func (p *Pass) InSolverPkg() bool { return pathIn(p.Pkg.ImportPath, p.SolverPkgs) }
+
+// InParAllowed reports whether the package may use raw concurrency.
+func (p *Pass) InParAllowed() bool { return pathIn(p.Pkg.ImportPath, p.ParAllowed) }
+
+// pathIn reports whether path equals an entry or lives in an entry's subtree.
+// External test packages ("pkg.test") count as their base package.
+func pathIn(path string, list []string) bool {
+	path = strings.TrimSuffix(path, ".test")
+	for _, e := range list {
+		if path == e || strings.HasPrefix(path, e+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// relPos rewrites the position's filename relative to the module root so
+// findings print stable, short paths.
+func relPos(pos token.Position, root string) token.Position {
+	if rel, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		pos.Filename = filepath.ToSlash(rel)
+	}
+	return pos
+}

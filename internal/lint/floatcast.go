@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatCast flags float→integer conversions with no saturation or
+// finiteness guard in the enclosing function. Converting a float64 at or
+// beyond the integer type's range is platform-defined in Go (amd64 yields
+// the minimum integer value), which is exactly the overflow class fixed in
+// the TDM legalizers: a huge relaxed ratio silently became a negative
+// "legal" ratio.
+var FloatCast = &Analyzer{
+	Name: "floatcast",
+	Doc:  "flag unguarded float-to-integer conversions (overflow is platform-defined)",
+	Run:  runFloatCast,
+}
+
+// guardBound is the smallest constant magnitude a comparison must involve to
+// count as an overflow guard. Saturation bounds are near the integer range
+// (2^62, MaxInt64); comparisons against small constants (t > 2) bound the
+// value from below, not above, and do not prevent overflow.
+const guardBound = float64(1 << 31)
+
+func runFloatCast(p *Pass) {
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := info.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			dst, ok := tv.Type.Underlying().(*types.Basic)
+			if !ok || dst.Info()&types.IsInteger == 0 {
+				return true
+			}
+			arg := call.Args[0]
+			atv, ok := info.Types[arg]
+			if !ok || atv.Value != nil { // constant: the compiler rejects overflow
+				return true
+			}
+			src, ok := atv.Type.Underlying().(*types.Basic)
+			if !ok || src.Info()&types.IsFloat == 0 {
+				return true
+			}
+			if isClampCall(info, arg) {
+				return true
+			}
+			if body := enclosingFuncBody(stack); body != nil && hasOverflowGuard(info, body, exprVars(info, arg)) {
+				return true
+			}
+			p.Reportf(call.Pos(), "unguarded float-to-integer conversion to %s: overflow is platform-defined; saturate or bound the value first", dst.Name())
+			return true
+		})
+	}
+}
+
+// enclosingFuncBody returns the body of the innermost function on the stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			return fn.Body
+		case *ast.FuncDecl:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// exprVars collects the variable objects mentioned by an expression.
+func exprVars(info *types.Info, e ast.Expr) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj, ok := info.Uses[id].(*types.Var); ok {
+				vars[obj] = true
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// mentionsAny reports whether the expression uses one of the variables; an
+// empty set matches any expression (the conversion operand named no
+// variables, so any guard in the function is accepted).
+func mentionsAny(info *types.Info, e ast.Expr, vars map[types.Object]bool) bool {
+	if len(vars) == 0 {
+		return true
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && vars[info.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasOverflowGuard scans a function body for a construct that bounds one of
+// the conversion's variables: a comparison against a constant of magnitude
+// >= guardBound, or a math.IsInf / math.IsNaN call.
+func hasOverflowGuard(info *types.Info, body *ast.BlockStmt, vars map[types.Object]bool) bool {
+	guarded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if guarded {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ:
+			default:
+				return true
+			}
+			if isHugeConst(info, n.Y) && mentionsAny(info, n.X, vars) ||
+				isHugeConst(info, n.X) && mentionsAny(info, n.Y, vars) {
+				guarded = true
+			}
+		case *ast.CallExpr:
+			if isMathCall(info, n, "IsInf", "IsNaN") && len(n.Args) > 0 && mentionsAny(info, n.Args[0], vars) {
+				guarded = true
+			}
+		}
+		return !guarded
+	})
+	return guarded
+}
+
+// isHugeConst reports whether the expression is a constant with magnitude at
+// least guardBound.
+func isHugeConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+	if v < 0 {
+		v = -v
+	}
+	return v >= guardBound
+}
+
+// isClampCall reports whether the expression is already clamped: a call to
+// math.Min/math.Max or the min/max builtins with at least two arguments.
+func isClampCall(info *types.Info, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if isMathCall(info, call, "Min", "Max") {
+		return true
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok && len(call.Args) >= 2 {
+		if b, ok := info.Uses[id].(*types.Builtin); ok && (b.Name() == "min" || b.Name() == "max") {
+			return true
+		}
+	}
+	return false
+}
+
+// isMathCall reports whether the call is math.<one of names>.
+func isMathCall(info *types.Info, call *ast.CallExpr, names ...string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := info.Uses[x].(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "math" {
+		return false
+	}
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands. Equality of
+// computed floats is representation-dependent (and x == x is false for NaN),
+// so solver decisions must not hinge on it; compare against a tolerance or
+// work in an integer domain instead. Comparison with the constant 0 is
+// allowed: the zero sentinel ("field not set") is exact in IEEE 754 and used
+// pervasively by the option structs.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= between floating-point operands (constant 0 exempt)",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			xtv, xok := info.Types[bin.X]
+			ytv, yok := info.Types[bin.Y]
+			if !xok || !yok || !isFloat(xtv.Type) || !isFloat(ytv.Type) {
+				return true
+			}
+			if xtv.Value != nil && ytv.Value != nil { // constant folded
+				return true
+			}
+			if isZeroConst(xtv) || isZeroConst(ytv) {
+				return true
+			}
+			p.Reportf(bin.OpPos, "%s between floating-point values: compare with a tolerance or use an integer representation", bin.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isZeroConst(tv types.TypeAndValue) bool {
+	return tv.Value != nil && constant.Sign(tv.Value) == 0
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+	// bad holds a parse problem; bad directives are reported instead of
+	// applied.
+	bad string
+}
+
+const directivePrefix = "lint:ignore"
+
+// collectDirectives extracts the //lint:ignore directives of a file, in
+// position order. known maps analyzer names accepted in directives.
+func collectDirectives(fset *token.FileSet, f *ast.File, known map[string]bool) []*directive {
+	var out []*directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//")
+			if !ok {
+				continue // block comments do not carry directives
+			}
+			text = strings.TrimSpace(text)
+			rest, ok := strings.CutPrefix(text, directivePrefix)
+			if !ok {
+				continue
+			}
+			d := &directive{pos: fset.Position(c.Pos())}
+			fields := strings.Fields(rest)
+			switch {
+			case len(fields) == 0:
+				d.bad = "malformed //lint:ignore: want \"//lint:ignore <analyzer> <reason>\""
+			case !known[fields[0]]:
+				d.bad = "//lint:ignore names unknown analyzer " + strings.TrimSpace(fields[0])
+			case len(fields) < 2:
+				d.bad = "//lint:ignore " + fields[0] + " is missing a reason"
+			default:
+				d.analyzer = fields[0]
+				d.reason = strings.Join(fields[1:], " ")
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// matches reports whether the directive suppresses a finding by the given
+// analyzer at the given position: same file, and either on the directive's
+// line (end-of-line comment) or the line directly below it (standalone
+// comment above the flagged statement).
+func (d *directive) matches(analyzer string, pos token.Position) bool {
+	if d.bad != "" || d.analyzer != analyzer {
+		return false
+	}
+	return d.pos.Filename == pos.Filename &&
+		(d.pos.Line == pos.Line || d.pos.Line+1 == pos.Line)
+}

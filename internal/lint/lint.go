@@ -1,0 +1,233 @@
+// Package lint is a stdlib-only static-analysis suite enforcing the solver's
+// determinism and overflow invariants. It loads and type-checks the module
+// with go/parser + go/types (no x/tools dependency) and runs four analyzers
+// over every package:
+//
+//   - floatcast: float→integer conversions with no saturation or finiteness
+//     guard (the conversion is platform-defined when the value overflows).
+//   - maporder: map-range loops in solver packages whose bodies append to
+//     slices, write output, or accumulate floats — map iteration order would
+//     leak into results and break run-to-run determinism.
+//   - rawgo: go statements, sync.WaitGroup, or channel construction outside
+//     internal/par — all parallelism must flow through the deterministic
+//     fork-join helpers.
+//   - floateq: == or != between floating-point operands (comparisons with
+//     the constant 0 sentinel are allowed).
+//
+// A finding is suppressed by a "//lint:ignore <analyzer> <reason>" comment
+// on the flagged line or on the line directly above it; unused or malformed
+// directives are themselves errors.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the finding as "file:line: analyzer: message". The file is
+// printed as given in Pos (the loader records module-root-relative paths for
+// module files).
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Config selects what to analyze.
+type Config struct {
+	// Dir is any directory inside the target module; go.mod is located by
+	// walking upward. Empty means the current directory.
+	Dir string
+	// Patterns restricts which packages are analyzed (the whole module is
+	// always loaded so imports resolve). Each pattern is a module-relative
+	// directory ("internal/tdm", "./internal/tdm") or "./..." / "dir/..."
+	// for a subtree. Empty analyzes every package.
+	Patterns []string
+	// IncludeTests also analyzes _test.go files and external test packages.
+	IncludeTests bool
+	// Analyzers names the analyzers to run; empty runs all of them.
+	Analyzers []string
+	// SolverPkgs lists the import paths (each also covering its subtree)
+	// where maporder applies. Nil selects the solver packages of this
+	// repository: internal/{graph,route,tdm,problem,baseline} under the
+	// module path.
+	SolverPkgs []string
+	// ParAllowed lists the import paths allowed to use raw concurrency
+	// primitives. Nil selects internal/par under the module path.
+	ParAllowed []string
+}
+
+// defaultSolverSuffixes are the packages whose iteration order feeds solver
+// output; see Config.SolverPkgs.
+var defaultSolverSuffixes = []string{
+	"internal/graph", "internal/route", "internal/tdm", "internal/problem", "internal/baseline",
+}
+
+// Run loads the module containing cfg.Dir and returns every finding of the
+// selected analyzers on the selected packages, sorted by position. A nil
+// error with a non-empty slice means the tree has violations; loading or
+// type-checking failures return an error.
+func Run(cfg Config) ([]Finding, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		dir = "."
+	}
+	root, modPath, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := loadModule(root, modPath, cfg.IncludeTests)
+	if err != nil {
+		return nil, err
+	}
+
+	analyzers, err := selectAnalyzers(cfg.Analyzers)
+	if err != nil {
+		return nil, err
+	}
+	known := map[string]bool{}
+	for _, a := range All {
+		known[a.Name] = true
+	}
+	selected := map[string]bool{}
+	for _, a := range analyzers {
+		selected[a.Name] = true
+	}
+
+	solver := cfg.SolverPkgs
+	if solver == nil {
+		for _, s := range defaultSolverSuffixes {
+			solver = append(solver, modPath+"/"+s)
+		}
+	}
+	parAllowed := cfg.ParAllowed
+	if parAllowed == nil {
+		parAllowed = []string{modPath + "/internal/par"}
+	}
+
+	var findings []Finding
+	for _, pkg := range mod.Pkgs {
+		if !matchesPatterns(pkg.RelDir, cfg.Patterns) {
+			continue
+		}
+		pass := &Pass{
+			Fset:       mod.Fset,
+			Pkg:        pkg,
+			SolverPkgs: solver,
+			ParAllowed: parAllowed,
+			root:       root,
+		}
+		var dirs []*directive
+		for _, f := range pkg.Files {
+			dirs = append(dirs, collectDirectives(mod.Fset, f, known)...)
+		}
+		for _, d := range dirs {
+			d.pos = relPos(d.pos, root) // findings use module-relative files
+		}
+		for _, a := range analyzers {
+			pass.analyzer = a.Name
+			a.Run(pass)
+		}
+		// Apply suppressions, then report bad and unused directives.
+		for _, f := range pass.findings {
+			suppressed := false
+			for _, d := range dirs {
+				if d.matches(f.Analyzer, f.Pos) {
+					d.used = true
+					suppressed = true
+					break
+				}
+			}
+			if !suppressed {
+				findings = append(findings, f)
+			}
+		}
+		for _, d := range dirs {
+			switch {
+			case d.bad != "":
+				findings = append(findings, Finding{Pos: relPos(d.pos, root), Analyzer: "ignore", Message: d.bad})
+			case !d.used && selected[d.analyzer]:
+				// A directive for an analyzer that did not run this
+				// invocation is not provably stale; only full runs can
+				// judge it unused.
+				findings = append(findings, Finding{
+					Pos:      relPos(d.pos, root),
+					Analyzer: "ignore",
+					Message:  fmt.Sprintf("unused //lint:ignore directive for %s", d.analyzer),
+				})
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// selectAnalyzers resolves names against the registry; empty selects all.
+func selectAnalyzers(names []string) ([]*Analyzer, error) {
+	if len(names) == 0 {
+		return All, nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// matchesPatterns reports whether the module-relative package directory is
+// selected. Empty patterns select everything.
+func matchesPatterns(rel string, patterns []string) bool {
+	if len(patterns) == 0 {
+		return true
+	}
+	for _, p := range patterns {
+		p = strings.TrimPrefix(strings.TrimSuffix(p, "/"), "./")
+		if p == "..." {
+			return true
+		}
+		if prefix, ok := strings.CutSuffix(p, "/..."); ok {
+			if rel == prefix || strings.HasPrefix(rel, prefix+"/") {
+				return true
+			}
+			continue
+		}
+		if p == "" || p == "." {
+			if rel == "." {
+				return true
+			}
+			continue
+		}
+		if rel == p {
+			return true
+		}
+	}
+	return false
+}

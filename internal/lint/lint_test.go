@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file with the current findings")
+
+// fixtureConfig analyzes the seeded fixture module under testdata/src,
+// registering maporder's fixture package as a solver package and
+// rawgo_allowed as the raw-concurrency exception.
+func fixtureConfig() Config {
+	return Config{
+		Dir:        "testdata/src",
+		SolverPkgs: []string{"fixture/maporder"},
+		ParAllowed: []string{"fixture/rawgo_allowed"},
+	}
+}
+
+// TestFixturesGolden compares every finding on the fixture module against
+// the checked-in golden file. Regenerate with: go test ./internal/lint -run
+// Golden -update
+func TestFixturesGolden(t *testing.T) {
+	findings, err := Run(fixtureConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var sb strings.Builder
+	for _, f := range findings {
+		sb.WriteString(f.String())
+		sb.WriteString("\n")
+	}
+	got := sb.String()
+
+	const golden = "testdata/findings.golden"
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("findings differ from %s\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestEachAnalyzerDetectsItsFixture asserts the deliberately-seeded
+// violation in each fixture package is caught by the matching analyzer, and
+// that the unused/malformed directives are reported.
+func TestEachAnalyzerDetectsItsFixture(t *testing.T) {
+	findings, err := Run(fixtureConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	count := map[string]int{} // "pkgdir/analyzer" -> findings
+	for _, f := range findings {
+		dir := strings.SplitN(f.Pos.Filename, "/", 2)[0]
+		count[dir+"/"+f.Analyzer]++
+	}
+	want := map[string]int{
+		"floatcast/floatcast": 1, // Bad; guarded/clamped/suppressed stay silent
+		"maporder/maporder":   3, // BadAppend, BadPrint, BadFloatSum
+		"rawgo/rawgo":         3, // WaitGroup, make(chan), go statement
+		"floateq/floateq":     2, // BadEq, BadNeqConst
+		"unusedignore/ignore": 2, // stale directive + missing reason
+	}
+	for key, n := range want {
+		if count[key] != n {
+			t.Errorf("%s: got %d findings, want %d", key, count[key], n)
+		}
+	}
+	for key, n := range count {
+		if want[key] == 0 {
+			t.Errorf("unexpected findings %s: %d (allowed package or suppression leaked?)", key, n)
+		}
+	}
+}
+
+// TestSuppressionsAreExact ensures no finding from a fixture line marked
+// suppressed leaks through, and rawgo_allowed is fully exempt.
+func TestSuppressionsAreExact(t *testing.T) {
+	findings, err := Run(fixtureConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, f := range findings {
+		if strings.HasPrefix(f.Pos.Filename, "rawgo_allowed/") {
+			t.Errorf("finding in ParAllowed package: %s", f)
+		}
+		if f.Analyzer == "ignore" && !strings.HasPrefix(f.Pos.Filename, "unusedignore/") {
+			t.Errorf("directive problem outside unusedignore fixture: %s", f)
+		}
+	}
+}
+
+// TestPatternsRestrictAnalysis checks package pattern matching.
+func TestPatternsRestrictAnalysis(t *testing.T) {
+	cfg := fixtureConfig()
+	cfg.Patterns = []string{"./floateq"}
+	findings, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings for ./floateq, want 2: %v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if f.Analyzer != "floateq" {
+			t.Errorf("unexpected analyzer %s in pattern-restricted run", f.Analyzer)
+		}
+	}
+}
+
+// TestSelectAnalyzers checks the -only subset and unknown-name errors.
+func TestSelectAnalyzers(t *testing.T) {
+	cfg := fixtureConfig()
+	cfg.Analyzers = []string{"rawgo"}
+	cfg.Patterns = []string{"rawgo"}
+	findings, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(findings) != 3 {
+		t.Errorf("rawgo-only run: got %d findings, want 3: %v", len(findings), findings)
+	}
+
+	cfg.Analyzers = []string{"nosuch"}
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown analyzer name did not error")
+	}
+}
+
+func TestMatchesPatterns(t *testing.T) {
+	cases := []struct {
+		rel  string
+		pats []string
+		want bool
+	}{
+		{"internal/tdm", nil, true},
+		{"internal/tdm", []string{"./..."}, true},
+		{"internal/tdm", []string{"internal/tdm"}, true},
+		{"internal/tdm", []string{"./internal/tdm"}, true},
+		{"internal/tdm", []string{"internal/..."}, true},
+		{"internal/tdm", []string{"internal"}, false},
+		{"internal/tdm", []string{"cmd/..."}, false},
+		{".", []string{"."}, true},
+		{".", []string{"internal/..."}, false},
+	}
+	for _, c := range cases {
+		if got := matchesPatterns(c.rel, c.pats); got != c.want {
+			t.Errorf("matchesPatterns(%q, %v) = %v, want %v", c.rel, c.pats, got, c.want)
+		}
+	}
+}

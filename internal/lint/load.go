@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	// ImportPath is the full import path (modulePath + "/" + RelDir).
+	ImportPath string
+	// RelDir is the package directory relative to the module root, "." for
+	// the root package.
+	RelDir string
+	// Files are the parsed sources, sorted by file name.
+	Files []*ast.File
+	// Types and Info hold the go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// module is the loaded view of one Go module: every package parsed and
+// type-checked in dependency order.
+type module struct {
+	Root string // absolute module root (directory of go.mod)
+	Path string // module path from go.mod
+	Fset *token.FileSet
+	Pkgs []*Package // dependency order
+}
+
+// findModuleRoot walks upward from dir until it finds go.mod.
+func findModuleRoot(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			mp := parseModulePath(data)
+			if mp == "" {
+				return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+			}
+			return d, mp, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// parseModulePath extracts the module path from go.mod contents.
+func parseModulePath(data []byte) string {
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			return strings.Trim(rest, `"`)
+		}
+	}
+	return ""
+}
+
+// loadModule parses and type-checks every package under root. Test files are
+// included when includeTests is set; external test packages (package foo_test)
+// are checked as separate packages. Directories named testdata or vendor and
+// hidden/underscore directories are skipped.
+func loadModule(root, modPath string, includeTests bool) (*module, error) {
+	fset := token.NewFileSet()
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+
+	var pkgs []*Package
+	for _, rel := range dirs {
+		ps, err := parseDir(fset, root, modPath, rel, includeTests)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, ps...)
+	}
+
+	ordered, err := topoSort(pkgs, modPath)
+	if err != nil {
+		return nil, err
+	}
+
+	std := importer.ForCompiler(fset, "source", nil)
+	checked := map[string]*types.Package{}
+	imp := &moduleImporter{std: std, checked: checked}
+	for _, p := range ordered {
+		conf := types.Config{Importer: imp}
+		var typeErrs []error
+		conf.Error = func(err error) { typeErrs = append(typeErrs, err) }
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		}
+		tpkg, _ := conf.Check(p.ImportPath, fset, p.Files, info)
+		if len(typeErrs) > 0 {
+			return nil, fmt.Errorf("lint: type-checking %s: %v", p.ImportPath, typeErrs[0])
+		}
+		p.Types = tpkg
+		p.Info = info
+		checked[p.ImportPath] = tpkg
+	}
+	return &module{Root: root, Path: modPath, Fset: fset, Pkgs: ordered}, nil
+}
+
+// moduleImporter resolves module-internal imports from the already-checked
+// set and everything else (the standard library) from source.
+type moduleImporter struct {
+	std     types.Importer
+	checked map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.checked[path]; ok {
+		return p, nil
+	}
+	return m.std.Import(path)
+}
+
+// packageDirs lists module-relative directories that may contain packages.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		dirs = append(dirs, filepath.ToSlash(rel))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseDir parses one directory into zero, one, or two packages (the package
+// itself and, with includeTests, its external _test package).
+func parseDir(fset *token.FileSet, root, modPath, rel string, includeTests bool) ([]*Package, error) {
+	dir := filepath.Join(root, filepath.FromSlash(rel))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := modPath
+	if rel != "." {
+		importPath = modPath + "/" + rel
+	}
+
+	// Group files by declared package name so external test packages
+	// (package foo_test) check separately from package foo.
+	byName := map[string][]*ast.File{}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		byName[f.Name.Name] = append(byName[f.Name.Name], f)
+	}
+
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var pkgs []*Package
+	for _, n := range names {
+		ip := importPath
+		if strings.HasSuffix(n, "_test") {
+			ip = importPath + ".test"
+		}
+		pkgs = append(pkgs, &Package{ImportPath: ip, RelDir: rel, Files: byName[n]})
+	}
+	return pkgs, nil
+}
+
+// topoSort orders packages so that every module-internal import precedes its
+// importer.
+func topoSort(pkgs []*Package, modPath string) ([]*Package, error) {
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	const (
+		white = iota
+		gray
+		black
+	)
+	state := map[string]int{}
+	var out []*Package
+	var visit func(p *Package) error
+	visit = func(p *Package) error {
+		switch state[p.ImportPath] {
+		case gray:
+			return fmt.Errorf("lint: import cycle through %s", p.ImportPath)
+		case black:
+			return nil
+		}
+		state[p.ImportPath] = gray
+		for _, f := range p.Files {
+			for _, im := range f.Imports {
+				path := strings.Trim(im.Path.Value, `"`)
+				if path != modPath && !strings.HasPrefix(path, modPath+"/") {
+					continue
+				}
+				dep, ok := byPath[path]
+				if !ok {
+					return fmt.Errorf("lint: %s imports %s, which has no Go files", p.ImportPath, path)
+				}
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.ImportPath] = black
+		out = append(out, p)
+		return nil
+	}
+	for _, p := range pkgs {
+		// External test packages depend on their base package implicitly
+		// through imports; plain DFS order handles them.
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

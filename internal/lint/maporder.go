@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags map-range loops in solver packages whose bodies do
+// something order-dependent: append to a slice, write output, or accumulate
+// floating-point values. Go randomizes map iteration order, so any of these
+// leaks the order into results and breaks the solver's run-to-run (and
+// worker-count) determinism contract. Order-independent bodies — membership
+// tests, integer counting, keyed writes — are fine.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag order-dependent map-range loops in solver packages",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	if !p.InSolverPkg() {
+		return
+	}
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := info.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			if reason := orderDependent(info, rng.Body); reason != "" {
+				p.Reportf(rng.Pos(), "map-range loop %s: map iteration order is nondeterministic; sort the keys first", reason)
+			}
+			return true
+		})
+	}
+}
+
+// orderDependent scans a map-range body for the first order-dependent
+// operation and describes it; "" means the body looked order-independent.
+func orderDependent(info *types.Info, body *ast.BlockStmt) string {
+	reason := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch {
+			case isBuiltin(info, n.Fun, "append"):
+				reason = "appends to a slice"
+			case isOutputCall(info, n):
+				reason = "writes output"
+			}
+		case *ast.AssignStmt:
+			if accumulatesFloat(info, n) {
+				reason = "accumulates floating-point values (addition order changes the result)"
+			}
+		}
+		return reason == ""
+	})
+	return reason
+}
+
+// isBuiltin reports whether the expression names the given builtin.
+func isBuiltin(info *types.Info, e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// isOutputCall reports whether the call writes somewhere a reader will see
+// ordering: an fmt print function or a Write*-family method.
+func isOutputCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if x, ok := sel.X.(*ast.Ident); ok {
+		if pkg, ok := info.Uses[x].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+			switch name {
+			case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+				return true
+			}
+			return false
+		}
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Print", "Printf", "Println":
+		return true
+	}
+	return false
+}
+
+// accumulatesFloat reports whether the assignment folds into a float
+// accumulator: x op= expr, or x = x op expr.
+func accumulatesFloat(info *types.Info, as *ast.AssignStmt) bool {
+	if len(as.Lhs) != 1 {
+		return false
+	}
+	t := info.TypeOf(as.Lhs[0])
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsFloat == 0 {
+		return false
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	case token.ASSIGN:
+		bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		switch bin.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+			lhs := types.ExprString(as.Lhs[0])
+			return types.ExprString(bin.X) == lhs || types.ExprString(bin.Y) == lhs
+		}
+	}
+	return false
+}

@@ -1,0 +1,41 @@
+// Package floatcast seeds one violation of each floatcast shape plus the
+// guarded and suppressed negatives.
+package floatcast
+
+import "math"
+
+// Bad is the PR 1 overflow class: no guard, so +Inf or 1e300 converts to a
+// platform-defined value.
+func Bad(t float64) int64 {
+	if !(t > 2) {
+		return 2 // a small lower bound is not an overflow guard
+	}
+	return int64(math.Ceil(t)) // want a floatcast finding here
+}
+
+// GuardedConst saturates against a huge constant bound first.
+func GuardedConst(t float64) int64 {
+	if t >= float64(math.MaxInt64) {
+		return math.MaxInt64 - 1
+	}
+	return int64(math.Ceil(t))
+}
+
+// GuardedNaN checks finiteness with math.IsInf/IsNaN.
+func GuardedNaN(t float64) int64 {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return 0
+	}
+	return int64(t)
+}
+
+// Clamped feeds the conversion an explicitly clamped value.
+func Clamped(t float64) int64 {
+	return int64(math.Min(t, 1<<40))
+}
+
+// Suppressed carries a justified ignore directive.
+func Suppressed(t float64) int64 {
+	//lint:ignore floatcast t is a ratio in [0,1] scaled by a small table size
+	return int64(t * 16)
+}

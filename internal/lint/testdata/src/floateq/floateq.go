@@ -1,0 +1,35 @@
+// Package floateq seeds floating-point equality comparisons plus the
+// allowed zero-sentinel and suppressed cases.
+package floateq
+
+// BadEq compares computed floats for equality.
+func BadEq(a, b float64) bool {
+	return a == b // want a floateq finding here
+}
+
+// BadNeqConst compares against a non-zero constant.
+func BadNeqConst(x float64) bool {
+	return x != 1.5 // want a floateq finding here
+}
+
+// GoodZeroSentinel is the pervasive options pattern: 0 is exact.
+func GoodZeroSentinel(balance float64) float64 {
+	if balance == 0 {
+		balance = 0.1
+	}
+	return balance
+}
+
+// GoodTolerance is the recommended fix.
+func GoodTolerance(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+// Suppressed is the NaN self-comparison idiom, justified.
+func Suppressed(x float64) bool {
+	return x != x //lint:ignore floateq IEEE-754 NaN self-test idiom
+}

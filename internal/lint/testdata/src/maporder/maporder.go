@@ -1,0 +1,59 @@
+// Package maporder seeds order-dependent and order-independent map-range
+// loops. The lint test registers this package as a solver package.
+package maporder
+
+import "fmt"
+
+// BadAppend leaks map order into a slice.
+func BadAppend(m map[int]int) []int {
+	var out []int
+	for k := range m { // want a maporder finding here
+		out = append(out, k)
+	}
+	return out
+}
+
+// BadPrint leaks map order into output.
+func BadPrint(m map[string]int) {
+	for k, v := range m { // want a maporder finding here
+		fmt.Println(k, v)
+	}
+}
+
+// BadFloatSum accumulates floats in map order; float addition is not
+// associative, so the sum depends on iteration order.
+func BadFloatSum(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want a maporder finding here
+		s += v
+	}
+	return s
+}
+
+// GoodCount is order-independent: integer accumulation commutes exactly.
+func GoodCount(m map[int]bool) int {
+	n := 0
+	for _, ok := range m {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// GoodKeyed writes through the key, so order cannot show.
+func GoodKeyed(m map[int]int, out []int) {
+	for k, v := range m {
+		out[k] = v
+	}
+}
+
+// Suppressed documents why the order does not matter here.
+func Suppressed(m map[int]float64) float64 {
+	var s float64
+	//lint:ignore maporder diagnostic-only total, never compared across runs
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,26 @@
+// Package rawgo seeds raw concurrency outside the allowed fork-join
+// package: a go statement, a sync.WaitGroup, and a channel fan-out.
+package rawgo
+
+import "sync"
+
+// BadFanOut spawns goroutines directly instead of using par.For.
+func BadFanOut(work []func()) {
+	var wg sync.WaitGroup // want a rawgo finding here
+	done := make(chan int, len(work))
+	for _, w := range work {
+		wg.Add(1)
+		go func(f func()) { // want a rawgo finding here
+			defer wg.Done()
+			f()
+			done <- 1
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Suppressed is a justified exception (e.g. a signal handler).
+func Suppressed() chan struct{} {
+	//lint:ignore rawgo shutdown signal channel, not a compute fan-out
+	return make(chan struct{})
+}

@@ -1,0 +1,18 @@
+// Package rawgo_allowed stands in for internal/par: the lint test registers
+// it in ParAllowed, so its raw concurrency is not flagged.
+package rawgo_allowed
+
+import "sync"
+
+// ForkJoin is the kind of helper internal/par provides.
+func ForkJoin(n int, fn func(i int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}

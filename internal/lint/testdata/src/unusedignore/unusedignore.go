@@ -1,0 +1,14 @@
+// Package unusedignore seeds directive errors: an ignore that suppresses
+// nothing, and a malformed ignore with no reason.
+package unusedignore
+
+// Stale has a directive left behind after the flagged code was fixed.
+func Stale(x int) int {
+	//lint:ignore floatcast left over from a deleted conversion
+	return x + 1 // want an ignore finding on the directive above
+}
+
+// NoReason omits the mandatory justification.
+func NoReason(a, b float64) bool {
+	return a < b //lint:ignore floateq
+}

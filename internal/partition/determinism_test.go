@@ -1,0 +1,66 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGenerateNetlistSameSeedIdentical locks in the netlist generator's
+// reproducibility: all randomness flows from NetlistConfig.Seed.
+func TestGenerateNetlistSameSeedIdentical(t *testing.T) {
+	cfg := NetlistConfig{Cells: 200, Nets: 400, Seed: 7}
+	a, err := GenerateNetlist(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateNetlist(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two GenerateNetlist runs with the same config differ")
+	}
+}
+
+// TestBipartitionSameSeedIdentical checks the FM bipartitioner: the random
+// initial assignment comes from FMOptions.Seed and every later tie-break is
+// by smallest cell id, so repeated runs must match exactly.
+func TestBipartitionSameSeedIdentical(t *testing.T) {
+	h, err := GenerateNetlist(NetlistConfig{Cells: 150, Nets: 300, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := FMOptions{Seed: 11}
+	sideA, cutA, err := Bipartition(h, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sideB, cutB, err := Bipartition(h, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cutA != cutB || !reflect.DeepEqual(sideA, sideB) {
+		t.Errorf("two Bipartition runs with seed %d differ (cut %d vs %d)", opt.Seed, cutA, cutB)
+	}
+}
+
+// TestKWaySameSeedIdentical checks the recursive bisection driver, whose
+// per-level seeds are derived deterministically from the parent seed.
+func TestKWaySameSeedIdentical(t *testing.T) {
+	h, err := GenerateNetlist(NetlistConfig{Cells: 180, Nets: 350, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := FMOptions{Seed: 9}
+	a, err := KWay(h, 6, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KWay(h, 6, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two KWay runs with the same seed differ")
+	}
+}

@@ -2,6 +2,7 @@ package partition
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -44,8 +45,8 @@ func Bipartition(h *Hypergraph, opt FMOptions) ([]int, int, error) {
 
 	rng := rand.New(rand.NewSource(opt.Seed))
 	total := h.TotalWeight()
-	lo := int64(float64(total) * (0.5 - opt.Balance))
-	hi := int64(float64(total) * (0.5 + opt.Balance))
+	lo := satInt64(float64(total) * (0.5 - opt.Balance))
+	hi := satInt64(float64(total) * (0.5 + opt.Balance))
 	if hi == lo {
 		hi = lo + 1
 	}
@@ -70,6 +71,21 @@ func Bipartition(h *Hypergraph, opt FMOptions) ([]int, int, error) {
 		}
 	}
 	return f.side, CutSize(h, f.side), nil
+}
+
+// satInt64 converts f to int64, saturating at the representable range and
+// mapping NaN to 0: balance windows derived from adversarial FMOptions
+// (huge or non-finite Balance) must not overflow platform-defined.
+func satInt64(f float64) int64 {
+	switch {
+	case math.IsNaN(f):
+		return 0
+	case f >= float64(math.MaxInt64):
+		return math.MaxInt64
+	case f <= float64(math.MinInt64):
+		return math.MinInt64
+	}
+	return int64(f)
 }
 
 // fm holds the pass state: gain buckets with doubly linked free cells.
@@ -312,8 +328,8 @@ func bipartitionShare(h *Hypergraph, opt FMOptions, share float64) ([]int, int, 
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	total := h.TotalWeight()
-	target := int64(float64(total) * share)
-	dev := int64(float64(total) * opt.Balance / 2)
+	target := satInt64(float64(total) * share)
+	dev := satInt64(float64(total) * opt.Balance / 2)
 	lo := target - dev
 	hi := target + dev
 	if lo < 0 {

@@ -168,6 +168,7 @@ func (a *Audit) Summary() string {
 		c int
 	}
 	var kcs []kc
+	//lint:ignore maporder the sort below totally orders entries by (count, kind), erasing map order
 	for k, c := range a.ByKind {
 		kcs = append(kcs, kc{k, c})
 	}

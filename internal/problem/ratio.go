@@ -1,0 +1,53 @@
+package problem
+
+import "math"
+
+// Saturation bounds for the ratio legalizers. Converting a float64 at or
+// above 2^63 to int64 is platform-defined in Go (on amd64 it produces
+// math.MinInt64), so relaxed ratios that large — the LR assigns them to
+// ungrouped nets whose multipliers are floored near zero — must saturate
+// instead of overflowing into a negative "legal" ratio. These helpers are
+// the single shared implementation for every stage that rounds a fractional
+// ratio to the legal domain (tdm legalization and the baseline assigners),
+// so the guards cannot drift apart again.
+const (
+	// MaxEvenRatio is the largest even int64.
+	MaxEvenRatio = int64(math.MaxInt64) - 1
+	// MaxPow2Ratio is the largest power-of-two int64.
+	MaxPow2Ratio = int64(1) << 62
+	// RatioOverflow is 2^63 exactly: any float64 >= it cannot be converted
+	// to int64.
+	RatioOverflow = float64(math.MaxInt64)
+)
+
+// EvenCeilRatio returns the smallest even integer >= max(t, 2), saturating
+// at the largest even int64 for NaN-free overflow and +Inf.
+func EvenCeilRatio(t float64) int64 {
+	if !(t > 2) { // also catches NaN
+		return 2
+	}
+	if t >= RatioOverflow {
+		return MaxEvenRatio
+	}
+	c := int64(math.Ceil(t))
+	if c%2 != 0 {
+		c++
+	}
+	return c
+}
+
+// Pow2CeilRatio returns the smallest power of two >= max(t, 2), saturating
+// at 2^62 for +Inf or values beyond that.
+func Pow2CeilRatio(t float64) int64 {
+	if !(t > 2) { // also catches NaN
+		return 2
+	}
+	if t >= float64(MaxPow2Ratio) {
+		return MaxPow2Ratio
+	}
+	p := int64(2)
+	for float64(p) < t {
+		p <<= 1
+	}
+	return p
+}

@@ -1,0 +1,87 @@
+package problem
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEvenCeilRatioSaturates mirrors the tdm legalizer regression test on
+// the shared helper: relaxed ratios beyond the int64 range must saturate at
+// the largest even int64 instead of converting to a negative number.
+func TestEvenCeilRatioSaturates(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want int64
+	}{
+		{math.NaN(), 2},
+		{math.Inf(-1), 2},
+		{-5, 2},
+		{0, 2},
+		{2, 2},
+		{2.1, 4},
+		{7, 8},
+		{8, 8},
+		{1e15, 1000000000000000},
+		{1e15 + 1, 1000000000000002},
+		{1e18, 1000000000000000000},
+		{9.2e18, 9200000000000000000},
+		{float64(math.MaxInt64), MaxEvenRatio},
+		{1e19, MaxEvenRatio},
+		{1e300, MaxEvenRatio},
+		{math.Inf(1), MaxEvenRatio},
+	}
+	for _, c := range cases {
+		if got := EvenCeilRatio(c.in); got != c.want {
+			t.Errorf("EvenCeilRatio(%g) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPow2CeilRatioSaturates(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want int64
+	}{
+		{math.NaN(), 2},
+		{math.Inf(-1), 2},
+		{2, 2},
+		{3, 4},
+		{17, 32},
+		{1 << 40, 1 << 40},
+		{float64(MaxPow2Ratio), MaxPow2Ratio},
+		{1e300, MaxPow2Ratio},
+		{math.Inf(1), MaxPow2Ratio},
+	}
+	for _, c := range cases {
+		if got := Pow2CeilRatio(c.in); got != c.want {
+			t.Errorf("Pow2CeilRatio(%g) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestRatioHelpersNeverIllegal sweeps adversarial values through both
+// helpers and asserts that no odd, negative, or sub-2 ratio can escape.
+func TestRatioHelpersNeverIllegal(t *testing.T) {
+	adversarial := []float64{
+		math.NaN(), math.Inf(1), math.Inf(-1),
+		-1e300, -2, 0, 1, 2, 2.0000001, 3,
+		1e9, 1e18, 9.22e18, 9.3e18, 1e19, 1e300,
+		float64(math.MaxInt64), float64(math.MaxInt64) * 2,
+	}
+	for _, v := range adversarial {
+		for name, r := range map[string]int64{
+			"EvenCeilRatio": EvenCeilRatio(v),
+			"Pow2CeilRatio": Pow2CeilRatio(v),
+		} {
+			if r < 2 {
+				t.Errorf("%s(%g) = %d < 2", name, v, r)
+			}
+			if r%2 != 0 {
+				t.Errorf("%s(%g) = %d is odd", name, v, r)
+			}
+		}
+		if p := Pow2CeilRatio(v); p&(p-1) != 0 {
+			t.Errorf("Pow2CeilRatio(%g) = %d is not a power of two", v, p)
+		}
+	}
+}

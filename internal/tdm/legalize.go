@@ -1,6 +1,6 @@
 package tdm
 
-import "math"
+import "tdmroute/internal/problem"
 
 // Legalize rounds a relaxed assignment to legal TDM ratios (Sec. IV-E):
 // each ratio is raised to the next even integer, never below 2. Raising a
@@ -18,36 +18,18 @@ func Legalize(relaxed [][]float64) [][]int64 {
 	return out
 }
 
-// Saturation bounds for the legalizers. Converting a float64 at or above
-// 2^63 to int64 is platform-defined in Go (on amd64 it produces
-// math.MinInt64), so relaxed ratios that large — the LR assigns them to
-// ungrouped nets whose multipliers are floored near zero — must saturate
-// instead of overflowing into a negative "legal" ratio.
+// Saturation bounds, aliased from the shared helpers in internal/problem
+// (see problem.EvenCeilRatio for the overflow rationale).
 const (
-	// maxEvenRatio is the largest even int64.
-	maxEvenRatio = int64(math.MaxInt64) - 1
-	// maxPow2Ratio is the largest power-of-two int64.
-	maxPow2Ratio = int64(1) << 62
-	// ratioOverflow is 2^63 exactly: any float64 >= it cannot be
-	// converted to int64.
-	ratioOverflow = float64(math.MaxInt64)
+	maxEvenRatio = problem.MaxEvenRatio
+	maxPow2Ratio = problem.MaxPow2Ratio
 )
 
 // legalizeRatio returns the smallest even integer >= max(t, 2), saturating
-// at the largest even int64 for +Inf or values beyond the int64 range.
-func legalizeRatio(t float64) int64 {
-	if !(t > 2) { // also catches NaN
-		return 2
-	}
-	if t >= ratioOverflow {
-		return maxEvenRatio
-	}
-	c := int64(math.Ceil(t))
-	if c%2 != 0 {
-		c++
-	}
-	return c
-}
+// at the largest even int64 for +Inf or values beyond the int64 range. It
+// delegates to the shared saturating helper so the TDM and baseline stages
+// legalize identically.
+func legalizeRatio(t float64) int64 { return problem.EvenCeilRatio(t) }
 
 // LegalizePow2 rounds a relaxed assignment up to powers of two (>= 2).
 // This reproduces the ratio restriction of the paper's refs [2][3] (Pui et
@@ -69,16 +51,4 @@ func LegalizePow2(relaxed [][]float64) [][]int64 {
 
 // legalizeRatioPow2 returns the smallest power of two >= max(t, 2),
 // saturating at 2^62 for +Inf or values beyond that.
-func legalizeRatioPow2(t float64) int64 {
-	if !(t > 2) { // also catches NaN
-		return 2
-	}
-	if t >= float64(maxPow2Ratio) {
-		return maxPow2Ratio
-	}
-	p := int64(2)
-	for float64(p) < t {
-		p <<= 1
-	}
-	return p
-}
+func legalizeRatioPow2(t float64) int64 { return problem.Pow2CeilRatio(t) }

@@ -113,6 +113,7 @@ func refineEdge(cand []candidate, xi float64) {
 		perElem := 1/float64(tmax-2) - 1/float64(tmax)
 		j := m
 		if q := xi / perElem; q < float64(m) {
+			//lint:ignore floatcast q < m bounds the conversion; a NaN quotient fails the comparison and keeps j = m
 			j = int(q)
 		}
 		if j <= 0 {
@@ -148,6 +149,7 @@ func decrement(xi float64, tmax int64, m int) int64 {
 	if u < 1 {
 		u = 1 // margin large enough for any d; callers cap at tmax-2
 	}
+	//lint:ignore floatcast u is clamped to [1, tm) by the two checks above
 	return tmax - int64(u)
 }
 

@@ -32,17 +32,26 @@ func Sparkline(values []float64, width int) string {
 		v := sample(values, c, width)
 		idx := 0
 		if hi > lo {
-			idx = int((v - lo) / (hi - lo) * float64(len(sparkGlyphs)-1))
-		}
-		if idx < 0 {
-			idx = 0
-		}
-		if idx >= len(sparkGlyphs) {
-			idx = len(sparkGlyphs) - 1
+			idx = cell((v-lo)/(hi-lo), len(sparkGlyphs))
 		}
 		sb.WriteRune(sparkGlyphs[idx])
 	}
 	return sb.String()
+}
+
+// cell maps a [0,1] fraction onto a cell index 0..n-1, clamping in the
+// float domain first: converting a NaN or out-of-range float to int is
+// platform-defined, so NaN series values must not reach the conversion (the
+// old post-conversion clamp made the rendering differ across platforms).
+func cell(frac float64, n int) int {
+	if !(frac > 0) { // also catches NaN
+		return 0
+	}
+	if frac >= 1 {
+		return n - 1
+	}
+	//lint:ignore floatcast frac is bounded to (0,1) by the branches above
+	return int(frac * float64(n-1))
 }
 
 // sample picks the value for column c of width by nearest-index resampling.
@@ -76,10 +85,7 @@ func Bars(labels []string, values []float64, width int) string {
 	for i, l := range labels {
 		n := 0
 		if maxVal > 0 {
-			n = int(values[i] / maxVal * float64(width))
-		}
-		if n < 0 {
-			n = 0
+			n = cell(values[i]/maxVal, width+1)
 		}
 		fmt.Fprintf(&sb, "%-*s |%s %.2f\n", maxLabel, l, strings.Repeat("█", n), values[i])
 	}
@@ -122,13 +128,7 @@ func Curves(series [][]float64, names []string, rows, cols int) string {
 		g := glyphs[si%len(glyphs)]
 		for c := 0; c < cols; c++ {
 			v := sample(s, c, cols)
-			r := int((hi - v) / (hi - lo) * float64(rows-1))
-			if r < 0 {
-				r = 0
-			}
-			if r >= rows {
-				r = rows - 1
-			}
+			r := cell((hi-v)/(hi-lo), rows)
 			grid[r][c] = g
 		}
 	}

@@ -19,6 +19,9 @@ go build ./...
 echo "== vet"
 go vet ./...
 
+echo "== tdmlint"
+go run ./cmd/tdmlint ./...
+
 if [ "${1:-}" = "full" ]; then
   echo "== tests (full)"
   go test ./...

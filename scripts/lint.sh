@@ -1,0 +1,22 @@
+#!/bin/sh
+# Static-analysis entry point, matching the CI gates exactly: gofmt
+# cleanliness plus the repo's own tdmlint analyzers (floatcast, maporder,
+# rawgo, floateq — see internal/lint). Run before pushing:
+#
+#   scripts/lint.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+  echo "needs gofmt:"; echo "$fmt"; exit 1
+fi
+
+echo "== vet"
+go vet ./...
+
+echo "== tdmlint"
+go run ./cmd/tdmlint ./...
+
+echo "OK"
