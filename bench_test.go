@@ -7,6 +7,7 @@
 package tdmroute_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -113,7 +114,7 @@ func BenchmarkStageRouting(b *testing.B) {
 	in := genInstance(b, "synopsys01", benchScale)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := route.Route(in, route.Options{}); err != nil {
+		if _, _, err := route.Route(context.Background(), in, route.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -126,7 +127,7 @@ func BenchmarkStageRoutingParallel(b *testing.B) {
 	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := route.Route(in, route.Options{Workers: workers}); err != nil {
+				if _, _, err := route.Route(context.Background(), in, route.Options{Workers: workers}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -136,26 +137,26 @@ func BenchmarkStageRoutingParallel(b *testing.B) {
 
 func BenchmarkStageLR(b *testing.B) {
 	in := genInstance(b, "synopsys01", benchScale)
-	routes, _, err := route.Route(in, route.Options{})
+	routes, _, err := route.Route(context.Background(), in, route.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tdm.RunLR(in, routes, tdm.Options{})
+		tdm.RunLR(context.Background(), in, routes, tdm.Options{})
 	}
 }
 
 func BenchmarkStageLegalizeRefine(b *testing.B) {
 	in := genInstance(b, "synopsys01", benchScale)
-	routes, _, err := route.Route(in, route.Options{})
+	routes, _, err := route.Route(context.Background(), in, route.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
-	relaxed, _, _, _, _ := tdm.RunLR(in, routes, tdm.Options{})
+	relaxed, _, _, _, _, _ := tdm.RunLR(context.Background(), in, routes, tdm.Options{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := tdm.Finish(in, routes, relaxed, tdm.Options{}); err != nil {
+		if _, _, err := tdm.Finish(context.Background(), in, routes, relaxed, tdm.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -212,18 +213,18 @@ func BenchmarkFig3b(b *testing.B) {
 // subgradient at a fixed budget (the DESIGN.md ablation).
 func BenchmarkAblationUpdate(b *testing.B) {
 	in := genInstance(b, "synopsys01", benchScale)
-	routes, _, err := route.Route(in, route.Options{})
+	routes, _, err := route.Route(context.Background(), in, route.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Run("SigmoidSMA", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			tdm.RunLR(in, routes, tdm.Options{Epsilon: 1e-12, MaxIter: 100})
+			tdm.RunLR(context.Background(), in, routes, tdm.Options{Epsilon: 1e-12, MaxIter: 100})
 		}
 	})
 	b.Run("Subgradient", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			tdm.RunLR(in, routes, tdm.Options{Epsilon: 1e-12, MaxIter: 100, Update: tdm.UpdateSubgradient})
+			tdm.RunLR(context.Background(), in, routes, tdm.Options{Epsilon: 1e-12, MaxIter: 100, Update: tdm.UpdateSubgradient})
 		}
 	})
 }
@@ -239,7 +240,7 @@ func BenchmarkColgenVsLR(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	routes, _, err := route.Route(in, route.Options{})
+	routes, _, err := route.Route(context.Background(), in, route.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func BenchmarkColgenVsLR(b *testing.B) {
 	})
 	b.Run("LR", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			tdm.RunLR(in, routes, tdm.Options{Epsilon: 1e-6, MaxIter: 5000})
+			tdm.RunLR(context.Background(), in, routes, tdm.Options{Epsilon: 1e-6, MaxIter: 5000})
 		}
 	})
 }

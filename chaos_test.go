@@ -1,0 +1,59 @@
+package tdmroute_test
+
+import (
+	"testing"
+
+	"tdmroute"
+	"tdmroute/internal/chaos"
+	"tdmroute/internal/gen"
+	"tdmroute/internal/problem"
+)
+
+// The chaos sweep: a few hundred seeded injections across every fault mode
+// and two instance shapes, asserting the anytime invariant on each — the
+// run ends in a typed error or a validated solution, never an escaped panic
+// or a silently corrupt result. Seeds are fixed, so a failure here
+// reproduces from the reported (mode, seed) pair.
+
+func chaosInstances(t *testing.T) []*problem.Instance {
+	t.Helper()
+	cfgs := []gen.Config{
+		{Name: "chaos-grid", Seed: 1, FPGAs: 12, Edges: 22, Nets: 40, Groups: 12},
+		{Name: "chaos-dense", Seed: 2, FPGAs: 8, Edges: 20, Nets: 24, Groups: 8, MeanGroupSize: 3},
+	}
+	ins := make([]*problem.Instance, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		in, err := gen.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ins = append(ins, in)
+	}
+	return ins
+}
+
+func TestChaosSweep(t *testing.T) {
+	ins := chaosInstances(t)
+	modes := []chaos.Mode{chaos.ModeCancel, chaos.ModePanic, chaos.ModeCorrupt}
+	const seedsPerCell = 36 // 2 instances x 3 modes x 36 = 216 injections
+	opt := tdmroute.Options{
+		TDM:     tdmroute.TDMOptions{Epsilon: 1e-4, MaxIter: 50},
+		Workers: 4,
+	}
+	injections := 0
+	for ii, in := range ins {
+		for _, mode := range modes {
+			for s := 0; s < seedsPerCell; s++ {
+				seed := int64(ii*10_000 + s)
+				o := chaos.Run(in, mode, seed, opt)
+				if err := chaos.Check(o); err != nil {
+					t.Fatal(err)
+				}
+				injections++
+			}
+		}
+	}
+	if injections < 200 {
+		t.Fatalf("sweep ran only %d injections, want >= 200", injections)
+	}
+}

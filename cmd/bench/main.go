@@ -11,15 +11,25 @@
 //	bench -all -scale 0.01              # everything
 //
 // -benchmarks selects a comma-separated subset (default: all nine).
+//
+// Experiments are anytime: -timeout bounds the wall clock and the first ^C
+// cancels the run at the next benchmark boundary; either way the rows
+// completed so far are still rendered. Exit status: 0 on a complete run,
+// 1 on error, 2 on usage, 3 when the run was interrupted and only partial
+// results were written.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"tdmroute/internal/exp"
 	"tdmroute/internal/viz"
@@ -37,12 +47,15 @@ func main() {
 		scaling = flag.String("scaling", "", "run the size sweep on this benchmark (uses -scales)")
 		scales  = flag.String("scales", "0.002,0.01,0.05", "comma-separated scale factors for -scaling")
 		ascii   = flag.Bool("ascii", false, "render figures as ASCII charts (3a bars, 3b curves)")
+		timeout = flag.Duration("timeout", 0, "wall-clock budget; partial results are still written on expiry (0 = unlimited)")
 		workers = flag.Int("workers", 1, "worker goroutines per solve (1 = sequential; try runtime.NumCPU())")
 		verbose = flag.Bool("v", false, "print per-benchmark progress to stderr")
 	)
 	flag.Parse()
 
-	cfg := exp.Config{Scale: *scale, Workers: *workers}
+	ctx, cancel := runContext(*timeout)
+	defer cancel()
+	cfg := exp.Config{Scale: *scale, Workers: *workers, Ctx: ctx}
 	if *subset != "" {
 		cfg.Benchmarks = strings.Split(*subset, ",")
 	}
@@ -55,10 +68,13 @@ func main() {
 	}
 	if *csv && *table == "2" {
 		results, err := exp.TableII(cfg, exp.DefaultWinners())
-		if err != nil {
+		if err != nil && !errors.Is(err, exp.ErrInterrupted) {
 			fail(err)
 		}
 		exp.WriteTableIICSV(os.Stdout, results)
+		if err != nil {
+			exitInterrupted(err)
+		}
 		return
 	}
 	if *scaling != "" {
@@ -75,6 +91,9 @@ func main() {
 	}
 	ran, err := runBench(*table, *fig, *all, cfg, *budget, os.Stdout)
 	if err != nil {
+		if errors.Is(err, exp.ErrInterrupted) {
+			exitInterrupted(err)
+		}
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
@@ -82,6 +101,39 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runContext derives the experiment context: bounded by -timeout when set,
+// and cancelled by the first SIGINT so ^C still renders the rows completed
+// so far. A second ^C falls through to the default handler and kills the
+// process.
+func runContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), timeout)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
+	}
+	//lint:ignore rawgo CLI signal relay, not solver parallelism: os/signal requires a buffered channel
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	//lint:ignore rawgo CLI signal relay, not solver parallelism: blocks on the signal channel for the life of the process
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "bench: interrupt: rendering partial results (^C again to kill)")
+		cancel()
+		signal.Stop(sigc)
+	}()
+	return ctx, cancel
+}
+
+// exitInterrupted reports an interrupted run after its partial results have
+// been written, with the distinct degraded exit status.
+func exitInterrupted(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	fmt.Fprintln(os.Stderr, "bench: partial results written (exit 3)")
+	os.Exit(3)
 }
 
 // runScaling parses the comma-separated scale list and renders the size
@@ -135,6 +187,18 @@ func runASCII(fig string, cfg exp.Config, w io.Writer) error {
 	return fmt.Errorf("-ascii requires -fig 3a or 3b")
 }
 
+// emit renders an experiment's rows, complete or partial. A hard error is
+// returned unrendered; an interruption renders the partial rows first and
+// then surfaces so the caller can report the distinct exit status.
+func emit[T any](w io.Writer, rows T, err error, render func(io.Writer, T)) error {
+	if err != nil && !errors.Is(err, exp.ErrInterrupted) {
+		return err
+	}
+	render(w, rows)
+	fmt.Fprintln(w)
+	return err
+}
+
 // runBench executes the selected experiments, writing the rendered tables
 // and series to w. It reports whether any experiment was selected.
 func runBench(table, fig string, all bool, cfg exp.Config, budget int, w io.Writer) (bool, error) {
@@ -145,64 +209,51 @@ func runBench(table, fig string, all bool, cfg exp.Config, budget int, w io.Writ
 
 	if all || table == "1" {
 		rows, err := exp.TableI(cfg)
-		if err != nil {
-			return ran, err
+		if err = emit(w, rows, err, exp.WriteTableI); err != nil {
+			return true, err
 		}
-		exp.WriteTableI(w, rows)
-		fmt.Fprintln(w)
 		ran = true
 	}
 	if all || table == "2" {
 		results, err := exp.TableII(cfg, exp.DefaultWinners())
-		if err != nil {
-			return ran, err
+		if err = emit(w, results, err, exp.WriteTableII); err != nil {
+			return true, err
 		}
-		exp.WriteTableII(w, results)
-		fmt.Fprintln(w)
 		ran = true
 	}
 	if all || table == "ablation" {
 		rows, err := exp.Ablation(cfg, budget)
-		if err != nil {
-			return ran, err
+		if err = emit(w, rows, err, exp.WriteAblation); err != nil {
+			return true, err
 		}
-		exp.WriteAblation(w, rows)
-		fmt.Fprintln(w)
 		ran = true
 	}
 	if all || table == "pow2" {
 		rows, err := exp.Pow2Ablation(cfg)
-		if err != nil {
-			return ran, err
+		if err = emit(w, rows, err, exp.WritePow2Ablation); err != nil {
+			return true, err
 		}
-		exp.WritePow2Ablation(w, rows)
-		fmt.Fprintln(w)
 		ran = true
 	}
 	if all || table == "router" {
 		rows, err := exp.RouterAblation(cfg)
-		if err != nil {
-			return ran, err
+		if err = emit(w, rows, err, exp.WriteRouterAblation); err != nil {
+			return true, err
 		}
-		exp.WriteRouterAblation(w, rows)
-		fmt.Fprintln(w)
 		ran = true
 	}
 	if all || fig == "3a" {
 		b, err := exp.Fig3a(cfg)
-		if err != nil {
-			return ran, err
+		if err = emit(w, b, err, exp.WriteFig3a); err != nil {
+			return true, err
 		}
-		exp.WriteFig3a(w, b)
-		fmt.Fprintln(w)
 		ran = true
 	}
 	if all || fig == "3b" {
 		series, err := exp.Fig3b(cfg)
-		if err != nil {
-			return ran, err
+		if err = emit(w, series, err, exp.WriteFig3b); err != nil {
+			return true, err
 		}
-		exp.WriteFig3b(w, series)
 		ran = true
 	}
 	return ran, nil

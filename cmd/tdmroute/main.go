@@ -5,16 +5,25 @@
 // Usage:
 //
 //	tdmroute -in bench.txt [-out sol.txt] [-topology routes.txt]
-//	         [-epsilon 0.0027] [-maxiter 500] [-ripup 5] [-workers N] [-trace]
+//	         [-epsilon 0.0027] [-maxiter 500] [-ripup 5] [-workers N]
+//	         [-timeout 30s] [-trace]
 //
 // With -topology, the routing stage is skipped and the TDM ratio assignment
 // runs on the supplied topology (the "+TA" experiment of Table II).
+//
+// The solve is anytime: -timeout bounds the wall clock, and the first ^C
+// (SIGINT) cancels the run at the next deterministic boundary. In both
+// cases the best legal solution found so far is still reported and written.
+// Exit status: 0 on a complete solve, 1 on error, 2 on usage, 3 when the
+// run was curtailed and a degraded (best-so-far) solution was produced.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"time"
 
@@ -33,6 +42,7 @@ func main() {
 		jsonIO   = flag.Bool("json", false, "read the instance and write the solution as JSON")
 		pow2     = flag.Bool("pow2", false, "restrict TDM ratios to powers of two (refs [2][3] domain)")
 		iterate  = flag.Int("iterate", 0, "feedback rounds of iterated co-optimization (0 = single pass)")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget; on expiry the best-so-far solution is still written (0 = unlimited)")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for routing and TDM assignment (1 = sequential)")
 	)
 	flag.Parse()
@@ -40,21 +50,53 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*inPath, *outPath, *topoPath, *epsilon, *maxIter, *ripup, *workers, *trace, *jsonIO, *pow2, *iterate); err != nil {
+	ctx, cancel := solveContext(*timeout)
+	defer cancel()
+	degraded, err := run(ctx, *inPath, *outPath, *topoPath, *epsilon, *maxIter, *ripup, *workers, *trace, *jsonIO, *pow2, *iterate)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tdmroute:", err)
 		os.Exit(1)
 	}
+	if degraded {
+		fmt.Fprintln(os.Stderr, "tdmroute: solve curtailed; wrote best-so-far solution (exit 3)")
+		os.Exit(3)
+	}
 }
 
-func run(inPath, outPath, topoPath string, epsilon float64, maxIter, ripup, workers int, trace, jsonIO, pow2 bool, iterate int) error {
+// solveContext derives the solve's context: bounded by -timeout when set,
+// and cancelled by the first SIGINT so an interactive ^C still yields the
+// best-so-far solution. A second ^C falls through to the runtime's default
+// handling and kills the process.
+func solveContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), timeout)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
+	}
+	//lint:ignore rawgo CLI signal relay, not solver parallelism: os/signal requires a buffered channel
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	//lint:ignore rawgo CLI signal relay, not solver parallelism: blocks on the signal channel for the life of the process
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "tdmroute: interrupt: finishing with best-so-far solution (^C again to kill)")
+		cancel()
+		signal.Stop(sigc)
+	}()
+	return ctx, cancel
+}
+
+func run(ctx context.Context, inPath, outPath, topoPath string, epsilon float64, maxIter, ripup, workers int, trace, jsonIO, pow2 bool, iterate int) (degraded bool, err error) {
 	t0 := time.Now()
 	in, err := loadInstance(inPath, jsonIO)
 	if err != nil {
-		return err
+		return false, err
 	}
 	parseTime := time.Since(t0)
 	if err := tdmroute.ValidateInstance(in); err != nil {
-		return fmt.Errorf("invalid instance: %w", err)
+		return false, fmt.Errorf("invalid instance: %w", err)
 	}
 	stats := tdmroute.ComputeStats(in)
 	fmt.Println(stats)
@@ -76,26 +118,30 @@ func run(inPath, outPath, topoPath string, epsilon float64, maxIter, ripup, work
 	if topoPath != "" {
 		f, err := os.Open(topoPath)
 		if err != nil {
-			return err
+			return false, err
 		}
 		routes, err := tdmroute.ParseRouting(f, in.G.NumEdges())
 		f.Close()
 		if err != nil {
-			return err
+			return false, err
 		}
 		if err := tdmroute.ValidateRouting(in, routes); err != nil {
-			return fmt.Errorf("invalid topology: %w", err)
+			return false, fmt.Errorf("invalid topology: %w", err)
 		}
 		t1 := time.Now()
-		assign, r, err := tdmroute.AssignTDM(in, routes, topt)
+		assign, r, err := tdmroute.AssignTDMCtx(ctx, in, routes, topt)
 		if err != nil {
-			return err
+			return false, err
 		}
 		taTime = time.Since(t1)
 		rep = r
 		sol = &tdmroute.Solution{Routes: routes, Assign: assign}
+		if rep.Interrupted != nil {
+			degraded = true
+			fmt.Fprintf(os.Stderr, "tdmroute: TDM assignment interrupted: %v\n", rep.Interrupted)
+		}
 	} else if iterate > 0 {
-		res, err := tdmroute.SolveIterative(in, tdmroute.IterateOptions{
+		res, err := tdmroute.SolveIterativeCtx(ctx, in, tdmroute.IterateOptions{
 			Rounds: iterate,
 			Base: tdmroute.Options{
 				Route:   tdmroute.RouteOptions{RipUpRounds: ripup},
@@ -104,7 +150,7 @@ func run(inPath, outPath, topoPath string, epsilon float64, maxIter, ripup, work
 			},
 		})
 		if err != nil {
-			return err
+			return false, err
 		}
 		sol = res.Solution
 		rep = res.Report
@@ -112,23 +158,31 @@ func run(inPath, outPath, topoPath string, epsilon float64, maxIter, ripup, work
 		taTime = res.Times.LR + res.Times.LegalRefine
 		fmt.Printf("Iterated: initial GTR %d, %d/%d feedback rounds kept\n",
 			res.InitialGTR, res.RoundsKept, res.RoundsRun)
+		if res.Degraded != nil {
+			degraded = true
+			fmt.Fprintln(os.Stderr, "tdmroute:", res.Degraded)
+		}
 	} else {
-		res, err := tdmroute.Solve(in, tdmroute.Options{
+		res, err := tdmroute.SolveCtx(ctx, in, tdmroute.Options{
 			Route:   tdmroute.RouteOptions{RipUpRounds: ripup},
 			TDM:     topt,
 			Workers: workers,
 		})
 		if err != nil {
-			return err
+			return false, err
 		}
 		sol = res.Solution
 		rep = res.Report
 		routeTime = res.Times.Route
 		taTime = res.Times.LR + res.Times.LegalRefine
+		if res.Degraded != nil {
+			degraded = true
+			fmt.Fprintln(os.Stderr, "tdmroute:", res.Degraded)
+		}
 	}
 
 	if err := tdmroute.ValidateSolution(in, sol); err != nil {
-		return fmt.Errorf("internal error: produced invalid solution: %w", err)
+		return false, fmt.Errorf("internal error: produced invalid solution: %w", err)
 	}
 
 	fmt.Printf("GTR_noref   %d\n", rep.GTRNoRef)
@@ -141,11 +195,11 @@ func run(inPath, outPath, topoPath string, epsilon float64, maxIter, ripup, work
 	if outPath != "" {
 		t2 := time.Now()
 		if err := saveSolution(outPath, sol, jsonIO); err != nil {
-			return err
+			return degraded, err
 		}
 		fmt.Printf("wrote %s in %.3fs\n", outPath, time.Since(t2).Seconds())
 	}
-	return nil
+	return degraded, nil
 }
 
 func loadInstance(path string, jsonIO bool) (*tdmroute.Instance, error) {

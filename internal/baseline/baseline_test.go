@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"testing"
 
 	"tdmroute/internal/eval"
@@ -66,7 +67,7 @@ func TestOurTAImprovesEveryWinner(t *testing.T) {
 		own := w.Assign(in, routes)
 		ownGTR, _ := eval.MaxGroupTDM(in, &problem.Solution{Routes: routes, Assign: own})
 
-		improved, rep, err := tdm.Assign(in, routes, tdm.Options{Epsilon: 1e-3, MaxIter: 600})
+		improved, rep, err := tdm.Assign(context.Background(), in, routes, tdm.Options{Epsilon: 1e-3, MaxIter: 600})
 		if err != nil {
 			t.Fatal(err)
 		}

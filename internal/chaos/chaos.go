@@ -1,0 +1,244 @@
+// Package chaos is a seeded, deterministic fault-injection harness for the
+// anytime-solving contract: whatever is injected — context cancellation at
+// an arbitrary iteration, a panic inside an arbitrary parallel chunk, or
+// byte-level corruption of the serialized input — a solve must end in
+// exactly one of two states: a typed error, or a solution that passes
+// problem.ValidateSolution (possibly flagged Degraded). Anything else — an
+// escaped panic, a silently invalid solution, an untyped failure — is a bug
+// the harness reports.
+//
+// Every injection is derived from an explicit seed, so a failing outcome
+// reproduces from its (mode, seed) pair alone.
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tdmroute"
+	"tdmroute/internal/par"
+	"tdmroute/internal/problem"
+)
+
+// Mode selects the fault vector.
+type Mode int
+
+const (
+	// ModeCancel cancels the solve's context at a seeded point: before
+	// the solve starts, via a deadline, or at a seeded LR iteration.
+	ModeCancel Mode = iota
+	// ModePanic panics inside a seeded parallel chunk entry.
+	ModePanic
+	// ModeCorrupt corrupts the serialized instance bytes before parsing.
+	ModeCorrupt
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeCancel:
+		return "cancel"
+	case ModePanic:
+		return "panic"
+	case ModeCorrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Outcome is the result of one injection run.
+type Outcome struct {
+	Mode Mode
+	Seed int64
+	// In is the instance the solve actually ran on (the parsed corrupted
+	// instance for ModeCorrupt; the input instance otherwise). Nil when
+	// corruption made the input unparseable.
+	In *problem.Instance
+	// Res is the solve result, nil when the run ended in an error.
+	Res *tdmroute.Result
+	// Err is the terminal error, nil when the run produced a result.
+	Err error
+}
+
+// hookMu serializes ModePanic runs: the par chunk hook is process-global.
+var hookMu sync.Mutex
+
+// Run executes one seeded injection against in and returns the outcome.
+// The same (in, mode, seed, opt) always injects the same fault at the same
+// point.
+func Run(in *problem.Instance, mode Mode, seed int64, opt tdmroute.Options) Outcome {
+	o := Outcome{Mode: mode, Seed: seed, In: in}
+	rng := rand.New(rand.NewSource(seed))
+	switch mode {
+	case ModeCancel:
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		switch rng.Intn(3) {
+		case 0:
+			// Cancelled before the solve even starts.
+			cancel()
+		case 1:
+			// Cancelled at a seeded LR iteration boundary — the
+			// deterministic injection the incumbent contract is
+			// specified against.
+			k := rng.Intn(30)
+			prev := opt.TDM.Trace
+			opt.TDM.Trace = func(iter int, z, lb float64) {
+				if prev != nil {
+					prev(iter, z, lb)
+				}
+				if iter >= k {
+					cancel()
+				}
+			}
+		default:
+			// An already-expired deadline: every stage must cope with
+			// a context that is dead on arrival, with
+			// context.DeadlineExceeded rather than Canceled.
+			dctx, dcancel := context.WithDeadline(ctx, time.Unix(0, 0))
+			defer dcancel()
+			ctx = dctx
+		}
+		o.Res, o.Err = tdmroute.SolveCtx(ctx, in, opt)
+
+	case ModePanic:
+		hookMu.Lock()
+		defer hookMu.Unlock()
+		// Panic on the target-th chunk entry, counted across every
+		// parallel loop of the solve. One-shot: the recovery fallbacks
+		// re-run stages, and a sticky panic would defeat them by design
+		// rather than by injection.
+		target := int64(1 + rng.Intn(50))
+		var count int64
+		par.SetChunkHook(func(chunk int) {
+			if atomic.AddInt64(&count, 1) == target {
+				panic(fmt.Sprintf("chaos: injected panic (seed %d, chunk %d)", seed, chunk))
+			}
+		})
+		defer par.SetChunkHook(nil)
+		o.Res, o.Err = tdmroute.SolveCtx(context.Background(), in, opt)
+
+	case ModeCorrupt:
+		var buf bytes.Buffer
+		if err := problem.WriteInstance(&buf, in); err != nil {
+			o.Err = err
+			return o
+		}
+		data := Corrupt(seed, buf.Bytes())
+		parsed, err := problem.ParseInstance("chaos", bytes.NewReader(data))
+		if err != nil {
+			o.In = nil
+			o.Err = err
+			return o
+		}
+		o.In = parsed
+		o.Res, o.Err = tdmroute.SolveCtx(context.Background(), parsed, opt)
+
+	default:
+		o.Err = fmt.Errorf("chaos: unknown mode %d", mode)
+	}
+	return o
+}
+
+// Corrupt applies a seeded sequence of byte-level mutations — bit flips,
+// digit rewrites, token insertions, span deletions, truncation — and
+// returns the corrupted copy. Exported so the parser fuzz corpus can seed
+// from the same distribution the harness injects.
+func Corrupt(seed int64, data []byte) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := append([]byte(nil), data...)
+	n := 1 + rng.Intn(4)
+	for i := 0; i < n && len(out) > 0; i++ {
+		switch rng.Intn(5) {
+		case 0: // flip a bit
+			p := rng.Intn(len(out))
+			out[p] ^= 1 << uint(rng.Intn(8))
+		case 1: // rewrite a byte with a digit, sign, or separator
+			p := rng.Intn(len(out))
+			const alphabet = "0123456789- \n#x"
+			out[p] = alphabet[rng.Intn(len(alphabet))]
+		case 2: // insert a short token
+			p := rng.Intn(len(out) + 1)
+			tok := []byte(fmt.Sprintf(" %d ", rng.Intn(1<<30)-(1<<29)))
+			out = append(out[:p], append(tok, out[p:]...)...)
+		case 3: // delete a span
+			p := rng.Intn(len(out))
+			q := p + 1 + rng.Intn(16)
+			if q > len(out) {
+				q = len(out)
+			}
+			out = append(out[:p], out[q:]...)
+		default: // truncate
+			out = out[:rng.Intn(len(out)+1)]
+		}
+	}
+	return out
+}
+
+// Check asserts the anytime invariant on an outcome: a run ends in a typed
+// error or a valid solution, never anything in between. It returns a
+// descriptive error when the invariant is violated.
+func Check(o Outcome) error {
+	if o.Err != nil {
+		if o.Res != nil {
+			return fmt.Errorf("chaos %s seed %d: both error (%v) and result returned", o.Mode, o.Seed, o.Err)
+		}
+		return checkTyped(o)
+	}
+	if o.Res == nil || o.Res.Solution == nil {
+		return fmt.Errorf("chaos %s seed %d: no error and no solution", o.Mode, o.Seed)
+	}
+	if o.In == nil {
+		return fmt.Errorf("chaos %s seed %d: result without an instance", o.Mode, o.Seed)
+	}
+	if err := problem.ValidateSolution(o.In, o.Res.Solution); err != nil {
+		return fmt.Errorf("chaos %s seed %d: invalid solution: %v", o.Mode, o.Seed, err)
+	}
+	if d := o.Res.Degraded; d != nil {
+		if d.Cause == nil {
+			return fmt.Errorf("chaos %s seed %d: Degraded without a cause", o.Mode, o.Seed)
+		}
+		if d.Stage == "" {
+			return fmt.Errorf("chaos %s seed %d: Degraded without a stage", o.Mode, o.Seed)
+		}
+		if d.IncumbentGTR != o.Res.Report.GTRMax {
+			return fmt.Errorf("chaos %s seed %d: Degraded.IncumbentGTR %d != Report.GTRMax %d",
+				o.Mode, o.Seed, d.IncumbentGTR, o.Res.Report.GTRMax)
+		}
+	}
+	return nil
+}
+
+// checkTyped verifies that a terminal error is the typed one its mode
+// promises, not an arbitrary failure.
+func checkTyped(o Outcome) error {
+	switch o.Mode {
+	case ModeCancel:
+		if !errors.Is(o.Err, context.Canceled) && !errors.Is(o.Err, context.DeadlineExceeded) {
+			return fmt.Errorf("chaos cancel seed %d: error does not unwrap to a context error: %v", o.Seed, o.Err)
+		}
+	case ModePanic:
+		var pe *par.PanicError
+		if !errors.As(o.Err, &pe) {
+			return fmt.Errorf("chaos panic seed %d: error does not unwrap to *par.PanicError: %v", o.Seed, o.Err)
+		}
+	case ModeCorrupt:
+		// A corrupt run may fail at parse time (must be a *ParseError)
+		// or downstream on a structurally-valid-but-degenerate instance
+		// (any typed error from the solver is acceptable; routing a
+		// disconnected net, for instance).
+		if o.In == nil {
+			var pe *problem.ParseError
+			if !errors.As(o.Err, &pe) {
+				return fmt.Errorf("chaos corrupt seed %d: parse failure is not a *problem.ParseError: %v", o.Seed, o.Err)
+			}
+		}
+	}
+	return nil
+}

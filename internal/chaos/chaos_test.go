@@ -1,0 +1,121 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+
+	"tdmroute"
+	"tdmroute/internal/gen"
+	"tdmroute/internal/problem"
+)
+
+func testInstance(t *testing.T, seed int64) *problem.Instance {
+	t.Helper()
+	in, err := gen.Generate(gen.Config{
+		Name: "chaos-unit", Seed: seed,
+		FPGAs: 10, Edges: 18, Nets: 30, Groups: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func testOptions() tdmroute.Options {
+	return tdmroute.Options{
+		TDM: tdmroute.TDMOptions{Epsilon: 1e-4, MaxIter: 60},
+	}
+}
+
+// Corrupt must be a pure function of (seed, data).
+func TestCorruptDeterministic(t *testing.T) {
+	data := []byte("3 2 2 1\n0 1\n1 2\n2 0 2\n2 1 2\n2 0 1\n")
+	for seed := int64(0); seed < 50; seed++ {
+		a := Corrupt(seed, data)
+		b := Corrupt(seed, data)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("seed %d: corruption not deterministic", seed)
+		}
+	}
+}
+
+// The same cancel injection must reproduce the same incumbent byte for
+// byte: cancellation is observed only at deterministic boundaries.
+func TestRunCancelDeterministic(t *testing.T) {
+	in := testInstance(t, 7)
+	for seed := int64(0); seed < 10; seed++ {
+		a := Run(in, ModeCancel, seed, testOptions())
+		if err := Check(a); err != nil {
+			t.Fatal(err)
+		}
+		b := Run(in, ModeCancel, seed, testOptions())
+		if err := Check(b); err != nil {
+			t.Fatal(err)
+		}
+		if (a.Err == nil) != (b.Err == nil) {
+			t.Fatalf("seed %d: outcomes diverge: %v vs %v", seed, a.Err, b.Err)
+		}
+		if a.Res == nil {
+			continue
+		}
+		var ba, bb bytes.Buffer
+		if err := problem.WriteSolution(&ba, a.Res.Solution); err != nil {
+			t.Fatal(err)
+		}
+		if err := problem.WriteSolution(&bb, b.Res.Solution); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+			t.Fatalf("seed %d: incumbents differ between identical injections", seed)
+		}
+	}
+}
+
+// A mid-LR cancellation must produce a legal incumbent with a populated
+// Degraded report, not an error.
+func TestRunCancelMidLRDegrades(t *testing.T) {
+	in := testInstance(t, 11)
+	sawDegraded := false
+	for seed := int64(0); seed < 40 && !sawDegraded; seed++ {
+		o := Run(in, ModeCancel, seed, testOptions())
+		if err := Check(o); err != nil {
+			t.Fatal(err)
+		}
+		if o.Res != nil && o.Res.Degraded != nil {
+			sawDegraded = true
+			d := o.Res.Degraded
+			if d.Stage != tdmroute.StageLR && d.Stage != tdmroute.StageRefine && d.Stage != tdmroute.StageRoute {
+				t.Errorf("seed %d: unexpected degradation stage %q", seed, d.Stage)
+			}
+		}
+	}
+	if !sawDegraded {
+		t.Error("no cancel seed produced a degraded-but-valid incumbent")
+	}
+}
+
+// Injected chunk panics must never escape Run.
+func TestRunPanicContained(t *testing.T) {
+	in := testInstance(t, 13)
+	for seed := int64(0); seed < 20; seed++ {
+		o := Run(in, ModePanic, seed, tdmroute.Options{
+			TDM:     tdmroute.TDMOptions{Epsilon: 1e-4, MaxIter: 40},
+			Workers: 4,
+		})
+		if err := Check(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Corrupted inputs must be rejected with a typed parse error or solved to a
+// valid solution; nothing in between.
+func TestRunCorrupt(t *testing.T) {
+	in := testInstance(t, 17)
+	for seed := int64(0); seed < 30; seed++ {
+		o := Run(in, ModeCorrupt, seed, testOptions())
+		if err := Check(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

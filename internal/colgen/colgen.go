@@ -13,6 +13,7 @@
 package colgen
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -225,7 +226,9 @@ func AssignCG(in *problem.Instance, routes problem.Routing, opt Options, topt td
 		}
 	}
 
-	assign, rep, err := tdm.Finish(in, routes, relaxed, topt)
+	// CG is a small-instance research path; it runs to completion, so the
+	// legalize+refine tail is not cancellable here.
+	assign, rep, err := tdm.Finish(context.Background(), in, routes, relaxed, topt)
 	if err != nil {
 		return problem.Assignment{}, tdm.Report{}, nil, err
 	}

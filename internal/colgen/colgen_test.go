@@ -1,6 +1,7 @@
 package colgen
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -74,7 +75,7 @@ func TestColgenMatchesLRBoundRandom(t *testing.T) {
 		if !res.Converged {
 			t.Fatalf("trial %d: CG did not converge", trial)
 		}
-		_, zLR, lbLR, _, _ := tdm.RunLR(in, routes, tdm.Options{Epsilon: 1e-7, MaxIter: 20000})
+		_, zLR, lbLR, _, _, _ := tdm.RunLR(context.Background(), in, routes, tdm.Options{Epsilon: 1e-7, MaxIter: 20000})
 		// Both solve the same linear relaxation: CG's z is its optimum.
 		rel := math.Abs(res.Z-lbLR) / math.Max(1, res.Z)
 		if rel > 5e-3 {
@@ -212,7 +213,7 @@ func TestAssignCGMatchesLRQuality(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, repLR, err := tdm.Assign(in, routes, tdm.Options{Epsilon: 1e-6, MaxIter: 20000})
+		_, repLR, err := tdm.Assign(context.Background(), in, routes, tdm.Options{Epsilon: 1e-6, MaxIter: 20000})
 		if err != nil {
 			t.Fatal(err)
 		}

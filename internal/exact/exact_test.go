@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -192,7 +193,7 @@ func TestExactBracketsPipelineOnRandomTiny(t *testing.T) {
 			t.Fatalf("trial %d: oracle solution invalid: %v", trial, err)
 		}
 
-		assign, rep, err := tdm.Assign(in, routes, tdm.Options{Epsilon: 1e-6, MaxIter: 3000})
+		assign, rep, err := tdm.Assign(context.Background(), in, routes, tdm.Options{Epsilon: 1e-6, MaxIter: 3000})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -7,6 +7,8 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -15,8 +17,17 @@ import (
 	"tdmroute/internal/problem"
 )
 
+// ErrInterrupted marks an experiment run stopped early by Config.Ctx.
+// Functions returning it alongside partial rows completed every row they
+// return; the error only says the sweep did not finish.
+var ErrInterrupted = errors.New("exp: run interrupted")
+
 // Config selects the workload for an experiment run.
 type Config struct {
+	// Ctx, when non-nil, bounds the run: experiments stop at the next
+	// benchmark boundary once it is cancelled and return the rows
+	// completed so far together with ErrInterrupted.
+	Ctx context.Context
 	// Scale is the suite scale factor (1 = published Table I sizes).
 	// Zero selects 0.01, which runs the full Table II in minutes on a
 	// laptop.
@@ -34,6 +45,24 @@ type Config struct {
 	// — long full-scale runs otherwise produce no output until the final
 	// table renders.
 	Progress func(line string)
+}
+
+// ctx returns the configured context, defaulting to Background.
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
+// interrupted wraps a stop cause under ErrInterrupted so callers can test
+// with errors.Is(err, ErrInterrupted). A nil cause defaults to the
+// context's own error.
+func (c Config) interrupted(cause error) error {
+	if cause == nil {
+		cause = c.ctx().Err()
+	}
+	return fmt.Errorf("%w: %v", ErrInterrupted, cause)
 }
 
 func (c Config) progress(format string, args ...interface{}) {
@@ -151,9 +180,12 @@ func TableII(cfg Config, winners []WinnerFlow) ([]BenchResult, error) {
 	}
 	results := make([]BenchResult, 0, len(ins))
 	for _, in := range ins {
+		if cfg.ctx().Err() != nil {
+			return results, cfg.interrupted(nil)
+		}
 		res, err := runBench(cfg, in, winners)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", in.Name, err)
+			return results, fmt.Errorf("%s: %w", in.Name, err)
 		}
 		results = append(results, res)
 		cfg.progress("%s done: ours GTR %d (LB %.0f) in %.1fs",
@@ -180,9 +212,14 @@ func runBench(cfg Config, in *problem.Instance, winners []WinnerFlow) (BenchResu
 
 		// "+TA": our assignment on the winner's topology.
 		t1 := time.Now()
-		_, rep, err := tdmroute.AssignTDM(in, routes, topts)
+		_, rep, err := tdmroute.AssignTDMCtx(cfg.ctx(), in, routes, topts)
 		if err != nil {
 			return res, fmt.Errorf("%s+TA: %w", w.Name, err)
+		}
+		if rep.Interrupted != nil {
+			// A curtailed assignment would publish a misleading Table II
+			// row; report the partial sweep instead.
+			return res, cfg.interrupted(rep.Interrupted)
 		}
 		res.WinnersTA = append(res.WinnersTA, TAResult{
 			GTRMax: rep.GTRMax,
@@ -194,9 +231,12 @@ func runBench(cfg Config, in *problem.Instance, winners []WinnerFlow) (BenchResu
 
 	// Ours: the full framework.
 	t0 := time.Now()
-	solved, err := tdmroute.Solve(in, cfg.solveOptions(in.Name))
+	solved, err := tdmroute.SolveCtx(cfg.ctx(), in, cfg.solveOptions(in.Name))
 	if err != nil {
 		return res, fmt.Errorf("ours: %w", err)
+	}
+	if solved.Degraded != nil {
+		return res, cfg.interrupted(solved.Degraded.Cause)
 	}
 	res.OursTimeAll = time.Since(t0)
 	res.OursNoRef = solved.Report.GTRNoRef

@@ -52,6 +52,9 @@ func Fig3a(cfg Config) (Breakdown, error) {
 	}
 	var b Breakdown
 	for _, in := range ins {
+		if cfg.ctx().Err() != nil {
+			return b, cfg.interrupted(nil)
+		}
 		var buf bytes.Buffer
 		if err := problem.WriteInstance(&buf, in); err != nil {
 			return b, err
@@ -66,18 +69,21 @@ func Fig3a(cfg Config) (Breakdown, error) {
 
 		opt := cfg.solveOptions(in.Name)
 		t1 := time.Now()
-		routes, _, err := route.Route(parsed, opt.Route)
+		routes, _, err := route.Route(cfg.ctx(), parsed, opt.Route)
 		if err != nil {
 			return b, err
 		}
 		b.Route += time.Since(t1)
 
 		t2 := time.Now()
-		relaxed, _, _, _, _ := tdm.RunLR(parsed, routes, opt.TDM)
+		relaxed, _, _, _, _, stopped := tdm.RunLR(cfg.ctx(), parsed, routes, opt.TDM)
 		b.LR += time.Since(t2)
+		if relaxed == nil {
+			return b, stopped
+		}
 
 		t3 := time.Now()
-		assign, _, err := tdm.Finish(parsed, routes, relaxed, opt.TDM)
+		assign, _, err := tdm.Finish(cfg.ctx(), parsed, routes, relaxed, opt.TDM)
 		if err != nil {
 			return b, err
 		}
@@ -111,7 +117,7 @@ func Fig3b(cfg Config) ([]ConvergencePoint, error) {
 		return nil, err
 	}
 	in := ins[0]
-	routes, _, err := route.Route(in, tdmroute.RouteOptions{RipUpRounds: cfg.RipUpRounds})
+	routes, _, err := route.Route(cfg.ctx(), in, tdmroute.RouteOptions{RipUpRounds: cfg.RipUpRounds})
 	if err != nil {
 		return nil, err
 	}
@@ -120,7 +126,9 @@ func Fig3b(cfg Config) ([]ConvergencePoint, error) {
 	opt.Trace = func(iter int, z, lb float64) {
 		series = append(series, ConvergencePoint{Iter: iter, Z: z, LB: lb})
 	}
-	tdm.RunLR(in, routes, opt)
+	// A cancelled run truncates the series; the collected prefix is still a
+	// valid convergence plot.
+	tdm.RunLR(cfg.ctx(), in, routes, opt)
 	return series, nil
 }
 
@@ -150,20 +158,23 @@ func Ablation(cfg Config, budget int) ([]AblationRow, error) {
 	}
 	rows := make([]AblationRow, 0, len(ins))
 	for _, in := range ins {
-		routes, _, err := route.Route(in, tdmroute.RouteOptions{RipUpRounds: cfg.RipUpRounds})
+		if cfg.ctx().Err() != nil {
+			return rows, cfg.interrupted(nil)
+		}
+		routes, _, err := route.Route(cfg.ctx(), in, tdmroute.RouteOptions{RipUpRounds: cfg.RipUpRounds})
 		if err != nil {
-			return nil, err
+			return rows, err
 		}
 		row := AblationRow{Name: in.Name, Budget: budget}
 
 		opt := cfg.tdmOptions(in.Name)
 		opt.MaxIter = budget
-		_, z1, lb1, it1, _ := tdm.RunLR(in, routes, opt)
+		_, z1, lb1, it1, _, _ := tdm.RunLR(cfg.ctx(), in, routes, opt)
 		row.GapSigmoidSMA = gap(z1, lb1)
 		row.IterSigmoidSMA = it1
 
 		opt.Update = tdm.UpdateSubgradient
-		_, z2, lb2, _, _ := tdm.RunLR(in, routes, opt)
+		_, z2, lb2, _, _, _ := tdm.RunLR(cfg.ctx(), in, routes, opt)
 		row.GapSubgradient = gap(z2, lb2)
 
 		rows = append(rows, row)
@@ -232,11 +243,11 @@ func RouterAblation(cfg Config) ([]RouterAblationRow, error) {
 		return nil, err
 	}
 	variant := func(in *problem.Instance, order route.NetOrder, rip int) (int64, error) {
-		routes, _, err := route.Route(in, route.Options{Order: order, RipUpRounds: rip})
+		routes, _, err := route.Route(cfg.ctx(), in, route.Options{Order: order, RipUpRounds: rip})
 		if err != nil {
 			return 0, err
 		}
-		_, rep, err := tdm.Assign(in, routes, cfg.tdmOptions(in.Name))
+		_, rep, err := tdm.Assign(cfg.ctx(), in, routes, cfg.tdmOptions(in.Name))
 		if err != nil {
 			return 0, err
 		}
@@ -244,6 +255,9 @@ func RouterAblation(cfg Config) ([]RouterAblationRow, error) {
 	}
 	rows := make([]RouterAblationRow, 0, len(ins))
 	for _, in := range ins {
+		if cfg.ctx().Err() != nil {
+			return rows, cfg.interrupted(nil)
+		}
 		row := RouterAblationRow{Name: in.Name}
 		if row.GTRFull, err = variant(in, route.OrderThetaAsc, 0); err != nil {
 			return nil, err
@@ -285,20 +299,23 @@ func Pow2Ablation(cfg Config) ([]Pow2Row, error) {
 	}
 	rows := make([]Pow2Row, 0, len(ins))
 	for _, in := range ins {
-		routes, _, err := route.Route(in, tdmroute.RouteOptions{RipUpRounds: cfg.RipUpRounds})
+		if cfg.ctx().Err() != nil {
+			return rows, cfg.interrupted(nil)
+		}
+		routes, _, err := route.Route(cfg.ctx(), in, tdmroute.RouteOptions{RipUpRounds: cfg.RipUpRounds})
 		if err != nil {
-			return nil, err
+			return rows, err
 		}
 		optE := cfg.tdmOptions(in.Name)
-		_, repE, err := tdm.Assign(in, routes, optE)
+		_, repE, err := tdm.Assign(cfg.ctx(), in, routes, optE)
 		if err != nil {
-			return nil, err
+			return rows, err
 		}
 		optP := optE
 		optP.Legal = tdm.LegalPow2
-		assignP, repP, err := tdm.Assign(in, routes, optP)
+		assignP, repP, err := tdm.Assign(cfg.ctx(), in, routes, optP)
 		if err != nil {
-			return nil, err
+			return rows, err
 		}
 		sol := &problem.Solution{Routes: routes, Assign: assignP}
 		verified, skipped, err := tdmroute.VerifySchedules(in, sol)

@@ -1,6 +1,7 @@
 package pinassign
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -120,11 +121,11 @@ func TestAssignFullSolution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	routes, _, err := tr.Route(in, tr.Options{})
+	routes, _, err := tr.Route(context.Background(), in, tr.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	assign, _, err := tdm.Assign(in, routes, tdm.Options{})
+	assign, _, err := tdm.Assign(context.Background(), in, routes, tdm.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

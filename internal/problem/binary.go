@@ -123,12 +123,8 @@ func ParseInstanceBinary(name string, r io.Reader) (*Instance, error) {
 		if k < 1 {
 			return nil, fmt.Errorf("problem: binary net %d has no terminals", i)
 		}
-		hint := k
-		if hint > nv {
-			hint = nv
-		}
-		terms := make([]int, 0, capHint(hint))
-		seen := make(map[int]bool, capHint(hint))
+		terms := make([]int, 0, capHint(k))
+		seen := make(map[int]bool, capHint(k))
 		for j := 0; j < k; j++ {
 			t, err := get("terminal")
 			if err != nil {
@@ -137,10 +133,11 @@ func ParseInstanceBinary(name string, r io.Reader) (*Instance, error) {
 			if t >= nv {
 				return nil, fmt.Errorf("problem: binary net %d terminal out of range", i)
 			}
-			if !seen[t] {
-				seen[t] = true
-				terms = append(terms, t)
+			if seen[t] {
+				return nil, fmt.Errorf("problem: binary net %d has duplicate terminal %d", i, t)
 			}
+			seen[t] = true
+			terms = append(terms, t)
 		}
 		nets = append(nets, Net{Terminals: terms})
 	}
@@ -165,7 +162,11 @@ func ParseInstanceBinary(name string, r io.Reader) (*Instance, error) {
 			members = append(members, n)
 		}
 		insertionSortInts(members)
-		members = dedupSortedInts(members)
+		for j := 1; j < len(members); j++ {
+			if members[j] == members[j-1] {
+				return nil, fmt.Errorf("problem: binary group %d has duplicate member net %d", gi, members[j])
+			}
+		}
 		groups = append(groups, Group{Nets: members})
 	}
 	in := &Instance{Name: name, G: g, Nets: nets, Groups: groups}

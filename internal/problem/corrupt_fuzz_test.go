@@ -1,0 +1,49 @@
+package problem_test
+
+// An external test package: the corruption seeds come from internal/chaos,
+// which imports the root tdmroute package and therefore cannot be imported
+// from package problem's own tests without a cycle.
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"tdmroute/internal/chaos"
+	"tdmroute/internal/problem"
+)
+
+// wellFormed is a small valid instance whose corruptions seed the fuzzer.
+const wellFormed = "6 7 3 2\n0 1\n1 2\n2 3\n3 4\n4 5\n5 0\n1 4\n2 0 2\n3 1 3 5\n2 2 4\n2 0 1\n2 1 2\n"
+
+// FuzzParseInstanceCorrupt seeds FuzzParseInstance's property — reject with
+// a typed error or accept a valid instance — with the chaos harness's
+// corruption distribution: mutations of well-formed files exercise the
+// near-miss region (duplicates, truncations, shifted counts) that uniform
+// random bytes almost never reach.
+func FuzzParseInstanceCorrupt(f *testing.F) {
+	f.Add([]byte(wellFormed))
+	for seed := int64(0); seed < 32; seed++ {
+		f.Add(chaos.Corrupt(seed, []byte(wellFormed)))
+	}
+	// Hand-written near-misses the corruption distribution is known to
+	// produce: duplicate terminals, duplicate members, duplicate edges.
+	f.Add([]byte("2 1 1 1\n0 1\n2 0 0\n1 0\n"))
+	f.Add([]byte("3 2 2 1\n0 1\n1 2\n2 0 1\n2 1 2\n3 1 0 1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := problem.ParseInstance("corrupt", bytes.NewReader(data))
+		if err != nil {
+			var pe *problem.ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("parse failure is not a *ParseError: %v\ninput: %q", err, data)
+			}
+			if pe.Line < 1 {
+				t.Fatalf("ParseError without a line: %+v\ninput: %q", pe, data)
+			}
+			return
+		}
+		if verr := problem.ValidateInstance(in); verr != nil && !errors.Is(verr, problem.ErrDisconnected) {
+			t.Fatalf("parser accepted invalid instance: %v\ninput: %q", verr, data)
+		}
+	})
+}

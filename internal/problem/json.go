@@ -83,10 +83,11 @@ func ParseInstanceJSON(r io.Reader) (*Instance, error) {
 			if t < 0 || t >= doc.FPGAs {
 				return nil, fmt.Errorf("problem: json: net %d terminal %d out of range", i, t)
 			}
-			if !seen[t] {
-				seen[t] = true
-				out = append(out, t)
+			if seen[t] {
+				return nil, fmt.Errorf("problem: json: net %d has duplicate terminal %d", i, t)
 			}
+			seen[t] = true
+			out = append(out, t)
 		}
 		in.Nets[i].Terminals = out
 	}
@@ -96,10 +97,12 @@ func ParseInstanceJSON(r io.Reader) (*Instance, error) {
 		}
 		ms := append([]int(nil), members...)
 		insertionSortInts(ms)
-		ms = dedupSortedInts(ms)
-		for _, n := range ms {
+		for j, n := range ms {
 			if n < 0 || n >= len(in.Nets) {
 				return nil, fmt.Errorf("problem: json: group %d references net %d out of range", gi, n)
+			}
+			if j > 0 && n == ms[j-1] {
+				return nil, fmt.Errorf("problem: json: group %d has duplicate member net %d", gi, n)
 			}
 		}
 		in.Groups[gi].Nets = ms
@@ -131,9 +134,19 @@ func ParseSolutionJSON(r io.Reader, numEdges int) (*Solution, error) {
 		if len(ns.Edges) != len(ns.Ratios) {
 			return nil, fmt.Errorf("problem: json: net %d has %d edges but %d ratios", n, len(ns.Edges), len(ns.Ratios))
 		}
+		seen := make(map[int]bool, len(ns.Edges))
 		for _, e := range ns.Edges {
 			if e < 0 || e >= numEdges {
 				return nil, fmt.Errorf("problem: json: net %d edge %d out of range", n, e)
+			}
+			if seen[e] {
+				return nil, fmt.Errorf("problem: json: net %d has duplicate edge %d", n, e)
+			}
+			seen[e] = true
+		}
+		for _, r := range ns.Ratios {
+			if r < 0 {
+				return nil, fmt.Errorf("problem: json: net %d has negative ratio %d", n, r)
 			}
 		}
 		sol.Routes[n] = ns.Edges

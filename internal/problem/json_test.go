@@ -67,18 +67,27 @@ func TestParseInstanceJSONErrors(t *testing.T) {
 	}
 }
 
-func TestParseInstanceJSONDedupAndSort(t *testing.T) {
-	doc := `{"fpgas":3,"edges":[[0,1],[1,2]],"nets":[[0,1,0],[1,2]],"groups":[[1,0,1]]}`
+func TestParseInstanceJSONRejectsDuplicates(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"dupterminal", `{"fpgas":3,"edges":[[0,1],[1,2]],"nets":[[0,1,0],[1,2]],"groups":[[1,0]]}`},
+		{"dupmember", `{"fpgas":3,"edges":[[0,1],[1,2]],"nets":[[0,1],[1,2]],"groups":[[1,0,1]]}`},
+	}
+	for _, c := range cases {
+		if _, err := ParseInstanceJSON(strings.NewReader(c.doc)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestParseInstanceJSONSortsGroups(t *testing.T) {
+	doc := `{"fpgas":3,"edges":[[0,1],[1,2]],"nets":[[0,1],[1,2]],"groups":[[1,0]]}`
 	in, err := ParseInstanceJSON(strings.NewReader(doc))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(in.Nets[0].Terminals) != 2 {
-		t.Errorf("terminals not deduplicated: %v", in.Nets[0].Terminals)
-	}
 	g := in.Groups[0].Nets
 	if len(g) != 2 || g[0] != 0 || g[1] != 1 {
-		t.Errorf("group not sorted/deduped: %v", g)
+		t.Errorf("group not sorted: %v", g)
 	}
 	if err := ValidateInstance(in); err != nil {
 		t.Error(err)

@@ -20,8 +20,12 @@ import (
 //	k t1 t2 ... tk           (numNets lines, k >= 1 terminals)
 //	m n1 n2 ... nm           (numGroups lines, m >= 1 net ids)
 //
-// Terminal lists are deduplicated on read; group member lists are sorted and
-// deduplicated. Both are 0-based.
+// Terminal lists must not repeat an FPGA and group member lists must not
+// repeat a net: duplicates are rejected (they always indicate a generator
+// bug or a corrupted file, and silently dropping them would change the
+// declared counts). Group member lists are sorted on read. Both are
+// 0-based. Every parse failure is a *ParseError carrying the input line and
+// the offending token.
 
 // ParseInstance reads an instance from r. name is attached for reporting.
 func ParseInstance(name string, r io.Reader) (*Instance, error) {
@@ -43,7 +47,7 @@ func ParseInstance(name string, r io.Reader) (*Instance, error) {
 		return nil, fmt.Errorf("problem: header: %w", err)
 	}
 	if nv < 0 || ne < 0 || nn < 0 || ng < 0 {
-		return nil, fmt.Errorf("problem: negative count in header (%d %d %d %d)", nv, ne, nn, ng)
+		return nil, fmt.Errorf("problem: header: %w", tr.fail("negative count in header (%d %d %d %d)", nv, ne, nn, ng))
 	}
 	// Guard allocation against corrupt or hostile headers: the largest
 	// published benchmark is ~10^6 entities; refuse declared sizes that
@@ -51,7 +55,7 @@ func ParseInstance(name string, r io.Reader) (*Instance, error) {
 	// grow all containers incrementally so a lying header costs nothing.
 	const maxDeclared = 1 << 22
 	if nv > maxDeclared || ne > maxDeclared || nn > maxDeclared || ng > maxDeclared {
-		return nil, fmt.Errorf("problem: header declares unreasonable sizes (%d %d %d %d)", nv, ne, nn, ng)
+		return nil, fmt.Errorf("problem: header: %w", tr.fail("declares unreasonable sizes (%d %d %d %d)", nv, ne, nn, ng))
 	}
 
 	g := graph.New(nv, capHint(ne))
@@ -65,10 +69,10 @@ func ParseInstance(name string, r io.Reader) (*Instance, error) {
 			return nil, fmt.Errorf("problem: edge %d: %w", i, err)
 		}
 		if u < 0 || u >= nv || v < 0 || v >= nv {
-			return nil, fmt.Errorf("problem: edge %d: endpoint out of range: (%d,%d)", i, u, v)
+			return nil, fmt.Errorf("problem: edge %d: %w", i, tr.fail("endpoint out of range: (%d,%d)", u, v))
 		}
 		if u == v {
-			return nil, fmt.Errorf("problem: edge %d: self loop at FPGA %d", i, u)
+			return nil, fmt.Errorf("problem: edge %d: %w", i, tr.fail("self loop at FPGA %d", u))
 		}
 		g.AddEdge(u, v)
 	}
@@ -80,29 +84,23 @@ func ParseInstance(name string, r io.Reader) (*Instance, error) {
 			return nil, fmt.Errorf("problem: net %d: %w", i, err)
 		}
 		if k < 1 || k > maxDeclared {
-			return nil, fmt.Errorf("problem: net %d: bad terminal count %d", i, k)
+			return nil, fmt.Errorf("problem: net %d: %w", i, tr.fail("bad terminal count %d", k))
 		}
-		// Duplicate terminals are tolerated in the input, so k may exceed
-		// the FPGA count; cap the pre-allocation at the deduplicated
-		// maximum.
-		hint := k
-		if hint > nv {
-			hint = nv
-		}
-		terms := make([]int, 0, capHint(hint))
-		seen := make(map[int]bool, capHint(hint))
+		terms := make([]int, 0, capHint(k))
+		seen := make(map[int]bool, capHint(k))
 		for j := 0; j < k; j++ {
 			t, err := tr.Int()
 			if err != nil {
 				return nil, fmt.Errorf("problem: net %d terminal %d: %w", i, j, err)
 			}
 			if t < 0 || t >= nv {
-				return nil, fmt.Errorf("problem: net %d: terminal %d out of range", i, t)
+				return nil, fmt.Errorf("problem: net %d: %w", i, tr.fail("terminal %d out of range", t))
 			}
-			if !seen[t] {
-				seen[t] = true
-				terms = append(terms, t)
+			if seen[t] {
+				return nil, fmt.Errorf("problem: net %d: %w", i, tr.fail("duplicate terminal %d", t))
 			}
+			seen[t] = true
+			terms = append(terms, t)
 		}
 		nets = append(nets, Net{Terminals: terms})
 	}
@@ -114,21 +112,25 @@ func ParseInstance(name string, r io.Reader) (*Instance, error) {
 			return nil, fmt.Errorf("problem: group %d: %w", gi, err)
 		}
 		if m < 1 || m > maxDeclared {
-			return nil, fmt.Errorf("problem: group %d: bad member count %d", gi, m)
+			return nil, fmt.Errorf("problem: group %d: %w", gi, tr.fail("bad member count %d", m))
 		}
 		members := make([]int, 0, capHint(m))
+		seen := make(map[int]bool, capHint(m))
 		for j := 0; j < m; j++ {
 			n, err := tr.Int()
 			if err != nil {
 				return nil, fmt.Errorf("problem: group %d member %d: %w", gi, j, err)
 			}
 			if n < 0 || n >= nn {
-				return nil, fmt.Errorf("problem: group %d: net %d out of range", gi, n)
+				return nil, fmt.Errorf("problem: group %d: %w", gi, tr.fail("net %d out of range", n))
 			}
+			if seen[n] {
+				return nil, fmt.Errorf("problem: group %d: %w", gi, tr.fail("duplicate member net %d", n))
+			}
+			seen[n] = true
 			members = append(members, n)
 		}
 		sort.Ints(members)
-		members = dedupSortedInts(members)
 		groups = append(groups, Group{Nets: members})
 	}
 
@@ -174,25 +176,23 @@ func capHint(n int) int {
 	return n
 }
 
-func dedupSortedInts(s []int) []int {
-	out := s[:0]
-	for i, v := range s {
-		if i == 0 || v != s[i-1] {
-			out = append(out, v)
-		}
-	}
-	return out
-}
-
 // tokenReader scans whitespace-separated integer tokens, skipping '#'
-// comments to end of line.
+// comments to end of line. It remembers the line and text of the most
+// recent token so semantic errors (range, duplicates) can point at it.
 type tokenReader struct {
-	r    *bufio.Reader
-	line int
+	r       *bufio.Reader
+	line    int
+	tokLine int    // line on which the last token started
+	lastTok string // text of the last token, "" before the first read
 }
 
 func newTokenReader(r io.Reader) *tokenReader {
-	return &tokenReader{r: bufio.NewReaderSize(r, 1<<20), line: 1}
+	return &tokenReader{r: bufio.NewReaderSize(r, 1<<20), line: 1, tokLine: 1}
+}
+
+// fail builds a ParseError located at the most recently read token.
+func (tr *tokenReader) fail(format string, args ...interface{}) *ParseError {
+	return &ParseError{Line: tr.tokLine, Token: tr.lastTok, Msg: fmt.Sprintf(format, args...)}
 }
 
 // Int returns the next integer token.
@@ -203,7 +203,7 @@ func (tr *tokenReader) Int() (int, error) {
 	}
 	v, err := strconv.Atoi(tok)
 	if err != nil {
-		return 0, fmt.Errorf("line %d: bad integer %q", tr.line, tok)
+		return 0, &ParseError{Line: tr.tokLine, Token: tok, Msg: "bad integer", Err: err}
 	}
 	return v, nil
 }
@@ -213,7 +213,7 @@ func (tr *tokenReader) token() (string, error) {
 	for {
 		b, err := tr.r.ReadByte()
 		if err != nil {
-			return "", fmt.Errorf("line %d: %w", tr.line, err)
+			return "", &ParseError{Line: tr.line, Msg: "unexpected end of input", Err: err}
 		}
 		switch {
 		case b == '\n':
@@ -223,19 +223,21 @@ func (tr *tokenReader) token() (string, error) {
 		case b == '#':
 			if _, err := tr.r.ReadString('\n'); err != nil {
 				if err == io.EOF {
-					return "", fmt.Errorf("line %d: %w", tr.line, io.EOF)
+					return "", &ParseError{Line: tr.line, Msg: "unexpected end of input", Err: io.EOF}
 				}
 				return "", err
 			}
 			tr.line++
 		default:
 			// Start of a token.
+			tr.tokLine = tr.line
 			buf := make([]byte, 1, 16)
 			buf[0] = b
 			for {
 				c, err := tr.r.ReadByte()
 				if err == io.EOF {
-					return string(buf), nil
+					tr.lastTok = string(buf)
+					return tr.lastTok, nil
 				}
 				if err != nil {
 					return "", err
@@ -244,7 +246,8 @@ func (tr *tokenReader) token() (string, error) {
 					if err := tr.r.UnreadByte(); err != nil {
 						return "", err
 					}
-					return string(buf), nil
+					tr.lastTok = string(buf)
+					return tr.lastTok, nil
 				}
 				buf = append(buf, c)
 			}

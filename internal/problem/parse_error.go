@@ -1,0 +1,27 @@
+package problem
+
+import "fmt"
+
+// ParseError is the typed error of the text parsers: every failure of
+// ParseInstance and ParseSolution carries the 1-based input line and the
+// offending token, so corrupt files can be located without re-reading them.
+type ParseError struct {
+	// Line is the 1-based line on which the offending token starts (the
+	// current line for truncation errors).
+	Line int
+	// Token is the offending token; empty when the input ended instead.
+	Token string
+	// Msg says what was wrong with it.
+	Msg string
+	// Err is the underlying cause (io.EOF, a strconv error), if any.
+	Err error
+}
+
+func (e *ParseError) Error() string {
+	if e.Token != "" {
+		return fmt.Sprintf("line %d: token %q: %s", e.Line, e.Token, e.Msg)
+	}
+	return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }

@@ -2,6 +2,7 @@ package problem
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -81,14 +82,59 @@ func TestParseInstanceBasic(t *testing.T) {
 	}
 }
 
-func TestParseInstanceDeduplicatesTerminals(t *testing.T) {
+func TestParseInstanceRejectsDuplicateTerminals(t *testing.T) {
 	text := "2 1 1 1\n0 1\n3 0 1 0\n1 0\n"
-	in, err := ParseInstance("dup", strings.NewReader(text))
-	if err != nil {
-		t.Fatal(err)
+	_, err := ParseInstance("dup", strings.NewReader(text))
+	if err == nil {
+		t.Fatal("duplicate terminal accepted")
 	}
-	if got := in.Nets[0].Terminals; len(got) != 2 {
-		t.Errorf("terminals = %v, want deduplicated pair", got)
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *ParseError", err)
+	}
+	if pe.Line != 3 || pe.Token != "0" {
+		t.Errorf("ParseError located at line %d token %q, want line 3 token \"0\"", pe.Line, pe.Token)
+	}
+}
+
+func TestParseInstanceRejectsDuplicateGroupMembers(t *testing.T) {
+	text := "3 2 2 1\n0 1\n1 2\n2 0 1\n2 1 2\n3 1 0 1\n"
+	_, err := ParseInstance("dupgroup", strings.NewReader(text))
+	if err == nil {
+		t.Fatal("duplicate group member accepted")
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *ParseError", err)
+	}
+	if pe.Line != 6 || pe.Token != "1" {
+		t.Errorf("ParseError located at line %d token %q, want line 6 token \"1\"", pe.Line, pe.Token)
+	}
+}
+
+func TestParseErrorsAreTyped(t *testing.T) {
+	// Every text-parser failure must surface as a *ParseError with a
+	// plausible location, whatever the corruption.
+	cases := []struct{ name, text string }{
+		{"empty", ""},
+		{"badinteger", "2 x 0 0\n"},
+		{"truncated", "2 1 1 1\n0 1\n2 0 1\n"},
+		{"selfloop", "2 1 0 0\n# comment\n1 1\n"},
+	}
+	for _, c := range cases {
+		_, err := ParseInstance(c.name, strings.NewReader(c.text))
+		if err == nil {
+			t.Errorf("%s: expected parse error", c.name)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: error %v is not a *ParseError", c.name, err)
+			continue
+		}
+		if pe.Line < 1 {
+			t.Errorf("%s: ParseError has no line: %+v", c.name, pe)
+		}
 	}
 }
 
@@ -180,6 +226,38 @@ func TestSolutionRoundTrip(t *testing.T) {
 func TestParseSolutionEdgeRange(t *testing.T) {
 	if _, err := ParseSolution(strings.NewReader("1\n1 9 2\n"), 5); err == nil {
 		t.Error("expected out-of-range edge error")
+	}
+}
+
+func TestParseSolutionRejectsDuplicateEdges(t *testing.T) {
+	_, err := ParseSolution(strings.NewReader("1\n2 3 2 3 4\n"), 5)
+	if err == nil {
+		t.Fatal("duplicate routed edge accepted")
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *ParseError", err)
+	}
+	if pe.Line != 2 || pe.Token != "3" {
+		t.Errorf("ParseError located at line %d token %q, want line 2 token \"3\"", pe.Line, pe.Token)
+	}
+}
+
+func TestParseSolutionRejectsNegativeRatio(t *testing.T) {
+	_, err := ParseSolution(strings.NewReader("1\n1 0 -2\n"), 5)
+	if err == nil {
+		t.Fatal("negative ratio accepted")
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *ParseError", err)
+	}
+	if pe.Token != "-2" {
+		t.Errorf("ParseError token %q, want \"-2\"", pe.Token)
+	}
+	// Ratio zero is the WriteRouting topology placeholder and stays legal.
+	if _, err := ParseSolution(strings.NewReader("1\n1 0 0\n"), 5); err != nil {
+		t.Errorf("zero ratio rejected: %v", err)
 	}
 }
 

@@ -134,8 +134,11 @@ func TestQuickSolutionRoundTrip(t *testing.T) {
 		}
 		for n := 0; n < nn; n++ {
 			k := rng.Intn(minI(5, numEdges+1))
+			// Distinct edge ids: a net routing the same edge twice is
+			// rejected by the parsers.
+			perm := rng.Perm(numEdges)
 			for j := 0; j < k; j++ {
-				sol.Routes[n] = append(sol.Routes[n], rng.Intn(numEdges))
+				sol.Routes[n] = append(sol.Routes[n], perm[j])
 				sol.Assign.Ratios[n] = append(sol.Assign.Ratios[n], int64(2+2*rng.Intn(100)))
 			}
 		}

@@ -91,7 +91,11 @@ func SaveSolution(path string, sol *Solution) error {
 }
 
 // ParseSolution reads a solution in the format produced by WriteSolution.
-// numEdges bounds the edge ids; pass the instance's edge count.
+// numEdges bounds the edge ids; pass the instance's edge count. A net may
+// not route the same edge twice, and ratios must be non-negative (zero is
+// the WriteRouting placeholder for "topology only"; full legality is
+// ValidateSolution's job). Every parse failure is a *ParseError carrying
+// the input line and the offending token.
 func ParseSolution(r io.Reader, numEdges int) (*Solution, error) {
 	tr := newTokenReader(r)
 	nn, err := tr.Int()
@@ -100,7 +104,7 @@ func ParseSolution(r io.Reader, numEdges int) (*Solution, error) {
 	}
 	const maxDeclared = 1 << 22
 	if nn < 0 || nn > maxDeclared {
-		return nil, fmt.Errorf("problem: bad net count %d", nn)
+		return nil, fmt.Errorf("problem: solution header: %w", tr.fail("bad net count %d", nn))
 	}
 	sol := &Solution{
 		Routes: make(Routing, 0, capHint(nn)),
@@ -112,21 +116,29 @@ func ParseSolution(r io.Reader, numEdges int) (*Solution, error) {
 			return nil, fmt.Errorf("problem: solution net %d: %w", n, err)
 		}
 		if k < 0 || k > numEdges {
-			return nil, fmt.Errorf("problem: solution net %d: edge count %d outside [0,%d]", n, k, numEdges)
+			return nil, fmt.Errorf("problem: solution net %d: %w", n, tr.fail("edge count %d outside [0,%d]", k, numEdges))
 		}
 		edges := make([]int, k)
 		ratios := make([]int64, k)
+		seen := make(map[int]bool, capHint(k))
 		for j := 0; j < k; j++ {
 			e, err := tr.Int()
 			if err != nil {
 				return nil, fmt.Errorf("problem: solution net %d edge %d: %w", n, j, err)
 			}
 			if e < 0 || e >= numEdges {
-				return nil, fmt.Errorf("problem: solution net %d: edge id %d out of range", n, e)
+				return nil, fmt.Errorf("problem: solution net %d: %w", n, tr.fail("edge id %d out of range", e))
 			}
+			if seen[e] {
+				return nil, fmt.Errorf("problem: solution net %d: %w", n, tr.fail("duplicate edge id %d", e))
+			}
+			seen[e] = true
 			rr, err := tr.Int()
 			if err != nil {
 				return nil, fmt.Errorf("problem: solution net %d ratio %d: %w", n, j, err)
+			}
+			if rr < 0 {
+				return nil, fmt.Errorf("problem: solution net %d: %w", n, tr.fail("negative ratio %d", rr))
 			}
 			edges[j] = e
 			ratios[j] = int64(rr)

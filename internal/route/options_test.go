@@ -1,6 +1,7 @@
 package route
 
 import (
+	"context"
 	"testing"
 
 	"tdmroute/internal/graph"
@@ -10,7 +11,7 @@ import (
 func TestMehlhornInitialRoutingValid(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
 		in := randomInstance(12, 10, 60, 25, seed)
-		routes, _, err := Route(in, Options{InitialSteiner: SteinerMehlhorn})
+		routes, _, err := Route(context.Background(), in, Options{InitialSteiner: SteinerMehlhorn})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -23,7 +24,7 @@ func TestMehlhornInitialRoutingValid(t *testing.T) {
 func TestMehlhornRerouteValid(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
 		in := randomInstance(12, 10, 60, 25, seed)
-		routes, stats, err := Route(in, Options{RerouteSteiner: SteinerMehlhorn, RipUpRounds: 4, KeepWorse: true})
+		routes, stats, err := Route(context.Background(), in, Options{RerouteSteiner: SteinerMehlhorn, RipUpRounds: 4, KeepWorse: true})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -49,7 +50,7 @@ func TestMehlhornDisconnectedError(t *testing.T) {
 		Nets: []problem.Net{{Terminals: []int{0, 4}}},
 	}
 	in.RebuildNetGroups()
-	if _, _, err := Route(in, Options{InitialSteiner: SteinerMehlhorn}); err == nil {
+	if _, _, err := Route(context.Background(), in, Options{InitialSteiner: SteinerMehlhorn}); err == nil {
 		t.Error("Mehlhorn routing of disconnected terminals succeeded")
 	}
 }
@@ -61,11 +62,11 @@ func TestOrderAblationThetaNotWorse(t *testing.T) {
 	var thetaTotal, idTotal int64
 	for seed := int64(0); seed < 6; seed++ {
 		in := randomInstance(10, 8, 80, 30, 200+seed)
-		rt, _, err := Route(in, Options{RipUpRounds: -1, Order: OrderThetaAsc})
+		rt, _, err := Route(context.Background(), in, Options{RipUpRounds: -1, Order: OrderThetaAsc})
 		if err != nil {
 			t.Fatal(err)
 		}
-		rid, _, err := Route(in, Options{RipUpRounds: -1, Order: OrderNetID})
+		rid, _, err := Route(context.Background(), in, Options{RipUpRounds: -1, Order: OrderNetID})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,7 +82,7 @@ func TestOrderAblationThetaNotWorse(t *testing.T) {
 func TestOrderVariantsAllValid(t *testing.T) {
 	in := randomInstance(10, 8, 50, 20, 3)
 	for _, ord := range []NetOrder{OrderThetaAsc, OrderNetID, OrderThetaDesc} {
-		routes, _, err := Route(in, Options{Order: ord})
+		routes, _, err := Route(context.Background(), in, Options{Order: ord})
 		if err != nil {
 			t.Fatalf("order %d: %v", ord, err)
 		}
@@ -97,11 +98,11 @@ func TestMehlhornAndKMBSimilarQuality(t *testing.T) {
 	var kmb, mehl int64
 	for seed := int64(0); seed < 5; seed++ {
 		in := randomInstance(12, 12, 80, 30, 300+seed)
-		a, _, err := Route(in, Options{RipUpRounds: -1})
+		a, _, err := Route(context.Background(), in, Options{RipUpRounds: -1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, _, err := Route(in, Options{RipUpRounds: -1, InitialSteiner: SteinerMehlhorn})
+		b, _, err := Route(context.Background(), in, Options{RipUpRounds: -1, InitialSteiner: SteinerMehlhorn})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -118,14 +119,14 @@ func BenchmarkRouteKMBvsMehlhorn(b *testing.B) {
 	in := randomInstance(40, 60, 2000, 800, 1)
 	b.Run("KMB", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := Route(in, Options{RipUpRounds: -1}); err != nil {
+			if _, _, err := Route(context.Background(), in, Options{RipUpRounds: -1}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("Mehlhorn", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := Route(in, Options{RipUpRounds: -1, InitialSteiner: SteinerMehlhorn}); err != nil {
+			if _, _, err := Route(context.Background(), in, Options{RipUpRounds: -1, InitialSteiner: SteinerMehlhorn}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -135,13 +136,13 @@ func BenchmarkRouteKMBvsMehlhorn(b *testing.B) {
 func TestRerouteNetsKeepsValidity(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
 		in := randomInstance(12, 10, 60, 25, 400+seed)
-		routes, _, err := Route(in, Options{})
+		routes, _, err := Route(context.Background(), in, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		// Rip a handful of nets and reroute them against the rest.
 		nets := []int{0, 5, 10, 15}
-		if err := RerouteNets(in, routes, nets, Options{}); err != nil {
+		if err := RerouteNets(context.Background(), in, routes, nets, Options{}); err != nil {
 			t.Fatal(err)
 		}
 		if err := problem.ValidateRouting(in, routes); err != nil {
@@ -152,18 +153,18 @@ func TestRerouteNetsKeepsValidity(t *testing.T) {
 
 func TestRerouteNetsMismatched(t *testing.T) {
 	in := randomInstance(8, 5, 10, 4, 1)
-	if err := RerouteNets(in, make(problem.Routing, 3), []int{0}, Options{}); err == nil {
+	if err := RerouteNets(context.Background(), in, make(problem.Routing, 3), []int{0}, Options{}); err == nil {
 		t.Error("mismatched routing accepted")
 	}
 }
 
 func TestRerouteNetsMehlhorn(t *testing.T) {
 	in := randomInstance(12, 10, 40, 15, 2)
-	routes, _, err := Route(in, Options{})
+	routes, _, err := Route(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := RerouteNets(in, routes, []int{1, 3}, Options{RerouteSteiner: SteinerMehlhorn}); err != nil {
+	if err := RerouteNets(context.Background(), in, routes, []int{1, 3}, Options{RerouteSteiner: SteinerMehlhorn}); err != nil {
 		t.Fatal(err)
 	}
 	if err := problem.ValidateRouting(in, routes); err != nil {

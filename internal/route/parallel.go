@@ -11,6 +11,9 @@
 package route
 
 import (
+	"context"
+	"fmt"
+
 	"tdmroute/internal/graph"
 	"tdmroute/internal/par"
 )
@@ -25,12 +28,14 @@ const waveFactor = 4
 // per-index writes keep the result identical to the sequential pass for
 // every worker count. On error, the first error of the lowest chunk is
 // returned (the same net-order-first error as the sequential pass when
-// Workers <= 1).
-func (r *router) buildMSTs(msts [][]graph.WeightedEdge) error {
+// Workers <= 1). The stage is all-or-nothing under cancellation: a
+// cancelled context aborts it and the partial MST table is discarded with
+// the returned error.
+func (r *router) buildMSTs(ctx context.Context, msts [][]graph.WeightedEdge) error {
 	n := len(r.in.Nets)
 	workers := r.opt.workers()
 	errs := make([]error, par.NumChunks(n, workers))
-	par.For(n, workers, func(chunk, start, end int) {
+	if err := par.ForCtx(ctx, n, workers, func(chunk, start, end int) {
 		for i := start; i < end; i++ {
 			mst, err := r.terminalMST(i)
 			if err != nil {
@@ -40,7 +45,9 @@ func (r *router) buildMSTs(msts [][]graph.WeightedEdge) error {
 			msts[i] = mst
 			r.mstCost[i] = graph.MSTCost(mst)
 		}
-	})
+	}); err != nil {
+		return fmt.Errorf("route: terminal MSTs interrupted: %w", err)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -53,7 +60,11 @@ func (r *router) buildMSTs(msts [][]graph.WeightedEdge) error {
 // During a wave no shared state is mutated: workers read the usage array as
 // a frozen snapshot and write only their private scratch and their own
 // tree/error slots. The merge then commits the wave's trees in wave order.
-func (r *router) routeWaves(order []int, msts [][]graph.WeightedEdge) error {
+// The context is checked only between waves — a deterministic boundary —
+// so a fixed cancellation point yields the same partial progress for a
+// fixed worker count; a cancellation mid-initial-routing is an error (no
+// legal topology exists yet).
+func (r *router) routeWaves(ctx context.Context, order []int, msts [][]graph.WeightedEdge) error {
 	workers := r.opt.workers()
 	ws := make([]*netWorker, workers)
 	ws[0] = r.w0
@@ -65,6 +76,9 @@ func (r *router) routeWaves(order []int, msts [][]graph.WeightedEdge) error {
 	trees := make([][]int, waveSize)
 	errs := make([]error, workers)
 	for start := 0; start < len(order); start += waveSize {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("route: initial routing interrupted: %w", err)
+		}
 		end := start + waveSize
 		if end > len(order) {
 			end = len(order)

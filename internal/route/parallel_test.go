@@ -1,6 +1,7 @@
 package route
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -30,11 +31,11 @@ func routesEqual(a, b problem.Routing) bool {
 func TestRouteWorkers1IdenticalToSequential(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
 		in := randomInstance(14, 12, 300, 60, 500+seed)
-		seq, seqStats, err := Route(in, Options{})
+		seq, seqStats, err := Route(context.Background(), in, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		one, oneStats, err := Route(in, Options{Workers: 1})
+		one, oneStats, err := Route(context.Background(), in, Options{Workers: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -58,14 +59,14 @@ func TestRouteParallelValidAndDeterministic(t *testing.T) {
 				for seed := int64(0); seed < 3; seed++ {
 					in := randomInstance(14, 12, 400, 80, 600+seed)
 					opt := Options{Workers: workers, InitialSteiner: alg}
-					a, _, err := Route(in, opt)
+					a, _, err := Route(context.Background(), in, opt)
 					if err != nil {
 						t.Fatal(err)
 					}
 					if err := problem.ValidateRouting(in, a); err != nil {
 						t.Fatalf("seed %d: invalid: %v", seed, err)
 					}
-					b, _, err := Route(in, opt)
+					b, _, err := Route(context.Background(), in, opt)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -82,7 +83,7 @@ func TestRouteParallelValidAndDeterministic(t *testing.T) {
 // job: a large wave-parallel run with rip-up rounds on top.
 func TestRouteParallelRace(t *testing.T) {
 	in := randomInstance(20, 25, 1500, 300, 77)
-	routes, _, err := Route(in, Options{Workers: 8, RipUpRounds: 3, KeepWorse: true})
+	routes, _, err := Route(context.Background(), in, Options{Workers: 8, RipUpRounds: 3, KeepWorse: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,11 +100,11 @@ func TestRouteParallelQualityClose(t *testing.T) {
 	var seqTotal, parTotal int64
 	for seed := int64(0); seed < 4; seed++ {
 		in := randomInstance(14, 12, 400, 80, 700+seed)
-		seq, _, err := Route(in, Options{})
+		seq, _, err := Route(context.Background(), in, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		pr, _, err := Route(in, Options{Workers: 4})
+		pr, _, err := Route(context.Background(), in, Options{Workers: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -123,16 +124,16 @@ func TestRouteParallelQualityClose(t *testing.T) {
 func TestRerouteNetsDuplicatesIgnored(t *testing.T) {
 	for seed := int64(0); seed < 3; seed++ {
 		in := randomInstance(12, 10, 60, 25, 800+seed)
-		base, _, err := Route(in, Options{})
+		base, _, err := Route(context.Background(), in, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		withDup := base.Clone()
-		if err := RerouteNets(in, withDup, []int{1, 5, 1, 9, 5, 1}, Options{}); err != nil {
+		if err := RerouteNets(context.Background(), in, withDup, []int{1, 5, 1, 9, 5, 1}, Options{}); err != nil {
 			t.Fatal(err)
 		}
 		deduped := base.Clone()
-		if err := RerouteNets(in, deduped, []int{1, 5, 9}, Options{}); err != nil {
+		if err := RerouteNets(context.Background(), in, deduped, []int{1, 5, 9}, Options{}); err != nil {
 			t.Fatal(err)
 		}
 		if !routesEqual(withDup, deduped) {
@@ -148,14 +149,14 @@ func TestRerouteNetsDuplicatesIgnored(t *testing.T) {
 // state is touched.
 func TestRerouteNetsOutOfRange(t *testing.T) {
 	in := randomInstance(8, 5, 10, 4, 1)
-	routes, _, err := Route(in, Options{})
+	routes, _, err := Route(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := RerouteNets(in, routes, []int{0, 10}, Options{}); err == nil {
+	if err := RerouteNets(context.Background(), in, routes, []int{0, 10}, Options{}); err == nil {
 		t.Error("out-of-range net index accepted")
 	}
-	if err := RerouteNets(in, routes, []int{-1}, Options{}); err == nil {
+	if err := RerouteNets(context.Background(), in, routes, []int{-1}, Options{}); err == nil {
 		t.Error("negative net index accepted")
 	}
 }
@@ -165,7 +166,7 @@ func BenchmarkRouteParallel(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := Route(in, Options{Workers: workers}); err != nil {
+				if _, _, err := Route(context.Background(), in, Options{Workers: workers}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,6 +1,7 @@
 package route
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -23,7 +24,7 @@ func TestQuickRouteAlwaysValid(t *testing.T) {
 			RerouteSteiner: SteinerAlg(rng.Intn(2)),
 			KeepWorse:      rng.Intn(2) == 0,
 		}
-		routes, _, err := Route(in, opt)
+		routes, _, err := Route(context.Background(), in, opt)
 		if err != nil {
 			return false
 		}
@@ -45,11 +46,11 @@ func TestQuickRipUpUsageConsistent(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		in := randomInstance(5+rng.Intn(8), rng.Intn(10), 10+rng.Intn(40), 2+rng.Intn(15), seed)
 		r := newRouter(in, Options{})
-		if err := r.initialRoute(); err != nil {
+		if err := r.initialRoute(context.Background()); err != nil {
 			return false
 		}
 		for round := 0; round < 3; round++ {
-			if _, err := r.ripUpWorstGroup(rng.Intn(2) == 0); err != nil {
+			if _, err := r.ripUpWorstGroup(context.Background(), rng.Intn(2) == 0); err != nil {
 				return false
 			}
 			// usage must equal the recount at every point.
@@ -76,13 +77,13 @@ func TestQuickRerouteNetsPreservesOthers(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		in := randomInstance(5+rng.Intn(8), rng.Intn(10), 10+rng.Intn(30), 2+rng.Intn(10), seed)
-		routes, _, err := Route(in, Options{})
+		routes, _, err := Route(context.Background(), in, Options{})
 		if err != nil {
 			return false
 		}
 		before := routes.Clone()
 		nets := []int{0, len(in.Nets) / 2}
-		if err := RerouteNets(in, routes, nets, Options{}); err != nil {
+		if err := RerouteNets(context.Background(), in, routes, nets, Options{}); err != nil {
 			return false
 		}
 		// Untouched nets keep their routes verbatim.

@@ -5,6 +5,7 @@
 package route
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -106,14 +107,30 @@ type Stats struct {
 
 // Route computes a routing topology for in. The returned routing satisfies
 // problem.ValidateRouting for every connected instance.
-func Route(in *problem.Instance, opt Options) (problem.Routing, Stats, error) {
+//
+// Cancellation semantics: the context is checked at deterministic
+// boundaries only — per net in the sequential embed loop, per wave in the
+// parallel path, and per rip-up round (including per member net inside a
+// round, which then reverts the partial round). If ctx is cancelled before
+// the initial routing completes there is no legal topology and Route
+// returns the cancellation error; once the initial routing exists, a
+// cancellation merely curtails the rip-up refinement and the current legal
+// topology is returned with a nil error (the caller observes ctx.Err() to
+// know the refinement was cut short).
+func Route(ctx context.Context, in *problem.Instance, opt Options) (problem.Routing, Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	r := newRouter(in, opt)
-	if err := r.initialRoute(); err != nil {
+	if err := r.initialRoute(ctx); err != nil {
 		return nil, Stats{}, err
 	}
 	rounds := opt.ripUpRounds()
 	for round := 0; round < rounds; round++ {
-		improved, err := r.ripUpWorstGroup(opt.KeepWorse)
+		if ctx.Err() != nil {
+			break // degrade: keep the current legal topology
+		}
+		improved, err := r.ripUpWorstGroup(ctx, opt.KeepWorse)
 		if err != nil {
 			return nil, Stats{}, err
 		}
@@ -228,7 +245,14 @@ func newRouter(in *problem.Instance, opt Options) *router {
 // the building block of the iterated co-optimization extension, where the
 // group realizing GTR_max — known only after TDM assignment — is rerouted.
 // Duplicate entries in nets are ignored after the first occurrence.
-func RerouteNets(in *problem.Instance, routes problem.Routing, nets []int, opt Options) error {
+//
+// The context is checked before each net's reroute; on cancellation,
+// RerouteNets returns the cancellation error and routes is left unmodified
+// (results are written back only after every net rerouted successfully).
+func RerouteNets(ctx context.Context, in *problem.Instance, routes problem.Routing, nets []int, opt Options) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(routes) != len(in.Nets) {
 		return fmt.Errorf("route: routing has %d nets, instance has %d", len(routes), len(in.Nets))
 	}
@@ -261,6 +285,9 @@ func RerouteNets(in *problem.Instance, routes problem.Routing, nets []int, opt O
 		r.routes[n] = nil
 	}
 	for _, n := range nets {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("route: reroute interrupted: %w", err)
+		}
 		var mst []graph.WeightedEdge
 		if opt.RerouteSteiner != SteinerMehlhorn {
 			var err error
@@ -312,11 +339,12 @@ func (r *router) terminalMST(n int) ([]graph.WeightedEdge, error) {
 
 // initialRoute performs Sec. III-A: compute every net's terminal MST, order
 // nets by increasing θ(n), and embed each MST edge as a congestion-aware
-// shortest path.
-func (r *router) initialRoute() error {
+// shortest path. Cancellation before the last net is embedded returns the
+// context error: a partial initial routing is not a legal topology.
+func (r *router) initialRoute(ctx context.Context) error {
 	nets := r.in.Nets
 	msts := make([][]graph.WeightedEdge, len(nets))
-	if err := r.buildMSTs(msts); err != nil {
+	if err := r.buildMSTs(ctx, msts); err != nil {
 		return err
 	}
 
@@ -352,9 +380,12 @@ func (r *router) initialRoute() error {
 	}
 
 	if r.opt.workers() > 1 {
-		return r.routeWaves(order, msts)
+		return r.routeWaves(ctx, order, msts)
 	}
 	for _, n := range order {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("route: initial routing interrupted: %w", err)
+		}
 		if err := r.embed(n, r.opt.InitialSteiner, msts[n], r.usage); err != nil {
 			return err
 		}
@@ -460,8 +491,11 @@ func (r *router) phiAll() []int64 {
 // ripUpWorstGroup performs one Sec. III-B round: rip every net of the group
 // with the largest φ(g) and reroute them with edge costs counting only the
 // ripped group's own nets. Unless keepWorse is set, the round is reverted
-// when it fails to reduce max φ, and improved=false is returned.
-func (r *router) ripUpWorstGroup(keepWorse bool) (improved bool, err error) {
+// when it fails to reduce max φ, and improved=false is returned. A context
+// cancellation observed mid-round reverts the partial round the same way
+// and reports improved=false with a nil error: the router's topology stays
+// legal and the caller's round loop stops on its own ctx check.
+func (r *router) ripUpWorstGroup(ctx context.Context, keepWorse bool) (improved bool, err error) {
 	if len(r.in.Groups) == 0 {
 		return false, nil
 	}
@@ -490,6 +524,10 @@ func (r *router) ripUpWorstGroup(keepWorse bool) (improved bool, err error) {
 	}
 
 	for _, n := range members {
+		if ctx.Err() != nil {
+			r.revertGroup(members, saved)
+			return false, nil
+		}
 		var mst []graph.WeightedEdge
 		if r.opt.RerouteSteiner != SteinerMehlhorn {
 			mst, err = r.terminalMST(n)
@@ -517,18 +555,24 @@ func (r *router) ripUpWorstGroup(keepWorse bool) (improved bool, err error) {
 		}
 	}
 	if newMax >= best {
-		// Revert: restore the saved routes and usage.
-		for i, n := range members {
-			for _, e := range r.routes[n] {
-				r.usage[e]--
-			}
-			r.routes[n] = saved[i]
-			for _, e := range saved[i] {
-				r.usage[e]++
-			}
-		}
+		r.revertGroup(members, saved)
 		r.stats.RevertedRound++
 		return false, nil
 	}
 	return true, nil
+}
+
+// revertGroup restores the members' saved routes and the shared usage after
+// an abandoned rip-up round. Members not yet rerouted (nil routes) are
+// handled: removing a nil route from the usage is a no-op.
+func (r *router) revertGroup(members []int, saved [][]int) {
+	for i, n := range members {
+		for _, e := range r.routes[n] {
+			r.usage[e]--
+		}
+		r.routes[n] = saved[i]
+		for _, e := range saved[i] {
+			r.usage[e]++
+		}
+	}
 }

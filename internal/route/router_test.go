@@ -1,6 +1,7 @@
 package route
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -77,7 +78,7 @@ func TestRouteTwoPinShortestPath(t *testing.T) {
 		Groups: []problem.Group{{Nets: []int{0}}},
 	}
 	in.RebuildNetGroups()
-	routes, stats, err := Route(in, Options{})
+	routes, stats, err := Route(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestRouteIntraFPGANetEmpty(t *testing.T) {
 		Nets: []problem.Net{{Terminals: []int{2}}},
 	}
 	in.RebuildNetGroups()
-	routes, _, err := Route(in, Options{})
+	routes, _, err := Route(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestRouteCongestionSpreadsOnRing(t *testing.T) {
 		in.Nets[i].Terminals = []int{0, 2}
 	}
 	in.RebuildNetGroups()
-	routes, _, err := Route(in, Options{RipUpRounds: -1})
+	routes, _, err := Route(context.Background(), in, Options{RipUpRounds: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestRouteMultiPinSteiner(t *testing.T) {
 		Nets: []problem.Net{{Terminals: []int{1, 2, 3}}},
 	}
 	in.RebuildNetGroups()
-	routes, _, err := Route(in, Options{})
+	routes, _, err := Route(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestRouteDisconnectedTerminalsError(t *testing.T) {
 		Nets: []problem.Net{{Terminals: []int{0, 3}}},
 	}
 	in.RebuildNetGroups()
-	if _, _, err := Route(in, Options{}); err == nil {
+	if _, _, err := Route(context.Background(), in, Options{}); err == nil {
 		t.Error("expected error for disconnected terminals")
 	}
 }
@@ -181,7 +182,7 @@ func TestRouteDisconnectedTerminalsError(t *testing.T) {
 func TestRouteRandomAlwaysValid(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		in := randomInstance(12, 10, 60, 25, seed)
-		routes, _, err := Route(in, Options{})
+		routes, _, err := Route(context.Background(), in, Options{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -193,11 +194,11 @@ func TestRouteRandomAlwaysValid(t *testing.T) {
 
 func TestRouteDeterministic(t *testing.T) {
 	in := randomInstance(10, 8, 40, 15, 3)
-	a, _, err := Route(in, Options{})
+	a, _, err := Route(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := Route(in, Options{})
+	b, _, err := Route(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,11 +217,11 @@ func TestRouteDeterministic(t *testing.T) {
 func TestRipUpNeverWorsensEstimate(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
 		in := randomInstance(10, 6, 50, 20, seed+100)
-		noRip, _, err := Route(in, Options{RipUpRounds: -1})
+		noRip, _, err := Route(context.Background(), in, Options{RipUpRounds: -1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		withRip, _, err := Route(in, Options{RipUpRounds: 8})
+		withRip, _, err := Route(context.Background(), in, Options{RipUpRounds: 8})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -232,7 +233,7 @@ func TestRipUpNeverWorsensEstimate(t *testing.T) {
 
 func TestRipUpRoundsStats(t *testing.T) {
 	in := randomInstance(10, 6, 50, 20, 7)
-	_, stats, err := Route(in, Options{RipUpRounds: 3, KeepWorse: true})
+	_, stats, err := Route(context.Background(), in, Options{RipUpRounds: 3, KeepWorse: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +288,7 @@ func TestThetaOrderingRoutesCriticalLast(t *testing.T) {
 		},
 	}
 	in.RebuildNetGroups()
-	routes, _, err := Route(in, Options{RipUpRounds: -1})
+	routes, _, err := Route(context.Background(), in, Options{RipUpRounds: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +307,7 @@ func BenchmarkRouteMedium(b *testing.B) {
 	in := randomInstance(40, 60, 2000, 800, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := Route(in, Options{}); err != nil {
+		if _, _, err := Route(context.Background(), in, Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"tdmroute/internal/gen"
@@ -135,11 +136,11 @@ func TestRunAgreesWithAnalyticModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	routes, _, err := tr.Route(in, tr.Options{})
+	routes, _, err := tr.Route(context.Background(), in, tr.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	assign, _, err := tdm.Assign(in, routes, tdm.Options{Legal: tdm.LegalPow2})
+	assign, _, err := tdm.Assign(context.Background(), in, routes, tdm.Options{Legal: tdm.LegalPow2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,11 +202,11 @@ func BenchmarkRunSmall(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	routes, _, err := tr.Route(in, tr.Options{})
+	routes, _, err := tr.Route(context.Background(), in, tr.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
-	assign, _, err := tdm.Assign(in, routes, tdm.Options{Legal: tdm.LegalPow2})
+	assign, _, err := tdm.Assign(context.Background(), in, routes, tdm.Options{Legal: tdm.LegalPow2})
 	if err != nil {
 		b.Fatal(err)
 	}

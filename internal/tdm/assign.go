@@ -1,9 +1,11 @@
 package tdm
 
 import (
+	"context"
 	"fmt"
 
 	"tdmroute/internal/eval"
+	"tdmroute/internal/par"
 	"tdmroute/internal/problem"
 )
 
@@ -12,14 +14,23 @@ import (
 // and refinement (Algorithm 2). It returns a legal assignment (every ratio
 // even and >= 2, per-edge reciprocal sums <= 1) and a Report with the
 // Table II metrics.
-func Assign(in *problem.Instance, routes problem.Routing, opt Options) (problem.Assignment, Report, error) {
+//
+// Assign is anytime: when ctx is cancelled (or a worker panic is contained)
+// the best-so-far relaxed assignment is legalized and returned with
+// Report.Interrupted holding the cause — the assignment is still legal, only
+// less optimized. A non-nil error is returned only when no legal assignment
+// could be produced at all.
+func Assign(ctx context.Context, in *problem.Instance, routes problem.Routing, opt Options) (problem.Assignment, Report, error) {
 	if len(routes) != len(in.Nets) {
 		return problem.Assignment{}, Report{}, fmt.Errorf("tdm: routing has %d nets, instance has %d", len(routes), len(in.Nets))
 	}
 	opt = opt.withDefaults()
 
-	relaxed, z, lb, iters, converged := RunLR(in, routes, opt)
-	assign, rep, err := Finish(in, routes, relaxed, opt)
+	relaxed, z, lb, iters, converged, stopped := RunLR(ctx, in, routes, opt)
+	if relaxed == nil {
+		return problem.Assignment{}, Report{}, stopped
+	}
+	assign, rep, err := Finish(ctx, in, routes, relaxed, opt)
 	if err != nil {
 		return problem.Assignment{}, Report{}, err
 	}
@@ -27,6 +38,9 @@ func Assign(in *problem.Instance, routes problem.Routing, opt Options) (problem.
 	rep.Converged = converged
 	rep.LowerBound = lb
 	rep.RelaxedZ = z
+	if stopped != nil {
+		rep.Interrupted = stopped // the LR stop is the earlier cause
+	}
 	return assign, rep, nil
 }
 
@@ -34,30 +48,50 @@ func Assign(in *problem.Instance, routes problem.Routing, opt Options) (problem.
 // filling the GTRNoRef and GTRMax fields of the report. It is split from
 // Assign so callers can time the LR and legalization+refinement stages
 // separately (the Fig. 3(a) breakdown).
-func Finish(in *problem.Instance, routes problem.Routing, relaxed [][]float64, opt Options) (problem.Assignment, Report, error) {
+//
+// Legalization always runs to completion (it is cheap and required for
+// legality); the refinement passes check ctx between passes and inside each
+// sweep, and a contained panic or cancellation mid-refinement keeps the
+// ratios refined so far — every prefix of a refinement sweep is legal. An
+// early stop is reported in Report.Interrupted, not as an error.
+func Finish(ctx context.Context, in *problem.Instance, routes problem.Routing, relaxed [][]float64, opt Options) (problem.Assignment, Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(relaxed) != len(routes) {
 		return problem.Assignment{}, Report{}, fmt.Errorf("tdm: relaxed assignment has %d nets, routing has %d", len(relaxed), len(routes))
 	}
 	opt = opt.withDefaults()
 	var ratios [][]int64
-	if opt.Legal == LegalPow2 {
-		ratios = LegalizePow2(relaxed)
-	} else {
-		ratios = Legalize(relaxed)
+	if err := par.Capture(func() error {
+		if opt.Legal == LegalPow2 {
+			ratios = LegalizePow2(relaxed)
+		} else {
+			ratios = Legalize(relaxed)
+		}
+		return nil
+	}); err != nil {
+		return problem.Assignment{}, Report{}, err
 	}
 
 	var rep Report
 	sol := &problem.Solution{Routes: routes, Assign: problem.Assignment{Ratios: ratios}}
 	rep.GTRNoRef, _ = eval.MaxGroupTDM(in, sol)
 
-	for pass := 0; pass < opt.RefinePasses; pass++ {
-		if opt.Legal == LegalPow2 {
-			RefinePow2(in, routes, ratios, opt.Tol)
-		} else {
-			Refine(in, routes, ratios, opt.Tol)
+	rep.Interrupted = par.Capture(func() error {
+		for pass := 0; pass < opt.RefinePasses; pass++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if opt.Legal == LegalPow2 {
+				RefinePow2(ctx, in, routes, ratios, opt.Tol)
+			} else {
+				Refine(ctx, in, routes, ratios, opt.Tol)
+			}
 		}
-	}
-	compactUngrouped(in, routes, ratios, opt.Tol, opt.Legal == LegalPow2)
+		compactUngrouped(in, routes, ratios, opt.Tol, opt.Legal == LegalPow2)
+		return nil
+	})
 	rep.GTRMax, _ = eval.MaxGroupTDM(in, sol)
 
 	return problem.Assignment{Ratios: ratios}, rep, nil

@@ -1,6 +1,7 @@
 package tdm
 
 import (
+	"context"
 	"math"
 
 	"tdmroute/internal/par"
@@ -285,61 +286,98 @@ func (s *lrState) updateSubgradient(z, lb, bestZ float64) {
 // The convergence test compares the running z against the best (largest)
 // dual value seen so far; every dual value is a valid lower bound, so using
 // the best one only tightens the test.
-func RunLR(in *problem.Instance, routes problem.Routing, opt Options) (ratios [][]float64, z, lb float64, iters int, converged bool) {
+//
+// RunLR is the anytime core of the pipeline: the best-so-far pattern set is
+// snapshotted at every improving iteration boundary, the context is checked
+// once per iteration (never inside the parallel inner loops, so a fixed
+// cancellation point yields a bit-identical result), and worker panics are
+// contained. When the loop stops early — ctx cancelled or a chunk panicked
+// — stopped carries the cause (ctx.Err() or a *par.PanicError) and the
+// returned ratios are the incumbent: the best completed sweep, or a single
+// fallback pattern pass when no sweep completed. ratios is nil only when
+// even the fallback pass failed; stopped then holds the terminal error.
+func RunLR(ctx context.Context, in *problem.Instance, routes problem.Routing, opt Options) (ratios [][]float64, z, lb float64, iters int, converged bool, stopped error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opt = opt.withDefaults()
-	s := newLRState(in, routes, opt)
+	var s *lrState
+	if err := par.Capture(func() error {
+		s = newLRState(in, routes, opt)
+		return nil
+	}); err != nil {
+		return nil, 0, 0, 0, false, err
+	}
 
 	bestZ := math.Inf(1)
 	bestLB := 0.0
 	var best []float64
 
-	for iters = 0; iters < opt.MaxIter; iters++ {
-		s.computePi()
-		curLB := s.solveLRS()
-		curZ := s.groupTDMs()
-
-		if curLB > bestLB {
-			bestLB = curLB
-		}
-		if curZ < bestZ {
-			bestZ = curZ
-			if best == nil {
-				best = make([]float64, len(s.cellRatio))
+	stopped = par.Capture(func() error {
+		for iters = 0; iters < opt.MaxIter; iters++ {
+			if err := ctx.Err(); err != nil {
+				return err
 			}
-			copy(best, s.cellRatio)
+			s.computePi()
+			curLB := s.solveLRS()
+			curZ := s.groupTDMs()
+
+			if curLB > bestLB {
+				bestLB = curLB
+			}
+			if curZ < bestZ {
+				bestZ = curZ
+				if best == nil {
+					best = make([]float64, len(s.cellRatio))
+				}
+				copy(best, s.cellRatio)
+			}
+			if opt.Trace != nil {
+				opt.Trace(iters, curZ, curLB)
+			}
+			if bestLB > 0 && (bestZ-bestLB)/bestLB <= opt.Epsilon {
+				iters++
+				converged = true
+				break
+			}
+			switch opt.Update {
+			case UpdateSubgradient:
+				s.updateSubgradient(curZ, curLB, bestZ)
+			default:
+				s.updateMultipliers(curZ)
+			}
 		}
-		if opt.Trace != nil {
-			opt.Trace(iters, curZ, curLB)
-		}
-		if bestLB > 0 && (bestZ-bestLB)/bestLB <= opt.Epsilon {
-			iters++
-			converged = true
-			break
-		}
-		switch opt.Update {
-		case UpdateSubgradient:
-			s.updateSubgradient(curZ, curLB, bestZ)
-		default:
-			s.updateMultipliers(curZ)
-		}
-	}
+		return nil
+	})
 
 	if best == nil {
-		// MaxIter == 0 or no groups: fall back to a single pattern pass
-		// with the uniform initial multipliers.
-		s.computePi()
-		lbOnce := s.solveLRS()
-		zOnce := s.groupTDMs()
-		best = append([]float64(nil), s.cellRatio...)
-		if lbOnce > bestLB {
-			bestLB = lbOnce
+		// MaxIter == 0, no groups, or stopped before the first sweep
+		// completed: fall back to a single pattern pass with the current
+		// multipliers so the caller always receives a legalizable
+		// incumbent. The pass is bounded work, so it runs even after a
+		// deadline — anytime means "returns something legal", not "stops
+		// instantly with nothing".
+		if err := par.Capture(func() error {
+			s.computePi()
+			lbOnce := s.solveLRS()
+			zOnce := s.groupTDMs()
+			best = append([]float64(nil), s.cellRatio...)
+			if lbOnce > bestLB {
+				bestLB = lbOnce
+			}
+			bestZ = zOnce
+			return nil
+		}); err != nil {
+			if stopped == nil {
+				stopped = err
+			}
+			return nil, bestZ, bestLB, iters, false, stopped
 		}
-		bestZ = zOnce
 	}
 	if opt.CaptureLambda != nil {
 		opt.CaptureLambda(append([]float64(nil), s.lambda...))
 	}
-	return s.unflatten(best, routes), bestZ, bestLB, iters, converged
+	return s.unflatten(best, routes), bestZ, bestLB, iters, converged, stopped
 }
 
 // unflatten converts an edge-major flat cell-ratio vector back to the

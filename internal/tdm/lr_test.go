@@ -1,6 +1,7 @@
 package tdm
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -41,7 +42,7 @@ func singleEdgeInstance(k int) (*problem.Instance, problem.Routing) {
 func TestLRSingleEdgeSymmetric(t *testing.T) {
 	for _, k := range []int{1, 2, 3, 7, 16} {
 		in, routes := singleEdgeInstance(k)
-		ratios, z, lb, iters, converged := RunLR(in, routes, Options{Epsilon: 1e-9})
+		ratios, z, lb, iters, converged, _ := RunLR(context.Background(), in, routes, Options{Epsilon: 1e-9})
 		want := float64(k) // optimal: all nets at ratio k
 		if math.Abs(z-want) > 1e-6*want {
 			t.Errorf("k=%d: z = %g, want %g", k, z, want)
@@ -67,7 +68,7 @@ func TestLRSingleEdgeNestedGroups(t *testing.T) {
 	groups := []problem.Group{{Nets: []int{0}}, {Nets: []int{0, 1}}}
 	in := pathInstance(2, nets, groups)
 	routes := problem.Routing{{0}, {0}}
-	_, z, lb, _, converged := RunLR(in, routes, Options{Epsilon: 1e-7, MaxIter: 2000})
+	_, z, lb, _, converged, _ := RunLR(context.Background(), in, routes, Options{Epsilon: 1e-7, MaxIter: 2000})
 	if !converged {
 		t.Fatalf("did not converge: z=%g lb=%g", z, lb)
 	}
@@ -95,7 +96,7 @@ func TestLRWeightedTwoGroups(t *testing.T) {
 	groups := []problem.Group{{Nets: []int{0}}, {Nets: []int{1}}}
 	in := pathInstance(3, nets, groups)
 	routes := problem.Routing{{0, 1}, {1}}
-	_, z, lb, _, converged := RunLR(in, routes, Options{Epsilon: 1e-7, MaxIter: 5000})
+	_, z, lb, _, converged, _ := RunLR(context.Background(), in, routes, Options{Epsilon: 1e-7, MaxIter: 5000})
 	phi := (1 + math.Sqrt(5)) / 2
 	want := 1 + phi
 	if !converged {
@@ -116,7 +117,7 @@ func TestLRPatternMatchesCauchySchwarz(t *testing.T) {
 	// Make group sizes unequal by adding one net to group 0.
 	in.Groups[0].Nets = []int{0, 1}
 	in.RebuildNetGroups()
-	ratios, _, _, _, _ := RunLR(in, routes, Options{MaxIter: 1, Epsilon: 1e-30})
+	ratios, _, _, _, _, _ := RunLR(context.Background(), in, routes, Options{MaxIter: 1, Epsilon: 1e-30})
 	// λ = 1/3 each; net 1 is in groups 0 and 1, so π = (1/3, 2/3, 1/3).
 	pis := []float64{1.0 / 3, 2.0 / 3, 1.0 / 3}
 	var s float64
@@ -179,7 +180,7 @@ func TestLRLowerBoundBelowAnyLegalAssignment(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	for trial := 0; trial < 10; trial++ {
 		in, routes := randomAssignInstance(rng)
-		_, z, lb, _, _ := RunLR(in, routes, Options{Epsilon: 1e-6, MaxIter: 800})
+		_, z, lb, _, _, _ := RunLR(context.Background(), in, routes, Options{Epsilon: 1e-6, MaxIter: 800})
 		if lb > z+1e-6*math.Max(1, z) {
 			t.Fatalf("trial %d: lb %g exceeds relaxed z %g", trial, lb, z)
 		}
@@ -288,7 +289,7 @@ func maxGroupTDMInt(in *problem.Instance, ratios [][]int64) int64 {
 func TestLRTraceCalled(t *testing.T) {
 	in, routes := singleEdgeInstance(4)
 	var traced []float64
-	RunLR(in, routes, Options{Epsilon: 1e-9, Trace: func(iter int, z, lb float64) {
+	RunLR(context.Background(), in, routes, Options{Epsilon: 1e-9, Trace: func(iter int, z, lb float64) {
 		if iter != len(traced) {
 			t.Errorf("trace iteration %d out of order", iter)
 		}
@@ -303,7 +304,7 @@ func TestLRNoGroups(t *testing.T) {
 	nets := []problem.Net{{Terminals: []int{0, 1}}}
 	in := pathInstance(2, nets, nil)
 	routes := problem.Routing{{0}}
-	ratios, z, lb, _, _ := RunLR(in, routes, Options{})
+	ratios, z, lb, _, _, _ := RunLR(context.Background(), in, routes, Options{})
 	if z != 0 || lb != 0 {
 		t.Errorf("no groups: z=%g lb=%g", z, lb)
 	}
@@ -314,7 +315,7 @@ func TestLRNoGroups(t *testing.T) {
 
 func TestLRMaxIterZeroStillProducesPattern(t *testing.T) {
 	in, routes := singleEdgeInstance(3)
-	ratios, z, _, iters, converged := RunLR(in, routes, Options{MaxIter: -1})
+	ratios, z, _, iters, converged, _ := RunLR(context.Background(), in, routes, Options{MaxIter: -1})
 	if iters != 0 || converged {
 		t.Errorf("iters=%d converged=%v", iters, converged)
 	}
@@ -329,7 +330,7 @@ func TestLRConvergesMonotonicallyEnough(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
 	in, routes := randomAssignInstance(rng)
 	var lastZ, lastLB float64
-	_, z, lb, _, converged := RunLR(in, routes, Options{Epsilon: 1e-4, MaxIter: 3000,
+	_, z, lb, _, converged, _ := RunLR(context.Background(), in, routes, Options{Epsilon: 1e-4, MaxIter: 3000,
 		Trace: func(iter int, zi, lbi float64) {
 			if lbi > zi+1e-9*math.Max(1, zi) {
 				t.Fatalf("iter %d: dual %g above primal %g", iter, lbi, zi)
@@ -409,7 +410,7 @@ func TestSubgradientRuleSound(t *testing.T) {
 	rng := rand.New(rand.NewSource(14))
 	in, routes := randomAssignInstance(rng)
 	var firstGap float64
-	_, z, lb, _, _ := RunLR(in, routes, Options{
+	_, z, lb, _, _, _ := RunLR(context.Background(), in, routes, Options{
 		Epsilon: 1e-12, MaxIter: 2000, Update: UpdateSubgradient,
 		Trace: func(iter int, zi, lbi float64) {
 			if lbi > zi+1e-9*math.Max(1, zi) {
@@ -440,8 +441,8 @@ func TestSigmoidSMABeatsSubgradientAtFixedBudget(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
 		rng := rand.New(rand.NewSource(100 + seed))
 		in, routes := randomAssignInstance(rng)
-		_, z1, lb1, _, _ := RunLR(in, routes, Options{Epsilon: 1e-12, MaxIter: budget})
-		_, z2, lb2, _, _ := RunLR(in, routes, Options{Epsilon: 1e-12, MaxIter: budget, Update: UpdateSubgradient})
+		_, z1, lb1, _, _, _ := RunLR(context.Background(), in, routes, Options{Epsilon: 1e-12, MaxIter: budget})
+		_, z2, lb2, _, _, _ := RunLR(context.Background(), in, routes, Options{Epsilon: 1e-12, MaxIter: budget, Update: UpdateSubgradient})
 		gapSMA += (z1 - lb1) / math.Max(1, lb1)
 		gapSub += (z2 - lb2) / math.Max(1, lb2)
 	}
@@ -455,7 +456,7 @@ func TestLambdaStaysOnSimplex(t *testing.T) {
 	rng := rand.New(rand.NewSource(88))
 	in, routes := randomAssignInstance(rng)
 	var final []float64
-	RunLR(in, routes, Options{Epsilon: 1e-6, MaxIter: 500,
+	RunLR(context.Background(), in, routes, Options{Epsilon: 1e-6, MaxIter: 500,
 		CaptureLambda: func(l []float64) { final = l }})
 	if final == nil {
 		t.Fatal("CaptureLambda not called")

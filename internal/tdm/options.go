@@ -158,4 +158,10 @@ type Report struct {
 	GTRNoRef int64
 	// GTRMax is the final maximum group TDM ratio ("GTR_max").
 	GTRMax int64
+	// Interrupted is non-nil when the run stopped early — context
+	// cancellation (context.Canceled / context.DeadlineExceeded) or a
+	// contained worker panic (*par.PanicError). The reported assignment is
+	// still legal; it is the best incumbent at the stop boundary rather
+	// than a fully converged result.
+	Interrupted error
 }

@@ -1,6 +1,7 @@
 package tdm
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -22,8 +23,8 @@ func TestParallelLRMatchesSerial(t *testing.T) {
 	rng := rand.New(rand.NewSource(61))
 	for trial := 0; trial < 5; trial++ {
 		in, routes := randomAssignInstance(rng)
-		serial, zs, lbs, is, cs := RunLR(in, routes, Options{Epsilon: 1e-4, MaxIter: 800})
-		par, zp, lbp, ip, cp := RunLR(in, routes, Options{Epsilon: 1e-4, MaxIter: 800, Workers: 4})
+		serial, zs, lbs, is, cs, _ := RunLR(context.Background(), in, routes, Options{Epsilon: 1e-4, MaxIter: 800})
+		par, zp, lbp, ip, cp, _ := RunLR(context.Background(), in, routes, Options{Epsilon: 1e-4, MaxIter: 800, Workers: 4})
 		// These tiny instances stay below the parallel chunking threshold,
 		// so the arithmetic is bit-identical.
 		if zs != zp || lbs != lbp || is != ip || cs != cp {
@@ -44,8 +45,8 @@ func TestParallelLRLargeInstanceClose(t *testing.T) {
 	// Above the chunking threshold float sums may differ in the last
 	// ulps; z, LB and the legalized GTR must agree to high precision.
 	in, routes := bigSyntheticTopology(4000, 300, 2500)
-	serial, zs, lbs, _, _ := RunLR(in, routes, Options{Epsilon: 1e-4, MaxIter: 200})
-	par, zp, lbp, _, _ := RunLR(in, routes, Options{Epsilon: 1e-4, MaxIter: 200, Workers: 8})
+	serial, zs, lbs, _, _, _ := RunLR(context.Background(), in, routes, Options{Epsilon: 1e-4, MaxIter: 200})
+	par, zp, lbp, _, _, _ := RunLR(context.Background(), in, routes, Options{Epsilon: 1e-4, MaxIter: 200, Workers: 8})
 	if math.Abs(zs-zp) > 1e-6*zs || math.Abs(lbs-lbp) > 1e-6*lbs {
 		t.Fatalf("serial z=%g lb=%g vs parallel z=%g lb=%g", zs, lbs, zp, lbp)
 	}
@@ -62,8 +63,8 @@ func TestParallelLRLargeInstanceClose(t *testing.T) {
 
 func TestParallelLRDeterministicAcrossRuns(t *testing.T) {
 	in, routes := bigSyntheticTopology(3000, 200, 1500)
-	_, z1, lb1, it1, _ := RunLR(in, routes, Options{Epsilon: 1e-4, MaxIter: 150, Workers: 6})
-	_, z2, lb2, it2, _ := RunLR(in, routes, Options{Epsilon: 1e-4, MaxIter: 150, Workers: 6})
+	_, z1, lb1, it1, _, _ := RunLR(context.Background(), in, routes, Options{Epsilon: 1e-4, MaxIter: 150, Workers: 6})
+	_, z2, lb2, it2, _, _ := RunLR(context.Background(), in, routes, Options{Epsilon: 1e-4, MaxIter: 150, Workers: 6})
 	if z1 != z2 || lb1 != lb2 || it1 != it2 {
 		t.Fatalf("same worker count differs across runs: z %g/%g lb %g/%g it %d/%d",
 			z1, z2, lb1, lb2, it1, it2)
@@ -110,7 +111,7 @@ func BenchmarkLRParallel(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(benchName(workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				RunLR(in, routes, Options{Epsilon: 1e-12, MaxIter: 30, Workers: workers})
+				RunLR(context.Background(), in, routes, Options{Epsilon: 1e-12, MaxIter: 30, Workers: workers})
 			}
 		})
 	}

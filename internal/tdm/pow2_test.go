@@ -1,6 +1,7 @@
 package tdm
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -48,7 +49,7 @@ func TestAssignPow2LegalAndSchedulable(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 6; trial++ {
 		in, routes := randomAssignInstance(rng)
-		assign, rep, err := Assign(in, routes, Options{Legal: LegalPow2, Epsilon: 1e-3, MaxIter: 500})
+		assign, rep, err := Assign(context.Background(), in, routes, Options{Legal: LegalPow2, Epsilon: 1e-3, MaxIter: 500})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -76,11 +77,11 @@ func TestPow2CostsQualityVsEven(t *testing.T) {
 	for seed := int64(0); seed < 6; seed++ {
 		rng := rand.New(rand.NewSource(500 + seed))
 		in, routes := randomAssignInstance(rng)
-		_, repE, err := Assign(in, routes, Options{Epsilon: 1e-3, MaxIter: 500})
+		_, repE, err := Assign(context.Background(), in, routes, Options{Epsilon: 1e-3, MaxIter: 500})
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, repP, err := Assign(in, routes, Options{Legal: LegalPow2, Epsilon: 1e-3, MaxIter: 500})
+		_, repP, err := Assign(context.Background(), in, routes, Options{Legal: LegalPow2, Epsilon: 1e-3, MaxIter: 500})
 		if err != nil {
 			t.Fatal(err)
 		}

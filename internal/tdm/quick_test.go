@@ -1,6 +1,7 @@
 package tdm
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -69,7 +70,7 @@ func TestQuickAssignAlwaysLegal(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		in, routes := randomAssignInstance(rng)
-		assign, rep, err := Assign(in, routes, Options{Epsilon: 1e-3, MaxIter: 300})
+		assign, rep, err := Assign(context.Background(), in, routes, Options{Epsilon: 1e-3, MaxIter: 300})
 		if err != nil {
 			return false
 		}

@@ -1,11 +1,20 @@
 package tdm
 
 import (
+	"context"
 	"math"
 	"sort"
 
 	"tdmroute/internal/problem"
 )
+
+// refineCheckEvery is the edge-block granularity of the context check in
+// the refinement sweeps: a check per edge would be measurable overhead on
+// million-edge-load instances, a check per sweep would make cancellation
+// latency a full sweep. Stopping between any two edges keeps the
+// assignment legal — refinement only ever spends margin an edge provably
+// has.
+const refineCheckEvery = 4096
 
 // Refine performs the Sec. IV-E refinement (Algorithm 2) in place on a
 // legalized assignment: on every edge it selects the candidate nets Ñ_e —
@@ -14,13 +23,18 @@ import (
 // their ratios, largest first, in even decrements d computed by Eq. (21).
 //
 // One call is one full sweep over the edges; Γ is computed once per sweep
-// from the assignment at sweep start, as in the paper.
-func Refine(in *problem.Instance, routes problem.Routing, ratios [][]int64, tol float64) {
+// from the assignment at sweep start, as in the paper. The sweep stops
+// early between edge blocks once ctx is cancelled; a partial sweep leaves
+// the assignment legal, merely less refined.
+func Refine(ctx context.Context, in *problem.Instance, routes problem.Routing, ratios [][]int64, tol float64) {
 	loads := problem.EdgeLoads(in.G.NumEdges(), routes)
 	gamma := computeGamma(in, routes, ratios)
 
 	var cand []candidate
-	for _, ls := range loads {
+	for ei, ls := range loads {
+		if ei%refineCheckEvery == 0 && ctx != nil && ctx.Err() != nil {
+			return
+		}
 		if len(ls) == 0 {
 			continue
 		}

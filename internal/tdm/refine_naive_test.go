@@ -1,6 +1,7 @@
 package tdm
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -29,13 +30,13 @@ func TestRefineNaiveMatchesAlgorithm2(t *testing.T) {
 	rng := rand.New(rand.NewSource(55))
 	for trial := 0; trial < 10; trial++ {
 		in, routes := randomAssignInstance(rng)
-		relaxed, _, _, _, _ := RunLR(in, routes, Options{Epsilon: 1e-4, MaxIter: 500})
+		relaxed, _, _, _, _, _ := RunLR(context.Background(), in, routes, Options{Epsilon: 1e-4, MaxIter: 500})
 		a := Legalize(relaxed)
 		b := make([][]int64, len(a))
 		for n := range a {
 			b[n] = append([]int64(nil), a[n]...)
 		}
-		Refine(in, routes, a, DefaultTol)
+		Refine(context.Background(), in, routes, a, DefaultTol)
 		RefineNaive(in, routes, b, DefaultTol)
 		ga, gb := maxGroupTDMInt(in, a), maxGroupTDMInt(in, b)
 		// Allow a small slack: the two schedules may split the last
@@ -81,7 +82,7 @@ func TestRefineEdgeNaiveRespectsMargin(t *testing.T) {
 func BenchmarkRefineVsNaive(b *testing.B) {
 	rng := rand.New(rand.NewSource(7))
 	in, routes := randomAssignInstance(rng)
-	relaxed, _, _, _, _ := RunLR(in, routes, Options{Epsilon: 1e-4, MaxIter: 500})
+	relaxed, _, _, _, _, _ := RunLR(context.Background(), in, routes, Options{Epsilon: 1e-4, MaxIter: 500})
 	base := Legalize(relaxed)
 	clone := func() [][]int64 {
 		c := make([][]int64, len(base))
@@ -92,7 +93,7 @@ func BenchmarkRefineVsNaive(b *testing.B) {
 	}
 	b.Run("Algorithm2", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			Refine(in, routes, clone(), DefaultTol)
+			Refine(context.Background(), in, routes, clone(), DefaultTol)
 		}
 	})
 	b.Run("NaiveHeap", func(b *testing.B) {

@@ -1,6 +1,7 @@
 package tdm
 
 import (
+	"context"
 	"sort"
 
 	"tdmroute/internal/problem"
@@ -10,13 +11,18 @@ import (
 // only quality move that preserves the restriction is halving a ratio,
 // which consumes exactly 1/t of the edge margin (1/(t/2) - 1/t = 1/t). Per
 // edge it selects the same Γ-maximal candidates as Algorithm 2 and halves
-// them, largest ratio first, while the margin allows.
-func RefinePow2(in *problem.Instance, routes problem.Routing, ratios [][]int64, tol float64) {
+// them, largest ratio first, while the margin allows. Like Refine, the
+// sweep stops early between edge blocks once ctx is cancelled; every prefix
+// of a sweep leaves the assignment legal.
+func RefinePow2(ctx context.Context, in *problem.Instance, routes problem.Routing, ratios [][]int64, tol float64) {
 	loads := problem.EdgeLoads(in.G.NumEdges(), routes)
 	gamma := computeGamma(in, routes, ratios)
 
 	var cand []candidate
-	for _, ls := range loads {
+	for ei, ls := range loads {
+		if ei%refineCheckEvery == 0 && ctx != nil && ctx.Err() != nil {
+			return
+		}
 		if len(ls) == 0 {
 			continue
 		}

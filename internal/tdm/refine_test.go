@@ -1,6 +1,7 @@
 package tdm
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -175,7 +176,7 @@ func buildRefineFixture() (*problem.Instance, problem.Routing, [][]int64) {
 func TestRefineLowersGTRAndStaysLegal(t *testing.T) {
 	in, routes, ratios := buildRefineFixture()
 	before := maxGroupTDMInt(in, ratios)
-	Refine(in, routes, ratios, DefaultTol)
+	Refine(context.Background(), in, routes, ratios, DefaultTol)
 	after := maxGroupTDMInt(in, ratios)
 	if after > before {
 		t.Fatalf("refinement worsened GTR: %d -> %d", before, after)
@@ -191,7 +192,7 @@ func TestRefineLowersGTRAndStaysLegal(t *testing.T) {
 
 func TestRefineTargetsMaxGroup(t *testing.T) {
 	in, routes, ratios := buildRefineFixture()
-	Refine(in, routes, ratios, DefaultTol)
+	Refine(context.Background(), in, routes, ratios, DefaultTol)
 	// Net 2 (the only member of the light group) shares edge 0 with net 0
 	// of the heavy group. The margin on edge 0 must have gone to net 0,
 	// not net 2.
@@ -208,7 +209,7 @@ func TestRefineSkipsUngroupedOnlyEdges(t *testing.T) {
 	in := pathInstance(2, nets, nil)
 	routes := problem.Routing{{0}}
 	ratios := [][]int64{{8}}
-	Refine(in, routes, ratios, DefaultTol)
+	Refine(context.Background(), in, routes, ratios, DefaultTol)
 	if ratios[0][0] != 8 {
 		t.Errorf("ungrouped net refined: %d", ratios[0][0])
 	}
@@ -218,7 +219,7 @@ func TestAssignEndToEndRandom(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
 	for trial := 0; trial < 8; trial++ {
 		in, routes := randomAssignInstance(rng)
-		assign, rep, err := Assign(in, routes, Options{Epsilon: 1e-4, MaxIter: 2000})
+		assign, rep, err := Assign(context.Background(), in, routes, Options{Epsilon: 1e-4, MaxIter: 2000})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -244,7 +245,7 @@ func TestAssignEndToEndRandom(t *testing.T) {
 
 func TestAssignRejectsMismatchedRouting(t *testing.T) {
 	in, routes := singleEdgeInstance(2)
-	if _, _, err := Assign(in, routes[:1], Options{}); err == nil {
+	if _, _, err := Assign(context.Background(), in, routes[:1], Options{}); err == nil {
 		t.Error("expected error for mismatched routing")
 	}
 }
@@ -252,7 +253,7 @@ func TestAssignRejectsMismatchedRouting(t *testing.T) {
 func TestAssignNoRefineOption(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	in, routes := randomAssignInstance(rng)
-	_, rep, err := Assign(in, routes, Options{RefinePasses: -1, Epsilon: 1e-4, MaxIter: 1000})
+	_, rep, err := Assign(context.Background(), in, routes, Options{RefinePasses: -1, Epsilon: 1e-4, MaxIter: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,11 +265,11 @@ func TestAssignNoRefineOption(t *testing.T) {
 func TestAssignMultiPassNotWorse(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	in, routes := randomAssignInstance(rng)
-	_, one, err := Assign(in, routes, Options{RefinePasses: 1, Epsilon: 1e-4, MaxIter: 1000})
+	_, one, err := Assign(context.Background(), in, routes, Options{RefinePasses: 1, Epsilon: 1e-4, MaxIter: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, three, err := Assign(in, routes, Options{RefinePasses: 3, Epsilon: 1e-4, MaxIter: 1000})
+	_, three, err := Assign(context.Background(), in, routes, Options{RefinePasses: 3, Epsilon: 1e-4, MaxIter: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}

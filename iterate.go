@@ -1,10 +1,13 @@
 package tdmroute
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"tdmroute/internal/eval"
+	"tdmroute/internal/par"
 	"tdmroute/internal/problem"
 	"tdmroute/internal/route"
 	"tdmroute/internal/tdm"
@@ -40,15 +43,34 @@ type IterateResult struct {
 // assignment re-runs warm-started. Rounds that do not improve are
 // discarded, so the result is never worse than Solve's.
 func SolveIterative(in *Instance, opt IterateOptions) (*IterateResult, error) {
+	return SolveIterativeCtx(context.Background(), in, opt)
+}
+
+// SolveIterativeCtx is SolveIterative under a context. Cancellation between
+// or during feedback rounds keeps the accepted incumbent and returns it with
+// Result.Degraded set (stage "feedback"); cancellation during the base solve
+// degrades as SolveCtx does and skips the feedback rounds entirely. When a
+// hard (non-interruption) error occurs after the base solve, the returned
+// result is non-nil alongside the error and carries the incumbent and the
+// stage times of all work done; callers must check the error first.
+func SolveIterativeCtx(ctx context.Context, in *Instance, opt IterateOptions) (*IterateResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opt.Rounds == 0 {
 		opt.Rounds = 3
 	}
 	opt.Base = opt.Base.withWorkers()
-	base, err := Solve(in, opt.Base)
+	base, err := SolveCtx(ctx, in, opt.Base)
 	if err != nil {
 		return nil, err
 	}
 	res := &IterateResult{Result: base, InitialGTR: base.Report.GTRMax}
+	if res.Degraded != nil {
+		// The base solve was already curtailed: there is no budget left
+		// for feedback rounds, and the base incumbent stands.
+		return res, nil
+	}
 
 	var lambda []float64
 	topt := opt.Base.TDM
@@ -56,16 +78,26 @@ func SolveIterative(in *Instance, opt IterateOptions) (*IterateResult, error) {
 	// Recapture multipliers from the accepted solution's topology so the
 	// first feedback round starts warm. Only the relaxation is needed for
 	// the multipliers, so skip the legalize+refine half of a full
-	// assignment.
+	// assignment. An interruption here is harmless — the multipliers are a
+	// warm-start hint — and is caught at the next round boundary.
 	t0 := time.Now()
-	tdm.RunLR(in, base.Solution.Routes, topt)
+	tdm.RunLR(ctx, in, base.Solution.Routes, topt)
 	res.Times.LR += time.Since(t0)
 
+	var stop error
 	for round := 0; round < opt.Rounds; round++ {
+		if cerr := ctx.Err(); cerr != nil {
+			stop = cerr
+			break
+		}
 		res.RoundsRun++
-		improved, err := feedbackRound(in, res, opt, &lambda)
+		improved, err := feedbackRound(ctx, in, res, opt, &lambda)
 		if err != nil {
-			return nil, err
+			if isInterruption(err) {
+				stop = err // incumbent stands; the round's candidate is dropped
+				break
+			}
+			return res, err
 		}
 		if improved {
 			res.RoundsKept++
@@ -73,12 +105,38 @@ func SolveIterative(in *Instance, opt IterateOptions) (*IterateResult, error) {
 			break // a non-improving reroute of the critical group repeats
 		}
 	}
+	if stop == nil {
+		// An accepted candidate may itself have come from a curtailed
+		// assignment (Report.Interrupted); surface that as degradation.
+		stop = res.Report.Interrupted
+	}
+	if stop != nil {
+		res.Degraded = &Degraded{
+			Stage:          StageFeedback,
+			Cause:          stop,
+			LRIterations:   res.Report.Iterations,
+			FeedbackRounds: res.RoundsRun,
+			IncumbentGTR:   res.Report.GTRMax,
+		}
+	}
 	return res, nil
 }
 
+// isInterruption reports whether err is an anytime-stop cause — context
+// cancellation, an expired deadline, or a contained worker panic — as
+// opposed to a hard failure of the algorithm or its inputs.
+func isInterruption(err error) bool {
+	var pe *par.PanicError
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.As(err, &pe)
+}
+
 // feedbackRound rips the realized-GTR_max group, reroutes it against the
-// existing usage, reassigns warm-started, and accepts on improvement.
-func feedbackRound(in *Instance, res *IterateResult, opt IterateOptions, lambda *[]float64) (bool, error) {
+// existing usage, reassigns warm-started, and accepts on improvement. Stage
+// times are folded into res.Times whether the round succeeds, is rejected,
+// or fails — the time was spent either way.
+func feedbackRound(ctx context.Context, in *Instance, res *IterateResult, opt IterateOptions, lambda *[]float64) (bool, error) {
 	cur := res.Solution
 	_, gmax := eval.MaxGroupTDM(in, cur)
 	if gmax < 0 {
@@ -88,10 +146,13 @@ func feedbackRound(in *Instance, res *IterateResult, opt IterateOptions, lambda 
 
 	candidate := cur.Routes.Clone()
 	t0 := time.Now()
-	if err := route.RerouteNets(in, candidate, members, opt.Base.Route); err != nil {
+	err := par.Capture(func() error {
+		return route.RerouteNets(ctx, in, candidate, members, opt.Base.Route)
+	})
+	res.Times.Route += time.Since(t0)
+	if err != nil {
 		return false, err
 	}
-	res.Times.Route += time.Since(t0)
 	if err := problem.ValidateRouting(in, candidate); err != nil {
 		return false, fmt.Errorf("tdmroute: feedback reroute produced invalid topology: %w", err)
 	}
@@ -100,9 +161,7 @@ func feedbackRound(in *Instance, res *IterateResult, opt IterateOptions, lambda 
 	topt.WarmLambda = *lambda
 	var captured []float64
 	topt.CaptureLambda = func(l []float64) { captured = l }
-	assign, rep, times, err := assignTimed(in, candidate, topt)
-	// Attribute the round's work to its true stages whether or not the
-	// candidate is kept — the time was spent either way.
+	assign, rep, times, _, err := assignTimed(ctx, in, candidate, topt)
 	res.Times.LR += times.LR
 	res.Times.LegalRefine += times.LegalRefine
 	if err != nil {

@@ -31,12 +31,14 @@
 package tdmroute
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"tdmroute/internal/eval"
 	"tdmroute/internal/mux"
+	"tdmroute/internal/par"
 	"tdmroute/internal/problem"
 	"tdmroute/internal/route"
 	"tdmroute/internal/tdm"
@@ -174,35 +176,114 @@ type StageTimes struct {
 // Total returns the sum of the recorded stage times.
 func (s StageTimes) Total() time.Duration { return s.Route + s.LR + s.LegalRefine }
 
+// Stage identifies a pipeline stage in a Degraded report.
+type Stage string
+
+// Pipeline stages, in execution order.
+const (
+	StageRoute    Stage = "route"
+	StageLR       Stage = "lr"
+	StageRefine   Stage = "refine"
+	StageFeedback Stage = "feedback"
+)
+
+// Degraded reports that a solve was curtailed — by context cancellation, an
+// expired deadline, or a contained worker panic — and that the returned
+// solution is the best incumbent checkpointed before the interruption rather
+// than a full-budget result. The incumbent is always legal
+// (ValidateSolution passes); Degraded only qualifies its quality.
+type Degraded struct {
+	// Stage is the earliest pipeline stage the interruption curtailed.
+	// Later stages still run in bounded fallback mode to legalize the
+	// incumbent, so a StageRoute degradation does not mean TDM assignment
+	// was skipped.
+	Stage Stage
+	// Cause is the reason the run stopped: context.Canceled,
+	// context.DeadlineExceeded, or a *par.PanicError.
+	Cause error
+	// LRIterations counts completed Lagrangian-relaxation iterations.
+	LRIterations int
+	// FeedbackRounds counts feedback rounds started by SolveIterative
+	// (always 0 for Solve).
+	FeedbackRounds int
+	// IncumbentGTR is GTR_max of the returned incumbent solution.
+	IncumbentGTR int64
+}
+
+func (d *Degraded) String() string {
+	return fmt.Sprintf("degraded at stage %s after %d LR iterations (GTR_max %d): %v",
+		d.Stage, d.LRIterations, d.IncumbentGTR, d.Cause)
+}
+
 // Result is the outcome of Solve.
 type Result struct {
 	Solution   *Solution
 	Report     Report
 	RouteStats RouteStats
 	Times      StageTimes
+	// Degraded is non-nil when the run was interrupted and Solution is a
+	// best-so-far incumbent; nil means the full optimization budget ran.
+	Degraded *Degraded
 }
 
 // Solve runs the full framework of Fig. 2(b) — NetGroup-aware routing
 // followed by TDM ratio assignment — and returns a legal solution.
 func Solve(in *Instance, opt Options) (*Result, error) {
+	return SolveCtx(context.Background(), in, opt)
+}
+
+// SolveCtx is Solve under a context: when ctx is cancelled or its deadline
+// expires mid-solve, the pipeline stops at the next deterministic iteration
+// boundary and returns the best incumbent solution found so far, with
+// Result.Degraded describing the interruption. An error is returned only
+// when no legal incumbent exists yet (cancellation before initial routing
+// completes, a malformed instance, or a panic before legalization).
+// Cancellation is observed only at deterministic boundaries, so for a fixed
+// worker count a fixed cancellation point yields a bit-identical incumbent.
+func SolveCtx(ctx context.Context, in *Instance, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opt = opt.withWorkers()
 	res := &Result{}
 	t0 := time.Now()
-	routes, rstats, err := route.Route(in, opt.Route)
+	var routes Routing
+	var rstats RouteStats
+	err := par.Capture(func() error {
+		var e error
+		routes, rstats, e = route.Route(ctx, in, opt.Route)
+		return e
+	})
+	res.Times.Route = time.Since(t0)
 	if err != nil {
 		return nil, err
 	}
 	res.RouteStats = rstats
-	res.Times.Route = time.Since(t0)
+	routeCurtailed := ctx.Err() != nil
 
-	assign, rep, times, err := assignTimed(in, routes, opt.TDM)
+	assign, rep, times, stage, err := assignTimed(ctx, in, routes, opt.TDM)
+	res.Times.LR = times.LR
+	res.Times.LegalRefine = times.LegalRefine
 	if err != nil {
 		return nil, err
 	}
 	res.Report = rep
-	res.Times.LR = times.LR
-	res.Times.LegalRefine = times.LegalRefine
 	res.Solution = &Solution{Routes: routes, Assign: assign}
+	if routeCurtailed {
+		stage = StageRoute
+	}
+	if stage != "" {
+		cause := rep.Interrupted
+		if cause == nil {
+			cause = ctx.Err()
+		}
+		res.Degraded = &Degraded{
+			Stage:        stage,
+			Cause:        cause,
+			LRIterations: rep.Iterations,
+			IncumbentGTR: rep.GTRMax,
+		}
+	}
 	return res, nil
 }
 
@@ -210,31 +291,55 @@ func Solve(in *Instance, opt Options) (*Result, error) {
 // topology — the "+TA" experiment of Table II, where the paper improves the
 // contest winners' solutions from their topologies alone.
 func AssignTDM(in *Instance, routes Routing, opt TDMOptions) (Assignment, Report, error) {
-	return tdm.Assign(in, routes, opt)
+	return tdm.Assign(context.Background(), in, routes, opt)
+}
+
+// AssignTDMCtx is AssignTDM under a context: an interrupted run still
+// returns a legal assignment legalized from the best LR incumbent, with
+// Report.Interrupted recording the cause.
+func AssignTDMCtx(ctx context.Context, in *Instance, routes Routing, opt TDMOptions) (Assignment, Report, error) {
+	return tdm.Assign(ctx, in, routes, opt)
 }
 
 // assignTimed splits the assignment stage into the LR and
-// legalization+refinement timings needed by the Fig. 3(a) breakdown.
-func assignTimed(in *Instance, routes Routing, opt TDMOptions) (Assignment, Report, StageTimes, error) {
+// legalization+refinement timings needed by the Fig. 3(a) breakdown. The
+// returned stage is "" for a complete run, or the stage the interruption
+// curtailed (StageLR or StageRefine); both stage timers are populated even
+// on the error path so callers can fold partial work into their totals.
+func assignTimed(ctx context.Context, in *Instance, routes Routing, opt TDMOptions) (Assignment, Report, StageTimes, Stage, error) {
 	var times StageTimes
 	t0 := time.Now()
 	// Run LR and legalization separately from tdm.Assign so the two
 	// timers can be split; tdm.Assign composes the same calls.
-	relaxed, z, lb, iters, converged := tdm.RunLR(in, routes, opt)
+	relaxed, z, lb, iters, converged, stopped := tdm.RunLR(ctx, in, routes, opt)
 	times.LR = time.Since(t0)
+	if relaxed == nil {
+		// No legalizable incumbent: even the bounded fallback pass failed.
+		return Assignment{}, Report{}, times, StageLR, stopped
+	}
 
 	t1 := time.Now()
-	assign, rep, err := tdm.Finish(in, routes, relaxed, opt)
-	if err != nil {
-		return Assignment{}, Report{}, times, err
-	}
+	assign, rep, err := tdm.Finish(ctx, in, routes, relaxed, opt)
 	times.LegalRefine = time.Since(t1)
+	if err != nil {
+		return Assignment{}, Report{}, times, StageRefine, err
+	}
 
 	rep.Iterations = iters
 	rep.Converged = converged
 	rep.LowerBound = lb
 	rep.RelaxedZ = z
-	return assign, rep, times, nil
+	var stage Stage
+	switch {
+	case stopped != nil:
+		// LR stopped early; Finish may have recorded its own (refine)
+		// interruption, but the earlier stage wins the attribution.
+		stage = StageLR
+		rep.Interrupted = stopped
+	case rep.Interrupted != nil:
+		stage = StageRefine
+	}
+	return assign, rep, times, stage, nil
 }
 
 // Evaluate returns GTR_max of a solution and the index of a group attaining
