@@ -12,6 +12,11 @@
 //
 // -benchmarks selects a comma-separated subset (default: all nine).
 //
+// -benchjson runs the iterated-solve performance measurement (see
+// DESIGN.md "Performance engineering") and writes per-stage wall times,
+// GTR, and work counters as JSON; -cpuprofile and -memprofile capture
+// pprof profiles of whichever experiment runs.
+//
 // Experiments are anytime: -timeout bounds the wall clock and the first ^C
 // cancels the run at the next benchmark boundary; either way the rows
 // completed so far are still rendered. Exit status: 0 on a complete run,
@@ -27,6 +32,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -36,25 +43,42 @@ import (
 )
 
 func main() {
+	os.Exit(benchMain())
+}
+
+// benchMain is the real entry point; it returns the process exit code so
+// deferred cleanup (profile flushing, context cancellation) always runs.
+func benchMain() int {
 	var (
-		table   = flag.String("table", "", "table to regenerate: 1, 2, 'ablation', 'pow2', or 'router'")
-		fig     = flag.String("fig", "", "figure to regenerate: 3a or 3b")
-		all     = flag.Bool("all", false, "regenerate every table and figure")
-		scale   = flag.Float64("scale", 0.01, "suite scale factor")
-		subset  = flag.String("benchmarks", "", "comma-separated benchmark subset")
-		budget  = flag.Int("budget", 300, "iteration budget for the ablation")
-		csv     = flag.Bool("csv", false, "emit Table II as CSV instead of the text layout")
-		scaling = flag.String("scaling", "", "run the size sweep on this benchmark (uses -scales)")
-		scales  = flag.String("scales", "0.002,0.01,0.05", "comma-separated scale factors for -scaling")
-		ascii   = flag.Bool("ascii", false, "render figures as ASCII charts (3a bars, 3b curves)")
-		timeout = flag.Duration("timeout", 0, "wall-clock budget; partial results are still written on expiry (0 = unlimited)")
-		workers = flag.Int("workers", 1, "worker goroutines per solve (1 = sequential; try runtime.NumCPU())")
-		verbose = flag.Bool("v", false, "print per-benchmark progress to stderr")
+		table     = flag.String("table", "", "table to regenerate: 1, 2, 'ablation', 'pow2', or 'router'")
+		fig       = flag.String("fig", "", "figure to regenerate: 3a or 3b")
+		all       = flag.Bool("all", false, "regenerate every table and figure")
+		scale     = flag.Float64("scale", 0.01, "suite scale factor")
+		subset    = flag.String("benchmarks", "", "comma-separated benchmark subset")
+		budget    = flag.Int("budget", 300, "iteration budget for the ablation")
+		csv       = flag.Bool("csv", false, "emit Table II as CSV instead of the text layout")
+		scaling   = flag.String("scaling", "", "run the size sweep on this benchmark (uses -scales)")
+		scales    = flag.String("scales", "0.002,0.01,0.05", "comma-separated scale factors for -scaling")
+		ascii     = flag.Bool("ascii", false, "render figures as ASCII charts (3a bars, 3b curves)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget; partial results are still written on expiry (0 = unlimited)")
+		workers   = flag.Int("workers", 1, "worker goroutines per solve (1 = sequential; try runtime.NumCPU())")
+		verbose   = flag.Bool("v", false, "print per-benchmark progress to stderr")
+		benchjson = flag.String("benchjson", "", "write the iterated-solve perf measurement to this file as JSON")
+		rounds    = flag.Int("rounds", 6, "feedback rounds for -benchjson")
+		reps      = flag.Int("reps", 3, "solves per benchmark for -benchjson (fastest wins)")
+		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprof   = flag.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 	)
 	flag.Parse()
 
 	ctx, cancel := runContext(*timeout)
 	defer cancel()
+	stopProf, err := startProfiles(*cpuprof, *memprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		return 1
+	}
+	defer stopProf()
 	cfg := exp.Config{Scale: *scale, Workers: *workers, Ctx: ctx}
 	if *subset != "" {
 		cfg.Benchmarks = strings.Split(*subset, ",")
@@ -62,45 +86,116 @@ func main() {
 	if *verbose {
 		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
-	fail := func(err error) {
+	fail := func(err error) int {
 		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+		return 1
+	}
+	if *benchjson != "" {
+		if err := runBenchJSON(*benchjson, cfg, *rounds, *reps); err != nil {
+			if errors.Is(err, exp.ErrInterrupted) {
+				return exitInterrupted(err)
+			}
+			return fail(err)
+		}
+		return 0
 	}
 	if *csv && *table == "2" {
 		results, err := exp.TableII(cfg, exp.DefaultWinners())
 		if err != nil && !errors.Is(err, exp.ErrInterrupted) {
-			fail(err)
+			return fail(err)
 		}
 		exp.WriteTableIICSV(os.Stdout, results)
 		if err != nil {
-			exitInterrupted(err)
+			return exitInterrupted(err)
 		}
-		return
+		return 0
 	}
 	if *scaling != "" {
 		if err := runScaling(*scaling, *scales, os.Stdout); err != nil {
-			fail(err)
+			return fail(err)
 		}
-		return
+		return 0
 	}
 	if *ascii {
 		if err := runASCII(*fig, cfg, os.Stdout); err != nil {
-			fail(err)
+			return fail(err)
 		}
-		return
+		return 0
 	}
 	ran, err := runBench(*table, *fig, *all, cfg, *budget, os.Stdout)
 	if err != nil {
 		if errors.Is(err, exp.ErrInterrupted) {
-			exitInterrupted(err)
+			return exitInterrupted(err)
 		}
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+		return fail(err)
 	}
 	if !ran {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
+}
+
+// startProfiles begins CPU profiling and arranges for the heap profile,
+// returning a stop function that flushes whatever was requested. The heap
+// profile is written after a final GC so it reflects live retained memory,
+// not transient garbage.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	stop = func() {}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return stop, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return stop, err
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if memPath != "" {
+		cpuStop := stop
+		stop = func() {
+			cpuStop()
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench: memprofile:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bench: memprofile:", err)
+			}
+			f.Close()
+		}
+	}
+	return stop, nil
+}
+
+// runBenchJSON measures the iterated solve on the configured suite and
+// writes the report to path ("-" for stdout). Partial rows are still
+// written when the run is interrupted.
+func runBenchJSON(path string, cfg exp.Config, rounds, reps int) error {
+	rep, err := exp.Perf(cfg, rounds, reps)
+	if err != nil && !errors.Is(err, exp.ErrInterrupted) {
+		return err
+	}
+	w := io.Writer(os.Stdout)
+	if path != "-" {
+		f, cerr := os.Create(path)
+		if cerr != nil {
+			return cerr
+		}
+		defer f.Close()
+		w = f
+	}
+	if werr := exp.WritePerfJSON(w, rep); werr != nil {
+		return werr
+	}
+	return err
 }
 
 // runContext derives the experiment context: bounded by -timeout when set,
@@ -129,11 +224,11 @@ func runContext(timeout time.Duration) (context.Context, context.CancelFunc) {
 }
 
 // exitInterrupted reports an interrupted run after its partial results have
-// been written, with the distinct degraded exit status.
-func exitInterrupted(err error) {
+// been written, returning the distinct degraded exit status.
+func exitInterrupted(err error) int {
 	fmt.Fprintln(os.Stderr, "bench:", err)
 	fmt.Fprintln(os.Stderr, "bench: partial results written (exit 3)")
-	os.Exit(3)
+	return 3
 }
 
 // runScaling parses the comma-separated scale list and renders the size

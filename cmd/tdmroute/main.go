@@ -6,7 +6,7 @@
 //
 //	tdmroute -in bench.txt [-out sol.txt] [-topology routes.txt]
 //	         [-epsilon 0.0027] [-maxiter 500] [-ripup 5] [-workers N]
-//	         [-timeout 30s] [-trace]
+//	         [-timeout 30s] [-trace] [-cpuprofile cpu.out]
 //
 // With -topology, the routing stage is skipped and the TDM ratio assignment
 // runs on the supplied topology (the "+TA" experiment of Table II).
@@ -25,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"tdmroute"
@@ -44,15 +45,32 @@ func main() {
 		iterate  = flag.Int("iterate", 0, "feedback rounds of iterated co-optimization (0 = single pass)")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget; on expiry the best-so-far solution is still written (0 = unlimited)")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for routing and TDM assignment (1 = sequential)")
+		cpuprof  = flag.String("cpuprofile", "", "write a pprof CPU profile of the solve to this file")
 	)
 	flag.Parse()
 	if *inPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	stopProf := func() {}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err == nil {
+			err = pprof.StartCPUProfile(f)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tdmroute:", err)
+			os.Exit(1)
+		}
+		stopProf = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
 	ctx, cancel := solveContext(*timeout)
 	defer cancel()
 	degraded, err := run(ctx, *inPath, *outPath, *topoPath, *epsilon, *maxIter, *ripup, *workers, *trace, *jsonIO, *pow2, *iterate)
+	stopProf()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tdmroute:", err)
 		os.Exit(1)

@@ -1,8 +1,20 @@
 package graph
 
+import "sync/atomic"
+
 // Unreachable is the distance reported by APSP for vertex pairs with no
 // connecting path.
 const Unreachable int32 = -1
+
+// apspBuilds counts NewAPSP invocations process-wide. The table is the most
+// expensive graph-derived structure (one BFS per vertex); sessions are
+// expected to build it exactly once per static graph, and regression tests
+// pin that down via APSPBuilds deltas.
+var apspBuilds atomic.Int64
+
+// APSPBuilds returns the number of APSP tables constructed by this process
+// so far. Tests diff it around a solve to assert look-up-table reuse.
+func APSPBuilds() int64 { return apspBuilds.Load() }
 
 // APSP is the all-pairs shortest-path look-up table of Sec. III-A: hop
 // distances on the (unweighted) FPGA graph, computed once with one BFS per
@@ -15,6 +27,7 @@ type APSP struct {
 // NewAPSP computes the table for g. Memory is n*n*4 bytes; the largest
 // ICCAD 2019 benchmark (487 FPGAs) needs under 1 MB.
 func NewAPSP(g *Graph) *APSP {
+	apspBuilds.Add(1)
 	n := g.NumVertices()
 	a := &APSP{n: n, dist: make([]int32, n*n)}
 	for i := range a.dist {

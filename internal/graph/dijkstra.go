@@ -168,6 +168,24 @@ func (d *Dijkstra) ShortestPath(src, dst int, costFn EdgeCostFunc, pathBuf []int
 			break
 		}
 		du := d.dist[u]
+		// Target-pruned relaxation. Once dst has been reached, any settled
+		// node whose cost is not below dist[dst] cannot begin a cheaper
+		// path to dst (Cost.Add strictly increases, so every extension
+		// costs more than du >= dist[dst]), and — because the heap pops in
+		// non-decreasing order while dst is still enqueued at dist[dst] —
+		// such a node ties dst exactly, meaning dist[dst] is already final.
+		// Skipping its adjacency scan is byte-identical to relaxing it: the
+		// skipped relaxations could only have written dist/prevEdge of
+		// vertices costlier than dst, none of which appear on the
+		// reconstructed path or survive reset. Note that pruning *pushes*
+		// of costlier candidates during ordinary relaxations would NOT be
+		// safe: removing items from the binary heap perturbs its layout and
+		// with it the pop order among equal-cost items, silently changing
+		// which of two tied paths wins (see DESIGN.md, "Performance
+		// engineering").
+		if bound := d.dist[dst]; bound != InfCost && !du.Less(bound) {
+			continue
+		}
 		for _, arc := range d.g.Adj(u) {
 			if d.done[arc.To] {
 				continue

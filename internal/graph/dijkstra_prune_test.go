@@ -1,0 +1,148 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// referenceShortestPath is the pre-prune search loop, kept verbatim as an
+// executable specification: ShortestPath must stay byte-identical to it —
+// same edges, in the same order, under heavy cost ties — because routing
+// results (and therefore solution files) depend on which of two equal-cost
+// paths wins.
+func referenceShortestPath(d *Dijkstra, src, dst int, costFn EdgeCostFunc, pathBuf []int) ([]int, Cost, bool) {
+	if src == dst {
+		return pathBuf, Cost{}, true
+	}
+	d.reset()
+	d.visit(src, Cost{}, -1)
+	d.heap = d.heap[:0]
+	d.heap = append(d.heap, dijkstraItem{vertex: src})
+
+	found := false
+	for len(d.heap) > 0 {
+		it := d.heap.pop()
+		u := it.vertex
+		if d.done[u] {
+			continue
+		}
+		d.done[u] = true
+		if u == dst {
+			found = true
+			break
+		}
+		du := d.dist[u]
+		for _, arc := range d.g.Adj(u) {
+			if d.done[arc.To] {
+				continue
+			}
+			nc := du.Add(costFn(arc.Edge))
+			if nc.Less(d.dist[arc.To]) {
+				d.visit(arc.To, nc, int32(arc.Edge))
+				d.heap.push(dijkstraItem{vertex: arc.To, cost: nc})
+			}
+		}
+	}
+	if !found {
+		return pathBuf, InfCost, false
+	}
+
+	total := d.dist[dst]
+	start := len(pathBuf)
+	for v := dst; v != src; {
+		eid := d.prevEdge[v]
+		pathBuf = append(pathBuf, int(eid))
+		v = d.g.Edge(int(eid)).Other(v)
+	}
+	for i, j := start, len(pathBuf)-1; i < j; i, j = i+1, j-1 {
+		pathBuf[i], pathBuf[j] = pathBuf[j], pathBuf[i]
+	}
+	return pathBuf, total, true
+}
+
+// TestDijkstraPruneMatchesReference drives the pruned search and the
+// reference loop over the same random graphs with tiny cost ranges (so
+// equal-cost ties are everywhere) and demands identical paths — not merely
+// equal costs. This is the byte-identity contract of the rip-up loop.
+func TestDijkstraPruneMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(40)
+		g := randomConnected(n, rng.Intn(3*n), rng)
+		usage := make([]uint64, g.NumEdges())
+		for i := range usage {
+			usage[i] = uint64(rng.Intn(3)) // small range: force ties
+		}
+		costFn := func(e int) uint64 { return usage[e] }
+		pruned := NewDijkstra(g)
+		ref := NewDijkstra(g)
+		for q := 0; q < 60; q++ {
+			src, dst := rng.Intn(n), rng.Intn(n)
+			gotPath, gotCost, gotOK := pruned.ShortestPath(src, dst, costFn, nil)
+			wantPath, wantCost, wantOK := referenceShortestPath(ref, src, dst, costFn, nil)
+			if gotOK != wantOK || gotCost != wantCost {
+				t.Fatalf("trial %d %d->%d: (cost=%+v ok=%v), want (cost=%+v ok=%v)",
+					trial, src, dst, gotCost, gotOK, wantCost, wantOK)
+			}
+			if len(gotPath) != len(wantPath) {
+				t.Fatalf("trial %d %d->%d: path %v, want %v", trial, src, dst, gotPath, wantPath)
+			}
+			for i := range gotPath {
+				if gotPath[i] != wantPath[i] {
+					t.Fatalf("trial %d %d->%d: path %v, want %v (tie broken differently)",
+						trial, src, dst, gotPath, wantPath)
+				}
+			}
+		}
+	}
+}
+
+// TestDijkstraGridPruneMatchesReference repeats the equivalence check on a
+// grid, the topology with the densest equal-cost tie structure.
+func TestDijkstraGridPruneMatchesReference(t *testing.T) {
+	g := grid(12, 12)
+	usage := make([]uint64, g.NumEdges())
+	costFn := func(e int) uint64 { return usage[e] }
+	pruned := NewDijkstra(g)
+	ref := NewDijkstra(g)
+	n := g.NumVertices()
+	rng := rand.New(rand.NewSource(34))
+	for q := 0; q < 200; q++ {
+		src, dst := rng.Intn(n), rng.Intn(n)
+		gotPath, gotCost, gotOK := pruned.ShortestPath(src, dst, costFn, nil)
+		wantPath, wantCost, wantOK := referenceShortestPath(ref, src, dst, costFn, nil)
+		if gotOK != wantOK || gotCost != wantCost || len(gotPath) != len(wantPath) {
+			t.Fatalf("%d->%d: (%v,%+v,%v) want (%v,%+v,%v)", src, dst, gotPath, gotCost, gotOK, wantPath, wantCost, wantOK)
+		}
+		for i := range gotPath {
+			if gotPath[i] != wantPath[i] {
+				t.Fatalf("%d->%d: path %v, want %v", src, dst, gotPath, wantPath)
+			}
+		}
+	}
+}
+
+// TestDijkstraSearchZeroAlloc pins the steady state of the search loop at
+// zero allocations per query: the engine's dist/prevEdge/done/touched/heap
+// buffers are grown once and then reused for the life of the session.
+func TestDijkstraSearchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under -race")
+	}
+	g := grid(20, 20)
+	d := NewDijkstra(g)
+	usage := make([]uint64, g.NumEdges())
+	costFn := func(e int) uint64 { return usage[e] }
+	buf := make([]int, 0, 256)
+	dst := g.NumVertices() - 1
+	// Warm-up queries grow the heap and touched list to steady state.
+	for i := 0; i < 4; i++ {
+		buf, _, _ = d.ShortestPath(0, dst, costFn, buf[:0])
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		buf, _, _ = d.ShortestPath(0, dst, costFn, buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("ShortestPath steady state allocates %v objects per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package graph
+
+// raceEnabled reports whether the race detector is compiled in. Allocation
+// guards skip under -race: the detector instruments allocations and breaks
+// AllocsPerRun's exact counts.
+const raceEnabled = false

@@ -137,6 +137,15 @@ func TestSelectAnalyzers(t *testing.T) {
 	}
 }
 
+// TestBuildTagsRespected proves the loader evaluates //go:build lines: the
+// buildtags fixture declares the same constant in two mutually exclusive
+// tagged files, which type-checks only if exactly one is loaded.
+func TestBuildTagsRespected(t *testing.T) {
+	if _, err := Run(fixtureConfig()); err != nil {
+		t.Fatalf("Run failed on module with build-tagged files: %v", err)
+	}
+}
+
 func TestMatchesPatterns(t *testing.T) {
 	cases := []struct {
 		rel  string

@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -192,6 +194,9 @@ func parseDir(fset *token.FileSet, root, modPath, rel string, includeTests bool)
 		if err != nil {
 			return nil, fmt.Errorf("lint: %w", err)
 		}
+		if !buildConstraintSatisfied(f) {
+			continue
+		}
 		byName[f.Name.Name] = append(byName[f.Name.Name], f)
 	}
 
@@ -210,6 +215,48 @@ func parseDir(fset *token.FileSet, root, modPath, rel string, includeTests bool)
 		pkgs = append(pkgs, &Package{ImportPath: ip, RelDir: rel, Files: byName[n]})
 	}
 	return pkgs, nil
+}
+
+// buildConstraintSatisfied evaluates the file's //go:build (or legacy
+// // +build) constraint under the default build configuration — GOOS, GOARCH,
+// the gc compiler, no extra tags — so files gated behind tags like race or
+// integration are excluded exactly as `go build` excludes them. Files with
+// no constraint are always included.
+func buildConstraintSatisfied(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) && !constraint.IsPlusBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue // malformed constraint: let the type checker decide
+			}
+			return expr.Eval(defaultBuildTag)
+		}
+	}
+	return true
+}
+
+// defaultBuildTag reports whether a single build tag is set in the default
+// configuration tdmlint analyzes under.
+func defaultBuildTag(tag string) bool {
+	return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc" ||
+		tag == "unix" && unixGOOS(runtime.GOOS) ||
+		strings.HasPrefix(tag, "go1") // language-version tags: current toolchain
+}
+
+// unixGOOS mirrors the GOOSes the build system treats as unix.
+func unixGOOS(goos string) bool {
+	switch goos {
+	case "aix", "android", "darwin", "dragonfly", "freebsd", "hurd", "illumos",
+		"ios", "linux", "netbsd", "openbsd", "solaris":
+		return true
+	}
+	return false
 }
 
 // topoSort orders packages so that every module-internal import precedes its

@@ -1,0 +1,8 @@
+//go:build !sometag
+
+// Package buildtags seeds two files gated behind mutually exclusive build
+// tags; the loader must include exactly one or type-checking fails with a
+// redeclaration.
+package buildtags
+
+const gated = false

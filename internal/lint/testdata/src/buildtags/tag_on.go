@@ -1,0 +1,5 @@
+//go:build sometag
+
+package buildtags
+
+const gated = true

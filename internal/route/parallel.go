@@ -23,15 +23,15 @@ import (
 // congestion feedback between nets.
 const waveFactor = 4
 
-// buildMSTs fills msts and r.mstCost for every net. Each net's terminal MST
-// depends only on the immutable APSP LUT, so nets fan out across workers;
-// per-index writes keep the result identical to the sequential pass for
-// every worker count. On error, the first error of the lowest chunk is
-// returned (the same net-order-first error as the sequential pass when
-// Workers <= 1). The stage is all-or-nothing under cancellation: a
+// buildMSTs fills the r.mst memo table and r.mstCost for every net. Each
+// net's terminal MST depends only on the immutable APSP LUT, so nets fan out
+// across workers; per-index writes keep the result identical to the
+// sequential pass for every worker count. On error, the first error of the
+// lowest chunk is returned (the same net-order-first error as the sequential
+// pass when Workers <= 1). The stage is all-or-nothing under cancellation: a
 // cancelled context aborts it and the partial MST table is discarded with
 // the returned error.
-func (r *router) buildMSTs(ctx context.Context, msts [][]graph.WeightedEdge) error {
+func (r *router) buildMSTs(ctx context.Context) error {
 	n := len(r.in.Nets)
 	workers := r.opt.workers()
 	errs := make([]error, par.NumChunks(n, workers))
@@ -42,7 +42,6 @@ func (r *router) buildMSTs(ctx context.Context, msts [][]graph.WeightedEdge) err
 				errs[chunk] = err
 				return
 			}
-			msts[i] = mst
 			r.mstCost[i] = graph.MSTCost(mst)
 		}
 	}); err != nil {
@@ -64,13 +63,16 @@ func (r *router) buildMSTs(ctx context.Context, msts [][]graph.WeightedEdge) err
 // so a fixed cancellation point yields the same partial progress for a
 // fixed worker count; a cancellation mid-initial-routing is an error (no
 // legal topology exists yet).
-func (r *router) routeWaves(ctx context.Context, order []int, msts [][]graph.WeightedEdge) error {
+func (r *router) routeWaves(ctx context.Context, order []int) error {
 	workers := r.opt.workers()
-	ws := make([]*netWorker, workers)
-	ws[0] = r.w0
-	for i := 1; i < workers; i++ {
-		ws[i] = r.w0.clone()
+	if r.ws == nil {
+		r.ws = make([]*netWorker, workers)
+		r.ws[0] = r.w0
+		for i := 1; i < workers; i++ {
+			r.ws[i] = r.w0.clone()
+		}
 	}
+	ws, msts := r.ws, r.mst
 
 	waveSize := workers * waveFactor
 	trees := make([][]int, waveSize)

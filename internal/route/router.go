@@ -105,43 +105,6 @@ type Stats struct {
 	RippedNets    int // total nets ripped and rerouted
 }
 
-// Route computes a routing topology for in. The returned routing satisfies
-// problem.ValidateRouting for every connected instance.
-//
-// Cancellation semantics: the context is checked at deterministic
-// boundaries only — per net in the sequential embed loop, per wave in the
-// parallel path, and per rip-up round (including per member net inside a
-// round, which then reverts the partial round). If ctx is cancelled before
-// the initial routing completes there is no legal topology and Route
-// returns the cancellation error; once the initial routing exists, a
-// cancellation merely curtails the rip-up refinement and the current legal
-// topology is returned with a nil error (the caller observes ctx.Err() to
-// know the refinement was cut short).
-func Route(ctx context.Context, in *problem.Instance, opt Options) (problem.Routing, Stats, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	r := newRouter(in, opt)
-	if err := r.initialRoute(ctx); err != nil {
-		return nil, Stats{}, err
-	}
-	rounds := opt.ripUpRounds()
-	for round := 0; round < rounds; round++ {
-		if ctx.Err() != nil {
-			break // degrade: keep the current legal topology
-		}
-		improved, err := r.ripUpWorstGroup(ctx, opt.KeepWorse)
-		if err != nil {
-			return nil, Stats{}, err
-		}
-		r.stats.RipUpRounds++
-		if !improved && !opt.KeepWorse {
-			break // converged: the worst group cannot be improved
-		}
-	}
-	return r.routes, r.stats, nil
-}
-
 // netWorker bundles the per-goroutine search state of one routing worker:
 // the path and Steiner solvers plus the own-edge stamps that make a net's
 // already-chosen edges free during its own embedding. None of it is shared,
@@ -217,11 +180,24 @@ type router struct {
 	in   *problem.Instance
 	opt  Options
 	apsp *graph.APSP
-	w0   *netWorker // worker used by the sequential paths
+	w0   *netWorker   // worker used by the sequential paths
+	ws   []*netWorker // wave-parallel worker pool (ws[0] == w0), built on demand
 
 	routes  problem.Routing
 	usage   []uint32 // nets currently routed on each edge (|N_e|)
 	mstCost []int64  // per net: cost of its terminal MST on the distance LUT
+
+	// mst memoizes each net's terminal MST. The tree is a pure function of
+	// the immutable APSP LUT and the net's terminal list, so it is computed
+	// once per session and reused by every rip-up and feedback round.
+	// Cached trees are read-only.
+	mst     [][]graph.WeightedEdge
+	mstDone []bool
+
+	// cong is the incremental ψ/φ congestion index driving rip-up rounds.
+	// It is built lazily on the first round and dropped when routing
+	// finishes, so post-routing reroutes don't pay incidence maintenance.
+	cong *congIndex
 
 	stats Stats
 }
@@ -236,81 +212,32 @@ func newRouter(in *problem.Instance, opt Options) *router {
 		routes:  make(problem.Routing, len(in.Nets)),
 		usage:   make([]uint32, in.G.NumEdges()),
 		mstCost: make([]int64, len(in.Nets)),
+		mst:     make([][]graph.WeightedEdge, len(in.Nets)),
+		mstDone: make([]bool, len(in.Nets)),
 	}
 }
 
-// RerouteNets rips the given nets out of an existing topology and reroutes
-// them sequentially against the remaining global congestion (edge cost =
-// nets currently routed on the edge). routes is modified in place. It is
-// the building block of the iterated co-optimization extension, where the
-// group realizing GTR_max — known only after TDM assignment — is rerouted.
-// Duplicate entries in nets are ignored after the first occurrence.
-//
-// The context is checked before each net's reroute; on cancellation,
-// RerouteNets returns the cancellation error and routes is left unmodified
-// (results are written back only after every net rerouted successfully).
-func RerouteNets(ctx context.Context, in *problem.Instance, routes problem.Routing, nets []int, opt Options) error {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if len(routes) != len(in.Nets) {
-		return fmt.Errorf("route: routing has %d nets, instance has %d", len(routes), len(in.Nets))
-	}
-	// Dedupe while preserving first-occurrence order: ripping the same net
-	// twice would decrement (and underflow) the usage of its edges twice.
-	seen := make(map[int]bool, len(nets))
-	dedup := make([]int, 0, len(nets))
-	for _, n := range nets {
-		if n < 0 || n >= len(routes) {
-			return fmt.Errorf("route: net index %d out of range [0, %d)", n, len(routes))
-		}
-		if !seen[n] {
-			seen[n] = true
-			dedup = append(dedup, n)
-		}
-	}
-	nets = dedup
-
-	r := newRouter(in, opt)
-	for n, edges := range routes {
-		r.routes[n] = edges
-		for _, e := range edges {
-			r.usage[e]++
-		}
-	}
-	for _, n := range nets {
-		for _, e := range r.routes[n] {
-			r.usage[e]--
-		}
-		r.routes[n] = nil
-	}
-	for _, n := range nets {
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("route: reroute interrupted: %w", err)
-		}
-		var mst []graph.WeightedEdge
-		if opt.RerouteSteiner != SteinerMehlhorn {
-			var err error
-			mst, err = r.terminalMST(n)
-			if err != nil {
-				return err
-			}
-		}
-		if err := r.embed(n, opt.RerouteSteiner, mst, r.usage); err != nil {
-			return err
-		}
-	}
-	for _, n := range nets {
-		routes[n] = r.routes[n]
-	}
-	return nil
-}
-
-// terminalMST computes the KMB first step for net n: the MST of the complete
-// graph over the net's terminals under LUT distances. It returns the tree as
-// terminal-index pairs into the net's terminal slice. It reads only the APSP
-// LUT and the instance, so distinct nets may be processed concurrently.
+// terminalMST returns the memoized KMB first step for net n, computing it on
+// first use. Distinct nets may be processed concurrently: the cache slots are
+// written per index and the underlying computation reads only the APSP LUT
+// and the instance.
 func (r *router) terminalMST(n int) ([]graph.WeightedEdge, error) {
+	if r.mstDone[n] {
+		return r.mst[n], nil
+	}
+	mst, err := r.computeTerminalMST(n)
+	if err != nil {
+		return nil, err
+	}
+	r.mst[n] = mst
+	r.mstDone[n] = true
+	return mst, nil
+}
+
+// computeTerminalMST computes the MST of the complete graph over net n's
+// terminals under LUT distances. It returns the tree as terminal-index pairs
+// into the net's terminal slice.
+func (r *router) computeTerminalMST(n int) ([]graph.WeightedEdge, error) {
 	terms := r.in.Nets[n].Terminals
 	k := len(terms)
 	if k <= 1 {
@@ -343,10 +270,10 @@ func (r *router) terminalMST(n int) ([]graph.WeightedEdge, error) {
 // context error: a partial initial routing is not a legal topology.
 func (r *router) initialRoute(ctx context.Context) error {
 	nets := r.in.Nets
-	msts := make([][]graph.WeightedEdge, len(nets))
-	if err := r.buildMSTs(ctx, msts); err != nil {
+	if err := r.buildMSTs(ctx); err != nil {
 		return err
 	}
+	msts := r.mst
 
 	// θ(n) = max over groups containing n of the group's summed MST cost.
 	groupCost := make([]int64, len(r.in.Groups))
@@ -380,7 +307,7 @@ func (r *router) initialRoute(ctx context.Context) error {
 	}
 
 	if r.opt.workers() > 1 {
-		return r.routeWaves(ctx, order, msts)
+		return r.routeWaves(ctx, order)
 	}
 	for _, n := range order {
 		if err := ctx.Err(); err != nil {
@@ -499,7 +426,10 @@ func (r *router) ripUpWorstGroup(ctx context.Context, keepWorse bool) (improved 
 	if len(r.in.Groups) == 0 {
 		return false, nil
 	}
-	phi := r.phiAll()
+	if r.cong == nil {
+		r.cong = newCongIndex(r)
+	}
+	phi := r.cong.phi
 	gmax, best := 0, phi[0]
 	for gi, v := range phi {
 		if v > best {
@@ -544,10 +474,14 @@ func (r *router) ripUpWorstGroup(ctx context.Context, keepWorse bool) (improved 
 		r.stats.RippedNets++
 	}
 
+	// Fold the round's route changes into the incremental index: the delta
+	// touches only edges on the members' old and new trees, instead of the
+	// two full ψ/φ(g) rescans of the cold implementation.
+	r.cong.flush(members, saved)
 	if keepWorse {
 		return true, nil
 	}
-	newPhi := r.phiAll()
+	newPhi := r.cong.phi
 	newMax := newPhi[0]
 	for _, v := range newPhi {
 		if v > newMax {
@@ -555,7 +489,12 @@ func (r *router) ripUpWorstGroup(ctx context.Context, keepWorse bool) (improved 
 		}
 	}
 	if newMax >= best {
+		newRoutes := make([][]int, len(members))
+		for i, n := range members {
+			newRoutes[i] = r.routes[n]
+		}
 		r.revertGroup(members, saved)
+		r.cong.unflush(members, newRoutes)
 		r.stats.RevertedRound++
 		return false, nil
 	}

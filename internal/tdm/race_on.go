@@ -1,0 +1,7 @@
+//go:build race
+
+package tdm
+
+// raceEnabled reports whether the race detector is active; allocation-count
+// guards are skipped under it (instrumentation allocates).
+const raceEnabled = true

@@ -23,6 +23,12 @@ type IterateOptions struct {
 	Rounds int
 	// Base configures the underlying pipeline.
 	Base Options
+
+	// onRound, when non-nil, is invoked at the start of every feedback
+	// round, after the round's context check. It exists so tests can
+	// trigger deterministic mid-round cancellation; both the session
+	// implementation and the cold reference honor it at the same point.
+	onRound func(round int)
 }
 
 // IterateResult reports the outcome of SolveIterative.
@@ -53,6 +59,15 @@ func SolveIterative(in *Instance, opt IterateOptions) (*IterateResult, error) {
 // hard (non-interruption) error occurs after the base solve, the returned
 // result is non-nil alongside the error and carries the incumbent and the
 // stage times of all work done; callers must check the error first.
+//
+// The whole run shares one routing session and one TDM session: the APSP
+// LUT, terminal MSTs, search scratch, and the CSR incidence of the LR are
+// built once by the base solve and patched incrementally by every feedback
+// round. The results are byte-identical to rebuilding each stage from
+// scratch (the solveIterativeCold reference); only the wall clock differs.
+// The session also subsumes the old explicit multiplier recapture: the base
+// assignment's own LR captures λ for the first warm start, instead of
+// re-running a full relaxation on the accepted topology.
 func SolveIterativeCtx(ctx context.Context, in *Instance, opt IterateOptions) (*IterateResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -61,7 +76,11 @@ func SolveIterativeCtx(ctx context.Context, in *Instance, opt IterateOptions) (*
 		opt.Rounds = 3
 	}
 	opt.Base = opt.Base.withWorkers()
-	base, err := SolveCtx(ctx, in, opt.Base)
+
+	rs := route.NewSession(in, opt.Base.Route)
+	ts := tdm.NewSession(in)
+	var lambda []float64
+	base, err := solveBaseSession(ctx, in, opt.Base, rs, ts, &lambda)
 	if err != nil {
 		return nil, err
 	}
@@ -72,26 +91,17 @@ func SolveIterativeCtx(ctx context.Context, in *Instance, opt IterateOptions) (*
 		return res, nil
 	}
 
-	var lambda []float64
-	topt := opt.Base.TDM
-	topt.CaptureLambda = func(l []float64) { lambda = l }
-	// Recapture multipliers from the accepted solution's topology so the
-	// first feedback round starts warm. Only the relaxation is needed for
-	// the multipliers, so skip the legalize+refine half of a full
-	// assignment. An interruption here is harmless — the multipliers are a
-	// warm-start hint — and is caught at the next round boundary.
-	t0 := time.Now()
-	tdm.RunLR(ctx, in, base.Solution.Routes, topt)
-	res.Times.LR += time.Since(t0)
-
 	var stop error
 	for round := 0; round < opt.Rounds; round++ {
 		if cerr := ctx.Err(); cerr != nil {
 			stop = cerr
 			break
 		}
+		if opt.onRound != nil {
+			opt.onRound(round)
+		}
 		res.RoundsRun++
-		improved, err := feedbackRound(ctx, in, res, opt, &lambda)
+		improved, err := feedbackRoundSession(ctx, in, res, opt, rs, ts, &lambda)
 		if err != nil {
 			if isInterruption(err) {
 				stop = err // incumbent stands; the round's candidate is dropped
@@ -122,6 +132,149 @@ func SolveIterativeCtx(ctx context.Context, in *Instance, opt IterateOptions) (*
 	return res, nil
 }
 
+// solveBaseSession is SolveCtx running through the iterated solver's
+// sessions instead of throwaway per-call state, with the final multipliers
+// of the base LR captured into *lambda for the first feedback warm start.
+// The session stages compute exactly what their cold counterparts compute,
+// so the result is identical to SolveCtx's.
+func solveBaseSession(ctx context.Context, in *Instance, opt Options, rs *route.Session, ts *tdm.Session, lambda *[]float64) (*Result, error) {
+	res := &Result{}
+	t0 := time.Now()
+	var routes Routing
+	var rstats RouteStats
+	err := par.Capture(func() error {
+		var e error
+		routes, rstats, e = rs.Route(ctx)
+		return e
+	})
+	res.Times.Route = time.Since(t0)
+	if err != nil {
+		return nil, err
+	}
+	res.RouteStats = rstats
+	routeCurtailed := ctx.Err() != nil
+
+	topt := opt.TDM
+	userCapture := topt.CaptureLambda
+	topt.CaptureLambda = func(l []float64) {
+		*lambda = append([]float64(nil), l...)
+		if userCapture != nil {
+			userCapture(l)
+		}
+	}
+	assign, rep, times, stage, err := assignTimedSession(ctx, ts, in, routes, nil, topt)
+	res.Times.LR = times.LR
+	res.Times.LegalRefine = times.LegalRefine
+	if err != nil {
+		return nil, err
+	}
+	res.Report = rep
+	// Snapshot the routing header: the session mutates its live routing on
+	// every feedback reroute, while the incumbent must stay frozen.
+	res.Solution = &Solution{Routes: rs.Routes(), Assign: assign}
+	if routeCurtailed {
+		stage = StageRoute
+	}
+	if stage != "" {
+		cause := rep.Interrupted
+		if cause == nil {
+			cause = ctx.Err()
+		}
+		res.Degraded = &Degraded{
+			Stage:        stage,
+			Cause:        cause,
+			LRIterations: rep.Iterations,
+			IncumbentGTR: rep.GTRMax,
+		}
+	}
+	return res, nil
+}
+
+// feedbackRoundSession is feedbackRound running in place on the shared
+// sessions: the critical group is rerouted inside the routing session and
+// the LR state is patched with just those nets. On rejection or error the
+// reroute is undone, restoring the accepted topology. (A rejected or failed
+// round always ends the loop, so the TDM session — already patched to the
+// dropped candidate — is not consulted again.)
+func feedbackRoundSession(ctx context.Context, in *Instance, res *IterateResult, opt IterateOptions, rs *route.Session, ts *tdm.Session, lambda *[]float64) (bool, error) {
+	cur := res.Solution
+	_, gmax := eval.MaxGroupTDM(in, cur)
+	if gmax < 0 {
+		return false, nil
+	}
+	members := in.Groups[gmax].Nets
+
+	t0 := time.Now()
+	err := par.Capture(func() error {
+		return rs.Reroute(ctx, members)
+	})
+	res.Times.Route += time.Since(t0)
+	if err != nil {
+		return false, err // Reroute already rolled the session back
+	}
+	candidate := rs.RoutesAlias()
+	if err := problem.ValidateRouting(in, candidate); err != nil {
+		rs.UndoReroute()
+		return false, fmt.Errorf("tdmroute: feedback reroute produced invalid topology: %w", err)
+	}
+
+	topt := opt.Base.TDM
+	topt.WarmLambda = *lambda
+	var captured []float64
+	topt.CaptureLambda = func(l []float64) { captured = l }
+	assign, rep, times, _, err := assignTimedSession(ctx, ts, in, candidate, members, topt)
+	res.Times.LR += times.LR
+	res.Times.LegalRefine += times.LegalRefine
+	if err != nil {
+		rs.UndoReroute()
+		return false, err
+	}
+
+	if rep.GTRMax >= res.Report.GTRMax {
+		rs.UndoReroute()
+		return false, nil // reject; keep previous solution and multipliers
+	}
+	res.Solution = &Solution{Routes: rs.Routes(), Assign: assign}
+	res.Report = rep
+	*lambda = captured
+	return true, nil
+}
+
+// assignTimedSession is assignTimed over the shared TDM session: LR runs on
+// the incrementally patched state (changed per the tdm.Session contract),
+// legalization and refinement are the stock Finish.
+func assignTimedSession(ctx context.Context, ts *tdm.Session, in *Instance, routes Routing, changed []int, opt TDMOptions) (Assignment, Report, StageTimes, Stage, error) {
+	var times StageTimes
+	t0 := time.Now()
+	relaxed, z, lb, iters, converged, stopped := ts.RunLR(ctx, routes, changed, opt)
+	times.LR = time.Since(t0)
+	if relaxed == nil {
+		// No legalizable incumbent: even the bounded fallback pass failed.
+		return Assignment{}, Report{}, times, StageLR, stopped
+	}
+
+	t1 := time.Now()
+	assign, rep, err := tdm.Finish(ctx, in, routes, relaxed, opt)
+	times.LegalRefine = time.Since(t1)
+	if err != nil {
+		return Assignment{}, Report{}, times, StageRefine, err
+	}
+
+	rep.Iterations = iters
+	rep.Converged = converged
+	rep.LowerBound = lb
+	rep.RelaxedZ = z
+	var stage Stage
+	switch {
+	case stopped != nil:
+		stage = StageLR
+		rep.Interrupted = stopped
+	case rep.Interrupted != nil:
+		stage = StageRefine
+	}
+	return assign, rep, times, stage, nil
+}
+
 // isInterruption reports whether err is an anytime-stop cause — context
 // cancellation, an expired deadline, or a contained worker panic — as
 // opposed to a hard failure of the algorithm or its inputs.
@@ -132,11 +285,86 @@ func isInterruption(err error) bool {
 		errors.As(err, &pe)
 }
 
-// feedbackRound rips the realized-GTR_max group, reroutes it against the
-// existing usage, reassigns warm-started, and accepts on improvement. Stage
-// times are folded into res.Times whether the round succeeds, is rejected,
-// or fails — the time was spent either way.
-func feedbackRound(ctx context.Context, in *Instance, res *IterateResult, opt IterateOptions, lambda *[]float64) (bool, error) {
+// solveIterativeCold is the pre-session implementation of SolveIterativeCtx,
+// kept verbatim as the equivalence reference: every stage rebuilds its state
+// from scratch (fresh router and APSP per reroute, fresh CSR per LR run,
+// an explicit extra relaxation to recapture multipliers). The equivalence
+// suite asserts SolveIterativeCtx reproduces its Routing and Assignment
+// byte for byte.
+func solveIterativeCold(ctx context.Context, in *Instance, opt IterateOptions) (*IterateResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.Rounds == 0 {
+		opt.Rounds = 3
+	}
+	opt.Base = opt.Base.withWorkers()
+	base, err := SolveCtx(ctx, in, opt.Base)
+	if err != nil {
+		return nil, err
+	}
+	res := &IterateResult{Result: base, InitialGTR: base.Report.GTRMax}
+	if res.Degraded != nil {
+		return res, nil
+	}
+
+	var lambda []float64
+	topt := opt.Base.TDM
+	topt.CaptureLambda = func(l []float64) { lambda = l }
+	// Recapture multipliers from the accepted solution's topology so the
+	// first feedback round starts warm. Only the relaxation is needed for
+	// the multipliers, so skip the legalize+refine half of a full
+	// assignment. An interruption here is harmless — the multipliers are a
+	// warm-start hint — and is caught at the next round boundary.
+	t0 := time.Now()
+	tdm.RunLR(ctx, in, base.Solution.Routes, topt)
+	res.Times.LR += time.Since(t0)
+
+	var stop error
+	for round := 0; round < opt.Rounds; round++ {
+		if cerr := ctx.Err(); cerr != nil {
+			stop = cerr
+			break
+		}
+		if opt.onRound != nil {
+			opt.onRound(round)
+		}
+		res.RoundsRun++
+		improved, err := feedbackRoundCold(ctx, in, res, opt, &lambda)
+		if err != nil {
+			if isInterruption(err) {
+				stop = err
+				break
+			}
+			return res, err
+		}
+		if improved {
+			res.RoundsKept++
+		} else {
+			break
+		}
+	}
+	if stop == nil {
+		stop = res.Report.Interrupted
+	}
+	if stop != nil {
+		res.Degraded = &Degraded{
+			Stage:          StageFeedback,
+			Cause:          stop,
+			LRIterations:   res.Report.Iterations,
+			FeedbackRounds: res.RoundsRun,
+			IncumbentGTR:   res.Report.GTRMax,
+		}
+	}
+	return res, nil
+}
+
+// feedbackRoundCold rips the realized-GTR_max group, reroutes it against the
+// existing usage with a throwaway router, reassigns from a cold LR build
+// warm-started on the multipliers, and accepts on improvement. Stage times
+// are folded into res.Times whether the round succeeds, is rejected, or
+// fails — the time was spent either way.
+func feedbackRoundCold(ctx context.Context, in *Instance, res *IterateResult, opt IterateOptions, lambda *[]float64) (bool, error) {
 	cur := res.Solution
 	_, gmax := eval.MaxGroupTDM(in, cur)
 	if gmax < 0 {
