@@ -1,0 +1,124 @@
+// Command tdmroutd serves the co-optimization solver over HTTP: a bounded
+// job queue, a fixed pool of solve workers, per-job deadlines, SSE progress
+// streaming, and a graceful SIGTERM drain in which in-flight jobs finish
+// with their best-so-far incumbents and queued jobs are rejected with
+// Retry-After.
+//
+// Usage:
+//
+//	tdmroutd [-addr :8080] [-pool 2] [-queue 16] [-workers N]
+//	         [-deadline 0] [-max-deadline 0] [-drain-timeout 30s]
+//	         [-epsilon 0] [-maxiter 0] [-ripup 0] [-quiet]
+//
+// Endpoints are documented in the serve package. Exit status: 0 after a
+// clean drain, 1 on a serve or drain error, 2 on usage.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tdmroute"
+	"tdmroute/internal/serve"
+)
+
+func main() {
+	os.Exit(serverMain(os.Args[1:], os.Stderr, nil))
+}
+
+// serverMain runs the server until a termination signal and returns the
+// exit code. ready, when non-nil, receives the bound address once the
+// listener is accepting — the in-process tests use it to find the port.
+func serverMain(args []string, logw io.Writer, ready func(addr string)) int {
+	fs := flag.NewFlagSet("tdmroutd", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		pool         = fs.Int("pool", 2, "solve worker pool size (concurrent jobs)")
+		queue        = fs.Int("queue", 16, "queued-job bound; submissions beyond it get 503 + Retry-After")
+		workers      = fs.Int("workers", 0, "per-solve worker goroutines (0 = sequential)")
+		deadline     = fs.Duration("deadline", 0, "default per-job deadline (0 = none)")
+		maxDeadline  = fs.Duration("max-deadline", 0, "per-job deadline cap (0 = unlimited)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain may take before giving up")
+		epsilon      = fs.Float64("epsilon", 0, "default LR convergence criterion (0 = paper default)")
+		maxIter      = fs.Int("maxiter", 0, "default LR iteration limit (0 = default 500)")
+		ripup        = fs.Int("ripup", 0, "default rip-up rounds (0 = default, -1 = disable)")
+		quiet        = fs.Bool("quiet", false, "suppress per-job log lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(logw, "tdmroutd: "+format+"\n", a...)
+	}
+	cfg := serve.Config{
+		Workers:         *pool,
+		QueueDepth:      *queue,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		SolveOptions: tdmroute.Options{
+			Route:   tdmroute.RouteOptions{RipUpRounds: *ripup},
+			TDM:     tdmroute.TDMOptions{Epsilon: *epsilon, MaxIter: *maxIter},
+			Workers: *workers,
+		},
+	}
+	if !*quiet {
+		cfg.Logf = logf
+	}
+	srv := serve.New(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logf("%v", err)
+		return 1
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+
+	// The signal handler is installed before the listener is announced so
+	// a SIGTERM can never race the serving loop's setup.
+	//lint:ignore rawgo daemon signal relay, not solver parallelism: os/signal requires a buffered channel
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	//lint:ignore rawgo HTTP serve loop result channel, not solver parallelism: single buffered handoff from the serving goroutine
+	errc := make(chan error, 1)
+	//lint:ignore rawgo HTTP serving goroutine, not solver parallelism: http.Server.Serve blocks for the daemon's lifetime
+	go func() { errc <- hs.Serve(ln) }()
+
+	logf("listening on %s (pool %d, queue %d)", ln.Addr(), *pool, *queue)
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	select {
+	case sig := <-sigc:
+		logf("%v: draining (in-flight jobs finish with best-so-far incumbents)", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		// Jobs first, connections second: SSE streams end once every job
+		// is terminal, so the HTTP shutdown that follows can complete.
+		if err := srv.Shutdown(ctx); err != nil {
+			logf("drain failed: %v", err)
+			return 1
+		}
+		if err := hs.Shutdown(ctx); err != nil {
+			logf("http shutdown: %v", err)
+			return 1
+		}
+		logf("drained cleanly")
+		return 0
+	case err := <-errc:
+		logf("serve: %v", err)
+		return 1
+	}
+}

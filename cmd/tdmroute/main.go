@@ -129,11 +129,16 @@ func run(ctx context.Context, inPath, outPath, topoPath string, epsilon float64,
 		}
 	}
 
-	var sol *tdmroute.Solution
-	var rep tdmroute.Report
-	var routeTime, taTime time.Duration
-
-	if topoPath != "" {
+	req := tdmroute.Request{
+		Instance: in,
+		Options: tdmroute.Options{
+			Route:   tdmroute.RouteOptions{RipUpRounds: ripup},
+			TDM:     topt,
+			Workers: workers,
+		},
+	}
+	switch {
+	case topoPath != "":
 		f, err := os.Open(topoPath)
 		if err != nil {
 			return false, err
@@ -146,57 +151,28 @@ func run(ctx context.Context, inPath, outPath, topoPath string, epsilon float64,
 		if err := tdmroute.ValidateRouting(in, routes); err != nil {
 			return false, fmt.Errorf("invalid topology: %w", err)
 		}
-		t1 := time.Now()
-		assign, r, err := tdmroute.AssignTDMCtx(ctx, in, routes, topt)
-		if err != nil {
-			return false, err
-		}
-		taTime = time.Since(t1)
-		rep = r
-		sol = &tdmroute.Solution{Routes: routes, Assign: assign}
-		if rep.Interrupted != nil {
-			degraded = true
-			fmt.Fprintf(os.Stderr, "tdmroute: TDM assignment interrupted: %v\n", rep.Interrupted)
-		}
-	} else if iterate > 0 {
-		res, err := tdmroute.SolveIterativeCtx(ctx, in, tdmroute.IterateOptions{
-			Rounds: iterate,
-			Base: tdmroute.Options{
-				Route:   tdmroute.RouteOptions{RipUpRounds: ripup},
-				TDM:     topt,
-				Workers: workers,
-			},
-		})
-		if err != nil {
-			return false, err
-		}
-		sol = res.Solution
-		rep = res.Report
-		routeTime = res.Times.Route
-		taTime = res.Times.LR + res.Times.LegalRefine
+		req.Mode = tdmroute.ModeAssignOnly
+		req.Routing = routes
+	case iterate > 0:
+		req.Mode = tdmroute.ModeIterative
+		req.Rounds = iterate
+	}
+
+	res, err := tdmroute.Run(ctx, req)
+	if err != nil {
+		return false, err
+	}
+	sol := res.Solution
+	rep := res.Report
+	routeTime := res.Times.Route
+	taTime := res.Times.LR + res.Times.LegalRefine
+	if req.Mode == tdmroute.ModeIterative {
 		fmt.Printf("Iterated: initial GTR %d, %d/%d feedback rounds kept\n",
 			res.InitialGTR, res.RoundsKept, res.RoundsRun)
-		if res.Degraded != nil {
-			degraded = true
-			fmt.Fprintln(os.Stderr, "tdmroute:", res.Degraded)
-		}
-	} else {
-		res, err := tdmroute.SolveCtx(ctx, in, tdmroute.Options{
-			Route:   tdmroute.RouteOptions{RipUpRounds: ripup},
-			TDM:     topt,
-			Workers: workers,
-		})
-		if err != nil {
-			return false, err
-		}
-		sol = res.Solution
-		rep = res.Report
-		routeTime = res.Times.Route
-		taTime = res.Times.LR + res.Times.LegalRefine
-		if res.Degraded != nil {
-			degraded = true
-			fmt.Fprintln(os.Stderr, "tdmroute:", res.Degraded)
-		}
+	}
+	if res.Degraded != nil {
+		degraded = true
+		fmt.Fprintln(os.Stderr, "tdmroute:", res.Degraded)
 	}
 
 	if err := tdmroute.ValidateSolution(in, sol); err != nil {

@@ -61,7 +61,7 @@ type Outcome struct {
 	// corruption made the input unparseable.
 	In *problem.Instance
 	// Res is the solve result, nil when the run ended in an error.
-	Res *tdmroute.Result
+	Res *tdmroute.Response
 	// Err is the terminal error, nil when the run produced a result.
 	Err error
 }
@@ -105,7 +105,7 @@ func Run(in *problem.Instance, mode Mode, seed int64, opt tdmroute.Options) Outc
 			defer dcancel()
 			ctx = dctx
 		}
-		o.Res, o.Err = tdmroute.SolveCtx(ctx, in, opt)
+		o.Res, o.Err = tdmroute.Run(ctx, tdmroute.Request{Instance: in, Options: opt})
 
 	case ModePanic:
 		hookMu.Lock()
@@ -122,7 +122,7 @@ func Run(in *problem.Instance, mode Mode, seed int64, opt tdmroute.Options) Outc
 			}
 		})
 		defer par.SetChunkHook(nil)
-		o.Res, o.Err = tdmroute.SolveCtx(context.Background(), in, opt)
+		o.Res, o.Err = tdmroute.Run(context.Background(), tdmroute.Request{Instance: in, Options: opt})
 
 	case ModeCorrupt:
 		var buf bytes.Buffer
@@ -138,7 +138,7 @@ func Run(in *problem.Instance, mode Mode, seed int64, opt tdmroute.Options) Outc
 			return o
 		}
 		o.In = parsed
-		o.Res, o.Err = tdmroute.SolveCtx(context.Background(), parsed, opt)
+		o.Res, o.Err = tdmroute.Run(context.Background(), tdmroute.Request{Instance: parsed, Options: opt})
 
 	default:
 		o.Err = fmt.Errorf("chaos: unknown mode %d", mode)

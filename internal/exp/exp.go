@@ -212,10 +212,16 @@ func runBench(cfg Config, in *problem.Instance, winners []WinnerFlow) (BenchResu
 
 		// "+TA": our assignment on the winner's topology.
 		t1 := time.Now()
-		_, rep, err := tdmroute.AssignTDMCtx(cfg.ctx(), in, routes, topts)
+		ta, err := tdmroute.Run(cfg.ctx(), tdmroute.Request{
+			Instance: in,
+			Mode:     tdmroute.ModeAssignOnly,
+			Options:  tdmroute.Options{TDM: topts},
+			Routing:  routes,
+		})
 		if err != nil {
 			return res, fmt.Errorf("%s+TA: %w", w.Name, err)
 		}
+		rep := ta.Report
 		if rep.Interrupted != nil {
 			// A curtailed assignment would publish a misleading Table II
 			// row; report the partial sweep instead.
@@ -231,7 +237,7 @@ func runBench(cfg Config, in *problem.Instance, winners []WinnerFlow) (BenchResu
 
 	// Ours: the full framework.
 	t0 := time.Now()
-	solved, err := tdmroute.SolveCtx(cfg.ctx(), in, cfg.solveOptions(in.Name))
+	solved, err := tdmroute.Run(cfg.ctx(), tdmroute.Request{Instance: in, Options: cfg.solveOptions(in.Name)})
 	if err != nil {
 		return res, fmt.Errorf("ours: %w", err)
 	}

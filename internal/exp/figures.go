@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"math"
 	"time"
@@ -210,7 +211,10 @@ func Scaling(bench string, scales []float64) ([]ScalingRow, error) {
 		}
 		in.Name = bench
 		t0 := time.Now()
-		res, err := tdmroute.Solve(in, tdmroute.Options{TDM: tdmroute.TDMOptions{Epsilon: epsilonFor(bench)}})
+		res, err := tdmroute.Run(context.Background(), tdmroute.Request{
+			Instance: in,
+			Options:  tdmroute.Options{TDM: tdmroute.TDMOptions{Epsilon: epsilonFor(bench)}},
+		})
 		if err != nil {
 			return nil, err
 		}

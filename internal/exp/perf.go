@@ -85,12 +85,17 @@ func Perf(cfg Config, rounds, reps int) (*PerfReport, error) {
 }
 
 func perfBench(cfg Config, in *problem.Instance, rounds, reps int) (PerfRow, error) {
-	opt := tdmroute.IterateOptions{Rounds: rounds, Base: cfg.solveOptions(in.Name)}
+	req := tdmroute.Request{
+		Instance: in,
+		Mode:     tdmroute.ModeIterative,
+		Rounds:   rounds,
+		Options:  cfg.solveOptions(in.Name),
+	}
 	var best time.Duration
-	var res *tdmroute.IterateResult
+	var res *tdmroute.Response
 	for i := 0; i < reps; i++ {
 		t0 := time.Now()
-		r, err := tdmroute.SolveIterativeCtx(cfg.ctx(), in, opt)
+		r, err := tdmroute.Run(cfg.ctx(), req)
 		elapsed := time.Since(t0)
 		if err != nil {
 			return PerfRow{}, err
@@ -102,27 +107,41 @@ func perfBench(cfg Config, in *problem.Instance, rounds, reps int) (PerfRow, err
 			best, res = elapsed, r
 		}
 	}
+	row, err := RowFromResponse(in.Name, res, best)
+	if err != nil {
+		return PerfRow{}, err
+	}
+	row.Scale = cfg.Scale
+	row.Workers = cfg.Workers
+	row.RoundsRequested = rounds
+	return row, nil
+}
+
+// RowFromResponse converts one finished solve into the PerfRow telemetry
+// shape: the serve package reuses it to report per-job stage walls, work
+// counters, and the solution digest with the exact fields the committed
+// BENCH_<n>.json baselines use. Wall is the end-to-end wall clock observed
+// by the caller; fields without a source in the response (Scale,
+// RoundsRequested) are left zero for the caller to fill.
+func RowFromResponse(name string, res *tdmroute.Response, wall time.Duration) (PerfRow, error) {
 	var buf bytes.Buffer
 	if err := problem.WriteSolution(&buf, res.Solution); err != nil {
 		return PerfRow{}, err
 	}
 	return PerfRow{
-		Bench:           in.Name,
-		Scale:           cfg.Scale,
-		Workers:         cfg.Workers,
-		RoundsRequested: rounds,
-		RoundsRun:       res.RoundsRun,
-		RoundsKept:      res.RoundsKept,
-		WallMS:          ms(best),
-		RouteMS:         ms(res.Times.Route),
-		LRMS:            ms(res.Times.LR),
-		LegalRefineMS:   ms(res.Times.LegalRefine),
-		GTRMax:          res.Report.GTRMax,
-		InitialGTR:      res.InitialGTR,
-		LRIterations:    res.Report.Iterations,
-		RippedNets:      res.RouteStats.RippedNets,
-		RevertedRounds:  res.RouteStats.RevertedRound,
-		SolutionSHA256:  fmt.Sprintf("%x", sha256.Sum256(buf.Bytes())),
+		Bench:          name,
+		RoundsRun:      res.RoundsRun,
+		RoundsKept:     res.RoundsKept,
+		WallMS:         ms(wall),
+		RouteMS:        ms(res.Times.Route),
+		LRMS:           ms(res.Times.LR),
+		LegalRefineMS:  ms(res.Times.LegalRefine),
+		GTRMax:         res.Report.GTRMax,
+		InitialGTR:     res.InitialGTR,
+		LRIterations:   res.Report.Iterations,
+		RippedNets:     res.RouteStats.RippedNets,
+		RevertedRounds: res.RouteStats.RevertedRound,
+		SolutionSHA256: fmt.Sprintf("%x", sha256.Sum256(buf.Bytes())),
 	}, nil
 }
 

@@ -6,21 +6,36 @@ import (
 	"strings"
 )
 
-// directive is one parsed //lint:ignore comment.
+// directive is one parsed //lint:ignore or //lint:file-ignore comment.
 type directive struct {
 	pos      token.Position
 	analyzer string
 	reason   string
 	used     bool
+	// filewide marks a //lint:file-ignore: it suppresses every finding of
+	// its analyzer in the whole file, wherever it appears in the file.
+	filewide bool
 	// bad holds a parse problem; bad directives are reported instead of
 	// applied.
 	bad string
 }
 
-const directivePrefix = "lint:ignore"
+const (
+	directivePrefix     = "lint:ignore"
+	fileDirectivePrefix = "lint:file-ignore"
+)
 
-// collectDirectives extracts the //lint:ignore directives of a file, in
-// position order. known maps analyzer names accepted in directives.
+// name returns the directive's comment form, for diagnostics.
+func (d *directive) name() string {
+	if d.filewide {
+		return "//" + fileDirectivePrefix
+	}
+	return "//" + directivePrefix
+}
+
+// collectDirectives extracts the //lint:ignore and //lint:file-ignore
+// directives of a file, in position order. known maps analyzer names
+// accepted in directives.
 func collectDirectives(fset *token.FileSet, f *ast.File, known map[string]bool) []*directive {
 	var out []*directive
 	for _, cg := range f.Comments {
@@ -30,19 +45,21 @@ func collectDirectives(fset *token.FileSet, f *ast.File, known map[string]bool) 
 				continue // block comments do not carry directives
 			}
 			text = strings.TrimSpace(text)
-			rest, ok := strings.CutPrefix(text, directivePrefix)
-			if !ok {
+			d := &directive{pos: fset.Position(c.Pos())}
+			rest, ok := strings.CutPrefix(text, fileDirectivePrefix)
+			if ok {
+				d.filewide = true
+			} else if rest, ok = strings.CutPrefix(text, directivePrefix); !ok {
 				continue
 			}
-			d := &directive{pos: fset.Position(c.Pos())}
 			fields := strings.Fields(rest)
 			switch {
 			case len(fields) == 0:
-				d.bad = "malformed //lint:ignore: want \"//lint:ignore <analyzer> <reason>\""
+				d.bad = "malformed " + d.name() + ": want \"" + d.name() + " <analyzer> <reason>\""
 			case !known[fields[0]]:
-				d.bad = "//lint:ignore names unknown analyzer " + strings.TrimSpace(fields[0])
+				d.bad = d.name() + " names unknown analyzer " + strings.TrimSpace(fields[0])
 			case len(fields) < 2:
-				d.bad = "//lint:ignore " + fields[0] + " is missing a reason"
+				d.bad = d.name() + " " + fields[0] + " is missing a reason"
 			default:
 				d.analyzer = fields[0]
 				d.reason = strings.Join(fields[1:], " ")
@@ -54,13 +71,16 @@ func collectDirectives(fset *token.FileSet, f *ast.File, known map[string]bool) 
 }
 
 // matches reports whether the directive suppresses a finding by the given
-// analyzer at the given position: same file, and either on the directive's
-// line (end-of-line comment) or the line directly below it (standalone
-// comment above the flagged statement).
+// analyzer at the given position: same file, and — for the line form —
+// either on the directive's line (end-of-line comment) or the line directly
+// below it (standalone comment above the flagged statement). The file-wide
+// form matches anywhere in its file.
 func (d *directive) matches(analyzer string, pos token.Position) bool {
-	if d.bad != "" || d.analyzer != analyzer {
+	if d.bad != "" || d.analyzer != analyzer || d.pos.Filename != pos.Filename {
 		return false
 	}
-	return d.pos.Filename == pos.Filename &&
-		(d.pos.Line == pos.Line || d.pos.Line+1 == pos.Line)
+	if d.filewide {
+		return true
+	}
+	return d.pos.Line == pos.Line || d.pos.Line+1 == pos.Line
 }

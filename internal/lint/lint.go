@@ -15,8 +15,11 @@
 //     the constant 0 sentinel are allowed).
 //
 // A finding is suppressed by a "//lint:ignore <analyzer> <reason>" comment
-// on the flagged line or on the line directly above it; unused or malformed
-// directives are themselves errors.
+// on the flagged line or on the line directly above it, or — for files
+// whose every use of a primitive is justified by the same reason, such as
+// server plumbing packages full of rawgo sites — by one
+// "//lint:file-ignore <analyzer> <reason>" comment anywhere in the file.
+// Unused or malformed directives of either form are themselves errors.
 package lint
 
 import (
@@ -160,7 +163,7 @@ func Run(cfg Config) ([]Finding, error) {
 				findings = append(findings, Finding{
 					Pos:      relPos(d.pos, root),
 					Analyzer: "ignore",
-					Message:  fmt.Sprintf("unused //lint:ignore directive for %s", d.analyzer),
+					Message:  fmt.Sprintf("unused %s directive for %s", d.name(), d.analyzer),
 				})
 			}
 		}

@@ -69,7 +69,8 @@ func TestEachAnalyzerDetectsItsFixture(t *testing.T) {
 		"maporder/maporder":   3, // BadAppend, BadPrint, BadFloatSum
 		"rawgo/rawgo":         3, // WaitGroup, make(chan), go statement
 		"floateq/floateq":     2, // BadEq, BadNeqConst
-		"unusedignore/ignore": 2, // stale directive + missing reason
+		"fileignore/floateq":  1, // BadEq: file-ignore rawgo is per-analyzer
+		"unusedignore/ignore": 3, // stale directive + missing reason + stale file-ignore
 	}
 	for key, n := range want {
 		if count[key] != n {

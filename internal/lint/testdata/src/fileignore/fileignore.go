@@ -1,0 +1,21 @@
+// Package fileignore exercises the file-wide suppression: one
+// //lint:file-ignore covers every rawgo site in the file, while findings of
+// other analyzers still surface.
+//
+//lint:file-ignore rawgo fixture-wide plumbing justification covering every site below
+package fileignore
+
+import "sync"
+
+// WG, Chans, and the goroutine below would each be a rawgo finding without
+// the file-wide directive.
+var WG sync.WaitGroup
+
+func Chans() chan int {
+	ch := make(chan int, 1)
+	go func() { ch <- 1 }()
+	return ch
+}
+
+// BadEq still surfaces: the file-wide directive is per-analyzer.
+func BadEq(a, b float64) bool { return a == b }

@@ -1,5 +1,8 @@
 // Package unusedignore seeds directive errors: an ignore that suppresses
-// nothing, and a malformed ignore with no reason.
+// nothing, a malformed ignore with no reason, and a file-wide ignore for an
+// analyzer with no findings in the file.
+//
+//lint:file-ignore maporder nothing here ranges over a map, so this is stale
 package unusedignore
 
 // Stale has a directive left behind after the flagged code was fixed.

@@ -1,0 +1,390 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/textproto"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"tdmroute"
+	"tdmroute/internal/problem"
+)
+
+// Format selects the wire encoding of instances and solutions.
+type Format int
+
+const (
+	// FormatText is the contest text format.
+	FormatText Format = iota
+	// FormatJSON is the JSON schema.
+	FormatJSON
+	// FormatBinary is the length-prefixed binary format.
+	FormatBinary
+)
+
+func (f Format) contentType() string {
+	switch f {
+	case FormatJSON:
+		return "application/json"
+	case FormatBinary:
+		return "application/octet-stream"
+	}
+	return "text/plain"
+}
+
+func (f Format) query() string {
+	switch f {
+	case FormatJSON:
+		return "json"
+	case FormatBinary:
+		return "binary"
+	}
+	return "text"
+}
+
+// SubmitRequest describes one job submission.
+type SubmitRequest struct {
+	// Instance is the problem instance (required).
+	Instance *tdmroute.Instance
+	// Mode selects the pipeline (single, iterative, assign).
+	Mode tdmroute.Mode
+	// Rounds is the feedback-round budget for ModeIterative.
+	Rounds int
+	// Routing fixes the topology for ModeAssignOnly.
+	Routing tdmroute.Routing
+	// Deadline is the per-job wall budget (0 = server default).
+	Deadline time.Duration
+	// Name labels the job's instance.
+	Name string
+	// Format selects the upload encoding.
+	Format Format
+	// Epsilon/MaxIter/RipUp/Workers/Pow2 override the server's solver
+	// defaults when non-zero.
+	Epsilon float64
+	MaxIter int
+	RipUp   int
+	Workers int
+	Pow2    bool
+}
+
+// Client is the typed client of a tdmroutd server.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// apiError decodes an error response body.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return &APIError{Status: resp.StatusCode, Message: e.Error, RetryAfter: retryAfter(resp)}
+	}
+	return &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(body)), RetryAfter: retryAfter(resp)}
+}
+
+func retryAfter(resp *http.Response) time.Duration {
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
+}
+
+// APIError is a non-2xx server response.
+type APIError struct {
+	Status  int
+	Message string
+	// RetryAfter is the server's Retry-After hint on 503 rejections.
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("serve: server returned %d: %s", e.Status, e.Message)
+}
+
+// Submit uploads the instance and enqueues a solve.
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (*JobStatus, error) {
+	if req.Instance == nil {
+		return nil, fmt.Errorf("serve: Submit: nil Instance")
+	}
+	q := url.Values{}
+	q.Set("mode", req.Mode.String())
+	if req.Name != "" {
+		q.Set("name", req.Name)
+	}
+	if req.Rounds > 0 {
+		q.Set("rounds", strconv.Itoa(req.Rounds))
+	}
+	if req.Deadline > 0 {
+		q.Set("deadline", req.Deadline.String())
+	}
+	if req.Epsilon != 0 {
+		q.Set("epsilon", strconv.FormatFloat(req.Epsilon, 'g', -1, 64))
+	}
+	if req.MaxIter != 0 {
+		q.Set("maxiter", strconv.Itoa(req.MaxIter))
+	}
+	if req.RipUp != 0 {
+		q.Set("ripup", strconv.Itoa(req.RipUp))
+	}
+	if req.Workers != 0 {
+		q.Set("workers", strconv.Itoa(req.Workers))
+	}
+	if req.Pow2 {
+		q.Set("pow2", "1")
+	}
+
+	var instance bytes.Buffer
+	var err error
+	switch req.Format {
+	case FormatJSON:
+		err = problem.WriteInstanceJSON(&instance, req.Instance)
+	case FormatBinary:
+		err = problem.WriteInstanceBinary(&instance, req.Instance)
+	default:
+		err = problem.WriteInstance(&instance, req.Instance)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	var body bytes.Buffer
+	contentType := req.Format.contentType()
+	if req.Routing != nil {
+		mw := multipart.NewWriter(&body)
+		hdr := textproto.MIMEHeader{}
+		hdr.Set("Content-Disposition", `form-data; name="instance"`)
+		hdr.Set("Content-Type", req.Format.contentType())
+		part, err := mw.CreatePart(hdr)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := part.Write(instance.Bytes()); err != nil {
+			return nil, err
+		}
+		rpart, err := mw.CreateFormField("routing")
+		if err != nil {
+			return nil, err
+		}
+		if err := problem.WriteRouting(rpart, req.Routing); err != nil {
+			return nil, err
+		}
+		if err := mw.Close(); err != nil {
+			return nil, err
+		}
+		contentType = mw.FormDataContentType()
+	} else {
+		body = instance
+	}
+
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/v1/jobs?"+q.Encode(), &body)
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", contentType)
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, apiError(resp)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Status fetches a job's current status.
+func (c *Client) Status(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.getJSON(ctx, "/v1/jobs/"+id, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Cancel requests cancellation: queued jobs become canceled, running jobs
+// finish with their best-so-far incumbents.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.BaseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// Stream follows the job's SSE progress stream, invoking fn for every
+// event in order. It returns when the job reaches a terminal state (the
+// last delivered event has type "done"), when fn returns a non-nil error
+// (which Stream propagates), or when ctx is cancelled.
+func (c *Client) Stream(ctx context.Context, id string, fn func(Event) error) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		if after, ok := strings.CutPrefix(line, "data:"); ok {
+			data = append(data, strings.TrimPrefix(after, " ")...)
+			continue
+		}
+		if line != "" || len(data) == 0 {
+			continue // id:/event: fields and leading blanks
+		}
+		var e Event
+		if err := json.Unmarshal(data, &e); err != nil {
+			return fmt.Errorf("serve: bad event %q: %v", data, err)
+		}
+		data = data[:0]
+		if fn != nil {
+			if err := fn(e); err != nil {
+				return err
+			}
+		}
+		if e.Type == "done" {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	return fmt.Errorf("serve: event stream for %s ended before the job did", id)
+}
+
+// Wait blocks until the job reaches a terminal state and returns its final
+// status.
+func (c *Client) Wait(ctx context.Context, id string) (*JobStatus, error) {
+	if err := c.Stream(ctx, id, nil); err != nil {
+		return nil, err
+	}
+	return c.Status(ctx, id)
+}
+
+// Solution downloads and parses the finished job's solution.
+func (c *Client) Solution(ctx context.Context, id string, format Format) (*tdmroute.Solution, error) {
+	st, err := c.Status(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/jobs/"+id+"/solution?format="+format.query(), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	switch format {
+	case FormatJSON:
+		return problem.ParseSolutionJSON(resp.Body, st.NumEdges)
+	case FormatBinary:
+		return problem.ParseSolutionBinary(resp.Body, st.NumEdges)
+	}
+	return problem.ParseSolution(resp.Body, st.NumEdges)
+}
+
+// Metrics fetches the raw text metrics exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", apiError(resp)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// Healthy reports whether the server answers /healthz with "ok".
+func (c *Client) Healthy(ctx context.Context) (bool, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 64))
+	if err != nil {
+		return false, err
+	}
+	return resp.StatusCode == http.StatusOK && strings.TrimSpace(string(b)) == "ok", nil
+}

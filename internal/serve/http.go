@@ -1,0 +1,346 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+	"time"
+
+	"tdmroute"
+	"tdmroute/internal/problem"
+)
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/solution", s.handleSolution)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+}
+
+// httpError writes a JSON error body alongside the status code.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) unavailable(w http.ResponseWriter, reason string) {
+	w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Round(time.Second)/time.Second)))
+	httpError(w, http.StatusServiceUnavailable, "%s", reason)
+}
+
+// handleSubmit accepts an instance — contest text (text/plain, the
+// default), JSON (application/json), binary (application/octet-stream), or
+// a multipart/form-data body whose "instance" part is any of those and
+// whose "routing" part fixes the topology for assign mode — and queues one
+// solve configured by the query parameters: mode, rounds, deadline, name,
+// epsilon, maxiter, ripup, workers, pow2.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.metrics.submitRejected.Add(1)
+		s.unavailable(w, "server is draining")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	req, deadline, err := s.parseSubmit(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, ok := s.submit(req, deadline)
+	if !ok {
+		if s.draining.Load() {
+			s.unavailable(w, "server is draining")
+		} else {
+			s.unavailable(w, "job queue is full")
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(j.status())
+}
+
+// parseSubmit builds the solve request from the HTTP submission.
+func (s *Server) parseSubmit(r *http.Request) (tdmroute.Request, time.Duration, error) {
+	q := r.URL.Query()
+	mode, err := tdmroute.ParseMode(q.Get("mode"))
+	if err != nil {
+		return tdmroute.Request{}, 0, err
+	}
+	name := q.Get("name")
+	if name == "" {
+		name = "job"
+	}
+
+	mediatype := "text/plain"
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mediatype, _, err = mime.ParseMediaType(ct)
+		if err != nil {
+			return tdmroute.Request{}, 0, fmt.Errorf("bad Content-Type: %v", err)
+		}
+	}
+	var in *tdmroute.Instance
+	var routingBytes []byte
+	if mediatype == "multipart/form-data" {
+		in, routingBytes, err = parseMultipart(r, name)
+	} else {
+		in, err = parseInstanceBody(mediatype, name, r.Body)
+	}
+	if err != nil {
+		return tdmroute.Request{}, 0, err
+	}
+	if err := tdmroute.ValidateInstance(in); err != nil {
+		return tdmroute.Request{}, 0, fmt.Errorf("invalid instance: %v", err)
+	}
+
+	req := tdmroute.Request{Instance: in, Mode: mode, Options: s.cfg.SolveOptions}
+	if mode == tdmroute.ModeAssignOnly {
+		if routingBytes == nil {
+			return tdmroute.Request{}, 0, fmt.Errorf("mode=assign requires a multipart \"routing\" part")
+		}
+		routes, err := tdmroute.ParseRouting(bytes.NewReader(routingBytes), in.G.NumEdges())
+		if err != nil {
+			return tdmroute.Request{}, 0, fmt.Errorf("bad routing: %v", err)
+		}
+		if err := tdmroute.ValidateRouting(in, routes); err != nil {
+			return tdmroute.Request{}, 0, fmt.Errorf("invalid routing: %v", err)
+		}
+		req.Routing = routes
+	}
+
+	var deadline time.Duration
+	if v := q.Get("deadline"); v != "" {
+		if deadline, err = time.ParseDuration(v); err != nil || deadline < 0 {
+			return tdmroute.Request{}, 0, fmt.Errorf("bad deadline %q", v)
+		}
+	}
+	if v := q.Get("rounds"); v != "" {
+		if req.Rounds, err = strconv.Atoi(v); err != nil {
+			return tdmroute.Request{}, 0, fmt.Errorf("bad rounds %q", v)
+		}
+	}
+	if v := q.Get("epsilon"); v != "" {
+		if req.Options.TDM.Epsilon, err = strconv.ParseFloat(v, 64); err != nil {
+			return tdmroute.Request{}, 0, fmt.Errorf("bad epsilon %q", v)
+		}
+	}
+	if v := q.Get("maxiter"); v != "" {
+		if req.Options.TDM.MaxIter, err = strconv.Atoi(v); err != nil {
+			return tdmroute.Request{}, 0, fmt.Errorf("bad maxiter %q", v)
+		}
+	}
+	if v := q.Get("ripup"); v != "" {
+		if req.Options.Route.RipUpRounds, err = strconv.Atoi(v); err != nil {
+			return tdmroute.Request{}, 0, fmt.Errorf("bad ripup %q", v)
+		}
+	}
+	if v := q.Get("workers"); v != "" {
+		if req.Options.Workers, err = strconv.Atoi(v); err != nil {
+			return tdmroute.Request{}, 0, fmt.Errorf("bad workers %q", v)
+		}
+	}
+	if v := q.Get("pow2"); v == "1" || v == "true" {
+		req.Options.TDM.Legal = tdmroute.LegalPow2
+	}
+	return req, deadline, nil
+}
+
+// parseInstanceBody decodes one instance in the format named by the media
+// type.
+func parseInstanceBody(mediatype, name string, body io.Reader) (*tdmroute.Instance, error) {
+	switch mediatype {
+	case "text/plain", "application/x-www-form-urlencoded", "":
+		return tdmroute.ParseInstance(name, body)
+	case "application/json":
+		return tdmroute.ParseInstanceJSON(body)
+	case "application/octet-stream":
+		return tdmroute.ParseInstanceBinary(name, body)
+	}
+	return nil, fmt.Errorf("unsupported Content-Type %q (want text/plain, application/json, application/octet-stream, or multipart/form-data)", mediatype)
+}
+
+// parseMultipart reads an "instance" part (decoded by its own Content-Type)
+// and an optional "routing" part (contest routing text, buffered until the
+// instance's edge count is known).
+func parseMultipart(r *http.Request, name string) (*tdmroute.Instance, []byte, error) {
+	mr, err := r.MultipartReader()
+	if err != nil {
+		return nil, nil, err
+	}
+	var in *tdmroute.Instance
+	var routing []byte
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		switch part.FormName() {
+		case "instance":
+			mt := "text/plain"
+			if ct := part.Header.Get("Content-Type"); ct != "" {
+				if mt, _, err = mime.ParseMediaType(ct); err != nil {
+					return nil, nil, fmt.Errorf("instance part: bad Content-Type: %v", err)
+				}
+			}
+			if in, err = parseInstanceBody(mt, name, part); err != nil {
+				return nil, nil, err
+			}
+		case "routing":
+			if routing, err = io.ReadAll(part); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if in == nil {
+		return nil, nil, fmt.Errorf("multipart submission is missing an \"instance\" part")
+	}
+	return in, routing, nil
+}
+
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) *job {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(j.status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	state := s.cancelJob(j)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"id": j.id, "state": state})
+}
+
+// handleEvents streams the job's progress as Server-Sent Events: every
+// recorded event is replayed, then live events follow until the job is
+// terminal (the final event has type "done") or the client goes away.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	next := 0
+	for {
+		evs, notify, terminal := j.eventsSince(next)
+		for _, e := range evs {
+			data, err := json.Marshal(e)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, data)
+		}
+		next += len(evs)
+		if len(evs) > 0 {
+			fl.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleSolution serves the finished job's solution in the format named by
+// ?format= (text, the default; json; binary). Degraded solutions are legal
+// best-so-far incumbents and carry an X-Tdmroute-Degraded header naming the
+// interrupted stage.
+func (s *Server) handleSolution(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	state := j.currentState()
+	if !state.Terminal() {
+		httpError(w, http.StatusConflict, "job %s is %s; no solution yet", j.id, state)
+		return
+	}
+	sol, degraded := j.solution()
+	if sol == nil {
+		httpError(w, http.StatusConflict, "job %s is %s and produced no solution", j.id, state)
+		return
+	}
+	if degraded != nil {
+		w.Header().Set("X-Tdmroute-Degraded", string(degraded.Stage))
+	}
+	var buf bytes.Buffer
+	var err error
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		err = problem.WriteSolution(&buf, sol)
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		err = problem.WriteSolutionJSON(&buf, sol)
+	case "binary":
+		w.Header().Set("Content-Type", "application/octet-stream")
+		err = problem.WriteSolutionBinary(&buf, sol)
+	default:
+		httpError(w, http.StatusBadRequest, "unknown format %q (want text, json, or binary)", format)
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Write(buf.Bytes())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	running := 0
+	for _, j := range s.jobs {
+		if j.currentState() == StateRunning {
+			running++
+		}
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w, len(s.queue), cap(s.queue), running, s.cfg.Workers, s.draining.Load())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

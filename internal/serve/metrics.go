@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"tdmroute"
+)
+
+// outcome classifies how a job ended, for the /metrics counters.
+type outcome int
+
+const (
+	outcomeDone outcome = iota
+	outcomeDegraded
+	outcomeCanceled
+	outcomeFailed
+	outcomeRejected
+	numOutcomes
+)
+
+var outcomeNames = [numOutcomes]string{"done", "degraded", "canceled", "failed", "rejected"}
+
+// stageSecondsBounds are the histogram bucket upper bounds for per-stage
+// wall clocks, in seconds.
+var stageSecondsBounds = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 60}
+
+// gtrBounds are the bucket upper bounds for the GTR_max distribution.
+var gtrBounds = []float64{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// histogram is a fixed-bound cumulative histogram.
+type histogram struct {
+	bounds []float64
+	counts []int64 // len(bounds)+1; the last bucket is +Inf
+	sum    float64
+	n      int64
+}
+
+func newHistogram(bounds []float64) histogram {
+	return histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// write renders the histogram in the text exposition format: cumulative
+// buckets, sum, and count. labels is the fixed label fragment without the
+// le pair ("" or `stage="route",`).
+func (h *histogram) write(w io.Writer, name, labels string) {
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, labels, formatFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, cum)
+	base := trimComma(labels)
+	if base != "" {
+		base = "{" + base + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, base, formatFloat(h.sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, base, h.n)
+}
+
+func trimComma(labels string) string {
+	if n := len(labels); n > 0 && labels[n-1] == ',' {
+		return labels[:n-1]
+	}
+	return labels
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// metrics aggregates the server's counters and distributions. Counters that
+// HTTP handlers bump without a finished job (accepted, submitRejected) are
+// atomics; everything observed per finished job shares one mutex.
+type metrics struct {
+	accepted       atomic.Int64
+	submitRejected atomic.Int64
+
+	mu       sync.Mutex
+	outcomes [numOutcomes]int64
+	route    histogram
+	lr       histogram
+	legal    histogram
+	gtr      histogram
+}
+
+func (m *metrics) init() {
+	m.route = newHistogram(stageSecondsBounds)
+	m.lr = newHistogram(stageSecondsBounds)
+	m.legal = newHistogram(stageSecondsBounds)
+	m.gtr = newHistogram(gtrBounds)
+}
+
+// observe records one finished job. resp is nil for jobs that produced no
+// response (failed, canceled before an incumbent, rejected).
+func (m *metrics) observe(o outcome, resp *tdmroute.Response) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.outcomes[o]++
+	if resp == nil {
+		return
+	}
+	m.route.observe(resp.Times.Route.Seconds())
+	m.lr.observe(resp.Times.LR.Seconds())
+	m.legal.observe(resp.Times.LegalRefine.Seconds())
+	m.gtr.observe(float64(resp.Report.GTRMax))
+}
+
+// finished returns the number of jobs that reached a terminal state.
+func (m *metrics) finished() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, c := range m.outcomes {
+		n += c
+	}
+	return n
+}
+
+func (m *metrics) summary() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return fmt.Sprintf("accepted %d, done %d, degraded %d, canceled %d, failed %d, rejected %d",
+		m.accepted.Load(), m.outcomes[outcomeDone], m.outcomes[outcomeDegraded],
+		m.outcomes[outcomeCanceled], m.outcomes[outcomeFailed], m.outcomes[outcomeRejected])
+}
+
+// writeMetrics renders the full exposition. The server passes its live
+// queue/worker gauges so they reconcile with the counters: at quiescence
+// accepted == sum(outcomes) + queued + running.
+func (m *metrics) write(w io.Writer, queueDepth, queueCap, running, workers int, draining bool) {
+	fmt.Fprintf(w, "# tdmroutd metrics\n")
+	fmt.Fprintf(w, "tdmroutd_up 1\n")
+	fmt.Fprintf(w, "tdmroutd_draining %d\n", boolInt(draining))
+	fmt.Fprintf(w, "tdmroutd_workers %d\n", workers)
+	fmt.Fprintf(w, "tdmroutd_queue_capacity %d\n", queueCap)
+	fmt.Fprintf(w, "tdmroutd_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "tdmroutd_jobs_running %d\n", running)
+	fmt.Fprintf(w, "tdmroutd_jobs_accepted_total %d\n", m.accepted.Load())
+	fmt.Fprintf(w, "tdmroutd_submit_rejected_total %d\n", m.submitRejected.Load())
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for o := outcome(0); o < numOutcomes; o++ {
+		fmt.Fprintf(w, "tdmroutd_jobs_total{outcome=%q} %d\n", outcomeNames[o], m.outcomes[o])
+	}
+	m.route.write(w, "tdmroutd_stage_seconds", `stage="route",`)
+	m.lr.write(w, "tdmroutd_stage_seconds", `stage="lr",`)
+	m.legal.write(w, "tdmroutd_stage_seconds", `stage="legal_refine",`)
+	m.gtr.write(w, "tdmroutd_gtr", "")
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -48,6 +48,9 @@ type IterateResult struct {
 // but driven by true ratios instead of the φ(g) estimate), and the
 // assignment re-runs warm-started. Rounds that do not improve are
 // discarded, so the result is never worse than Solve's.
+//
+// Deprecated: Use Run with a ModeIterative Request; SolveIterative is a
+// compatibility wrapper over it.
 func SolveIterative(in *Instance, opt IterateOptions) (*IterateResult, error) {
 	return SolveIterativeCtx(context.Background(), in, opt)
 }
@@ -68,10 +71,34 @@ func SolveIterative(in *Instance, opt IterateOptions) (*IterateResult, error) {
 // The session also subsumes the old explicit multiplier recapture: the base
 // assignment's own LR captures λ for the first warm start, instead of
 // re-running a full relaxation on the accepted topology.
+//
+// Deprecated: Use Run with a ModeIterative Request; SolveIterativeCtx is a
+// compatibility wrapper over it.
 func SolveIterativeCtx(ctx context.Context, in *Instance, opt IterateOptions) (*IterateResult, error) {
-	if ctx == nil {
-		ctx = context.Background()
+	resp, err := Run(ctx, Request{
+		Instance: in,
+		Mode:     ModeIterative,
+		Options:  opt.Base,
+		Rounds:   opt.Rounds,
+		onRound:  opt.onRound,
+	})
+	if resp == nil {
+		return nil, err
 	}
+	res := &IterateResult{
+		Result:     resp.result(),
+		RoundsRun:  resp.RoundsRun,
+		RoundsKept: resp.RoundsKept,
+		InitialGTR: resp.InitialGTR,
+	}
+	return res, err
+}
+
+// runIterative is the ModeIterative pipeline, with options already
+// normalized by the Run boundary. When a hard (non-interruption) error
+// occurs after the base solve, the returned result is non-nil alongside the
+// error and carries the incumbent and the stage times of all work done.
+func runIterative(ctx context.Context, in *Instance, opt IterateOptions) (*IterateResult, error) {
 	if opt.Rounds == 0 {
 		opt.Rounds = 3
 	}

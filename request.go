@@ -1,0 +1,472 @@
+package tdmroute
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Mode selects what Run executes.
+type Mode int
+
+const (
+	// ModeSingle is the paper's one-pass framework (Fig. 2(b)): routing
+	// followed by TDM ratio assignment. It is the zero value.
+	ModeSingle Mode = iota
+	// ModeIterative extends ModeSingle with feedback rounds that rip up and
+	// reroute the NetGroup realizing GTR_max (Request.Rounds).
+	ModeIterative
+	// ModeAssignOnly runs only the TDM ratio assignment on the fixed
+	// topology supplied in Request.Routing (the "+TA" experiment).
+	ModeAssignOnly
+)
+
+// String returns the wire name of the mode ("single", "iterative",
+// "assign"); ParseMode is its inverse.
+func (m Mode) String() string {
+	switch m {
+	case ModeSingle:
+		return "single"
+	case ModeIterative:
+		return "iterative"
+	case ModeAssignOnly:
+		return "assign"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// ParseMode maps a wire name back to its Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "single":
+		return ModeSingle, nil
+	case "iterative":
+		return ModeIterative, nil
+	case "assign":
+		return ModeAssignOnly, nil
+	}
+	return 0, fmt.Errorf("tdmroute: unknown mode %q", s)
+}
+
+// ProgressKind tags one Progress event.
+type ProgressKind string
+
+const (
+	// ProgressLR reports a completed Lagrangian-relaxation iteration (the
+	// Fig. 3(b) series): Iter, Z and LB are set.
+	ProgressLR ProgressKind = "lr"
+	// ProgressRound reports the start of a feedback round (ModeIterative
+	// only): Round is set.
+	ProgressRound ProgressKind = "round"
+)
+
+// Progress is one solver progress event delivered to Request.OnProgress.
+type Progress struct {
+	Kind ProgressKind
+	// Round is the number of feedback rounds started so far: 0 while the
+	// base solve runs, r+1 once round r has begun.
+	Round int
+	// Iter, Z, LB carry the LR convergence series for ProgressLR events.
+	Iter int
+	Z    float64
+	LB   float64
+}
+
+// Request describes one solve. It subsumes the historical entry points:
+// ModeSingle replaces Solve/SolveCtx, ModeIterative replaces
+// SolveIterative/SolveIterativeCtx, and ModeAssignOnly replaces
+// AssignTDM/AssignTDMCtx.
+type Request struct {
+	// Instance is the problem instance (required).
+	Instance *Instance
+	// Mode selects the pipeline; the zero value is ModeSingle.
+	Mode Mode
+	// Options configures both pipeline stages; Options.TDM alone applies to
+	// ModeAssignOnly. Worker counts are normalized exactly once, at the Run
+	// boundary: Options.Workers fans into both stages and non-positive
+	// counts run sequentially, identically in every mode.
+	Options Options
+	// Rounds is the feedback-round budget for ModeIterative (0 selects 3).
+	Rounds int
+	// Routing is the fixed topology required by ModeAssignOnly and ignored
+	// by the other modes.
+	Routing Routing
+	// OnProgress, when non-nil, receives solver progress events: every LR
+	// iteration and every feedback-round start. It is invoked synchronously
+	// on the solving goroutine and must be cheap. It composes with
+	// Options.TDM.Trace; both fire when both are set.
+	OnProgress func(Progress)
+
+	// onRound is the deterministic mid-round cancellation hook of the
+	// equivalence tests (see IterateOptions.onRound); it fires before the
+	// OnProgress round event.
+	onRound func(round int)
+}
+
+// Response is the outcome of Run: one shape for every mode, so callers (and
+// the serve package's JSON schema) handle a single type. Mode-specific
+// fields are zero when they do not apply.
+type Response struct {
+	// Mode echoes the request's mode.
+	Mode Mode
+	// Solution is the legal solution (ValidateSolution passes), possibly a
+	// best-so-far incumbent when Degraded is non-nil.
+	Solution *Solution
+	// Report carries the Table II metrics of the TDM assignment.
+	Report Report
+	// RouteStats reports routing-stage work (zero for ModeAssignOnly).
+	RouteStats RouteStats
+	// Times is the per-stage wall breakdown (Fig. 3(a)).
+	Times StageTimes
+	// Degraded is non-nil when the run was interrupted and Solution is a
+	// best-so-far incumbent; nil means the full optimization budget ran.
+	Degraded *Degraded
+	// RoundsRun / RoundsKept / InitialGTR report the feedback loop
+	// (ModeIterative only).
+	RoundsRun  int
+	RoundsKept int
+	// InitialGTR is the single-pass GTR_max before any feedback round.
+	InitialGTR int64
+}
+
+// Run executes one request. It is the single context-first entry point of
+// the package: cancellation and deadlines are observed at deterministic
+// iteration boundaries and degrade the run to its best-so-far legal
+// incumbent (Response.Degraded describes the interruption) instead of
+// failing. An error is returned only when no legal incumbent can exist —
+// a malformed request, cancellation before initial routing completes, or a
+// panic before legalization. For ModeIterative a hard error after the base
+// solve returns the incumbent Response alongside the error; callers must
+// check the error first.
+func Run(ctx context.Context, req Request) (*Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if req.Instance == nil {
+		return nil, errors.New("tdmroute: Run: nil Instance")
+	}
+	req.Options = req.Options.normalized()
+	req = req.wireProgress()
+	switch req.Mode {
+	case ModeSingle:
+		res, err := runSingle(ctx, req.Instance, req.Options)
+		if err != nil {
+			return nil, err
+		}
+		return res.response(ModeSingle), nil
+
+	case ModeIterative:
+		res, err := runIterative(ctx, req.Instance, IterateOptions{
+			Rounds:  req.Rounds,
+			Base:    req.Options,
+			onRound: req.onRound,
+		})
+		if res == nil {
+			return nil, err
+		}
+		resp := res.Result.response(ModeIterative)
+		resp.RoundsRun = res.RoundsRun
+		resp.RoundsKept = res.RoundsKept
+		resp.InitialGTR = res.InitialGTR
+		return resp, err
+
+	case ModeAssignOnly:
+		return runAssignOnly(ctx, req)
+
+	default:
+		return nil, fmt.Errorf("tdmroute: Run: unknown mode %d", int(req.Mode))
+	}
+}
+
+// runAssignOnly is the ModeAssignOnly arm of Run: the TDM ratio assignment
+// alone on the request's fixed topology, computing exactly what tdm.Assign
+// computes but with the LR / legalize+refine wall split and the Degraded
+// attribution the other modes report.
+func runAssignOnly(ctx context.Context, req Request) (*Response, error) {
+	if req.Routing == nil {
+		return nil, errors.New("tdmroute: Run: ModeAssignOnly requires a Routing")
+	}
+	if len(req.Routing) != len(req.Instance.Nets) {
+		return nil, fmt.Errorf("tdmroute: routing has %d nets, instance has %d",
+			len(req.Routing), len(req.Instance.Nets))
+	}
+	assign, rep, times, stage, err := assignTimed(ctx, req.Instance, req.Routing, req.Options.TDM)
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{
+		Mode:     ModeAssignOnly,
+		Solution: &Solution{Routes: req.Routing, Assign: assign},
+		Report:   rep,
+		Times:    times,
+	}
+	if stage != "" {
+		cause := rep.Interrupted
+		if cause == nil {
+			cause = ctx.Err()
+		}
+		resp.Degraded = &Degraded{
+			Stage:        stage,
+			Cause:        cause,
+			LRIterations: rep.Iterations,
+			IncumbentGTR: rep.GTRMax,
+		}
+	}
+	return resp, nil
+}
+
+// normalized applies the worker normalization once, at the Run boundary:
+// non-positive counts mean sequential, and the pipeline-level knob fans
+// into both stages (withWorkers).
+func (o Options) normalized() Options {
+	if o.Workers < 0 {
+		o.Workers = 1
+	}
+	if o.Route.Workers < 0 {
+		o.Route.Workers = 1
+	}
+	if o.TDM.Workers < 0 {
+		o.TDM.Workers = 1
+	}
+	return o.withWorkers()
+}
+
+// wireProgress chains OnProgress into the TDM trace and the round hook.
+func (req Request) wireProgress() Request {
+	if req.OnProgress == nil {
+		return req
+	}
+	emit := req.OnProgress
+	round := new(int) // feedback rounds started; 0 during the base solve
+	userTrace := req.Options.TDM.Trace
+	req.Options.TDM.Trace = func(iter int, z, lb float64) {
+		if userTrace != nil {
+			userTrace(iter, z, lb)
+		}
+		emit(Progress{Kind: ProgressLR, Round: *round, Iter: iter, Z: z, LB: lb})
+	}
+	userRound := req.onRound
+	req.onRound = func(r int) {
+		if userRound != nil {
+			userRound(r)
+		}
+		*round = r + 1
+		emit(Progress{Kind: ProgressRound, Round: r})
+	}
+	return req
+}
+
+// response lifts a Result into the unified Response shape.
+func (r *Result) response(mode Mode) *Response {
+	if r == nil {
+		return nil
+	}
+	return &Response{
+		Mode:       mode,
+		Solution:   r.Solution,
+		Report:     r.Report,
+		RouteStats: r.RouteStats,
+		Times:      r.Times,
+		Degraded:   r.Degraded,
+	}
+}
+
+// result projects a Response back onto the deprecated Result shape.
+func (r *Response) result() *Result {
+	if r == nil {
+		return nil
+	}
+	return &Result{
+		Solution:   r.Solution,
+		Report:     r.Report,
+		RouteStats: r.RouteStats,
+		Times:      r.Times,
+		Degraded:   r.Degraded,
+	}
+}
+
+// The JSON schema of a Response. Stage walls are fractional milliseconds;
+// the solution itself is summarized, not embedded (fetch it through the
+// solution writers or the server's /solution endpoint).
+type responseJSON struct {
+	Mode       string           `json:"mode"`
+	Report     reportJSON       `json:"report"`
+	RouteStats routeStatsJSON   `json:"route_stats"`
+	Times      stageTimesJSON   `json:"times"`
+	Degraded   *degradedJSON    `json:"degraded"`
+	RoundsRun  int              `json:"rounds_run"`
+	RoundsKept int              `json:"rounds_kept"`
+	InitialGTR int64            `json:"initial_gtr"`
+	Solution   *solutionSumJSON `json:"solution"`
+}
+
+type reportJSON struct {
+	Iterations  int     `json:"iterations"`
+	Converged   bool    `json:"converged"`
+	LowerBound  float64 `json:"lower_bound"`
+	RelaxedZ    float64 `json:"relaxed_z"`
+	GTRNoRef    int64   `json:"gtr_noref"`
+	GTRMax      int64   `json:"gtr_max"`
+	Interrupted string  `json:"interrupted,omitempty"`
+}
+
+type routeStatsJSON struct {
+	RoutedNets    int `json:"routed_nets"`
+	RipUpRounds   int `json:"ripup_rounds"`
+	RevertedRound int `json:"reverted_rounds"`
+	RippedNets    int `json:"ripped_nets"`
+}
+
+type stageTimesJSON struct {
+	RouteMS       float64 `json:"route_ms"`
+	LRMS          float64 `json:"lr_ms"`
+	LegalRefineMS float64 `json:"legal_refine_ms"`
+	TotalMS       float64 `json:"total_ms"`
+}
+
+type degradedJSON struct {
+	Stage          string `json:"stage"`
+	Cause          string `json:"cause"`
+	LRIterations   int    `json:"lr_iterations"`
+	FeedbackRounds int    `json:"feedback_rounds"`
+	IncumbentGTR   int64  `json:"incumbent_gtr"`
+}
+
+type solutionSumJSON struct {
+	Nets        int `json:"nets"`
+	RoutedEdges int `json:"routed_edges"`
+}
+
+// MarshalJSON renders the response in the stable wire schema served by
+// tdmroutd: snake_case keys, stage walls in milliseconds, the Degraded
+// cause flattened to its message, and the solution summarized by size (the
+// full solution travels through the solution writers instead). The schema
+// is identical for every mode; mode-specific fields are simply zero.
+func (r *Response) MarshalJSON() ([]byte, error) {
+	out := responseJSON{
+		Mode: r.Mode.String(),
+		Report: reportJSON{
+			Iterations: r.Report.Iterations,
+			Converged:  r.Report.Converged,
+			LowerBound: r.Report.LowerBound,
+			RelaxedZ:   r.Report.RelaxedZ,
+			GTRNoRef:   r.Report.GTRNoRef,
+			GTRMax:     r.Report.GTRMax,
+		},
+		RouteStats: routeStatsJSON{
+			RoutedNets:    r.RouteStats.RoutedNets,
+			RipUpRounds:   r.RouteStats.RipUpRounds,
+			RevertedRound: r.RouteStats.RevertedRound,
+			RippedNets:    r.RouteStats.RippedNets,
+		},
+		Times: stageTimesJSON{
+			RouteMS:       durMS(r.Times.Route),
+			LRMS:          durMS(r.Times.LR),
+			LegalRefineMS: durMS(r.Times.LegalRefine),
+			TotalMS:       durMS(r.Times.Total()),
+		},
+		RoundsRun:  r.RoundsRun,
+		RoundsKept: r.RoundsKept,
+		InitialGTR: r.InitialGTR,
+	}
+	if r.Report.Interrupted != nil {
+		out.Report.Interrupted = r.Report.Interrupted.Error()
+	}
+	if d := r.Degraded; d != nil {
+		out.Degraded = &degradedJSON{
+			Stage:          string(d.Stage),
+			LRIterations:   d.LRIterations,
+			FeedbackRounds: d.FeedbackRounds,
+			IncumbentGTR:   d.IncumbentGTR,
+		}
+		if d.Cause != nil {
+			out.Degraded.Cause = d.Cause.Error()
+		}
+	}
+	if r.Solution != nil {
+		out.Solution = &solutionSumJSON{
+			Nets:        len(r.Solution.Routes),
+			RoutedEdges: r.Solution.Routes.NumRoutedEdges(),
+		}
+	}
+	return json.Marshal(out)
+}
+
+// durMS converts a duration to fractional milliseconds.
+func durMS(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON as far as the wire schema
+// allows: the tdmroutd client reconstructs a Response from the server's
+// JSON. Error causes come back as opaque messages (errors.Is identity does
+// not survive the wire), and the solution summary is dropped — the full
+// solution travels through the server's solution endpoint instead, so
+// Solution is nil on a decoded Response.
+func (r *Response) UnmarshalJSON(data []byte) error {
+	var in responseJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	mode, err := ParseMode(in.Mode)
+	if err != nil {
+		return err
+	}
+	*r = Response{
+		Mode: mode,
+		Report: Report{
+			Iterations: in.Report.Iterations,
+			Converged:  in.Report.Converged,
+			LowerBound: in.Report.LowerBound,
+			RelaxedZ:   in.Report.RelaxedZ,
+			GTRNoRef:   in.Report.GTRNoRef,
+			GTRMax:     in.Report.GTRMax,
+		},
+		RouteStats: RouteStats{
+			RoutedNets:    in.RouteStats.RoutedNets,
+			RipUpRounds:   in.RouteStats.RipUpRounds,
+			RevertedRound: in.RouteStats.RevertedRound,
+			RippedNets:    in.RouteStats.RippedNets,
+		},
+		Times: StageTimes{
+			Route:       msDuration(in.Times.RouteMS),
+			LR:          msDuration(in.Times.LRMS),
+			LegalRefine: msDuration(in.Times.LegalRefineMS),
+		},
+		RoundsRun:  in.RoundsRun,
+		RoundsKept: in.RoundsKept,
+		InitialGTR: in.InitialGTR,
+	}
+	if in.Report.Interrupted != "" {
+		r.Report.Interrupted = errors.New(in.Report.Interrupted)
+	}
+	if d := in.Degraded; d != nil {
+		r.Degraded = &Degraded{
+			Stage:          Stage(d.Stage),
+			LRIterations:   d.LRIterations,
+			FeedbackRounds: d.FeedbackRounds,
+			IncumbentGTR:   d.IncumbentGTR,
+		}
+		if d.Cause != "" {
+			r.Degraded.Cause = errors.New(d.Cause)
+		}
+	}
+	return nil
+}
+
+// msDuration converts wire milliseconds back to a duration, saturating
+// instead of overflowing (the conversion is platform-defined past int64).
+func msDuration(v float64) time.Duration {
+	const maxMS = float64(1 << 52)
+	if math.IsNaN(v) || v <= 0 {
+		return 0
+	}
+	if v > maxMS {
+		v = maxMS
+	}
+	return time.Duration(v * float64(time.Millisecond))
+}

@@ -1,0 +1,342 @@
+package tdmroute
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"tdmroute/internal/gen"
+	"tdmroute/internal/problem"
+)
+
+func requestInstance(t *testing.T) *Instance {
+	t.Helper()
+	cfg, err := gen.SuiteConfig("synopsys01", 0.003)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestRunMatchesDeprecatedWrappers pins the redesign contract: Run with each
+// mode produces byte-identical solutions to the entry points it subsumes.
+func TestRunMatchesDeprecatedWrappers(t *testing.T) {
+	in := requestInstance(t)
+
+	single, err := Solve(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(context.Background(), Request{Instance: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(solutionBytes(t, single.Solution), solutionBytes(t, got.Solution)) {
+		t.Fatal("ModeSingle: Run and Solve diverged")
+	}
+	if got.Mode != ModeSingle {
+		t.Fatalf("Mode = %v, want ModeSingle", got.Mode)
+	}
+
+	iter, err := SolveIterative(in, IterateOptions{Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goti, err := Run(context.Background(), Request{Instance: in, Mode: ModeIterative, Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(solutionBytes(t, iter.Solution), solutionBytes(t, goti.Solution)) {
+		t.Fatal("ModeIterative: Run and SolveIterative diverged")
+	}
+	if goti.RoundsRun != iter.RoundsRun || goti.RoundsKept != iter.RoundsKept ||
+		goti.InitialGTR != iter.InitialGTR {
+		t.Fatalf("ModeIterative round accounting: Run (%d/%d initial %d) vs wrapper (%d/%d initial %d)",
+			goti.RoundsRun, goti.RoundsKept, goti.InitialGTR,
+			iter.RoundsRun, iter.RoundsKept, iter.InitialGTR)
+	}
+
+	assign, rep, err := AssignTDM(in, single.Solution.Routes, TDMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gota, err := Run(context.Background(), Request{
+		Instance: in,
+		Mode:     ModeAssignOnly,
+		Routing:  single.Solution.Routes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Solution{Routes: single.Solution.Routes, Assign: assign}
+	if !bytes.Equal(solutionBytes(t, want), solutionBytes(t, gota.Solution)) {
+		t.Fatal("ModeAssignOnly: Run and AssignTDM diverged")
+	}
+	if gota.Report.GTRMax != rep.GTRMax || gota.Report.Iterations != rep.Iterations {
+		t.Fatalf("ModeAssignOnly report: Run (%d, %d iters) vs wrapper (%d, %d iters)",
+			gota.Report.GTRMax, gota.Report.Iterations, rep.GTRMax, rep.Iterations)
+	}
+}
+
+// TestRunNormalizesWorkers is the regression for the historical withWorkers
+// inconsistency: worker counts are normalized exactly once at the Run
+// boundary, so zero and negative counts behave as sequential in every mode
+// — including ModeAssignOnly, whose old entry point bypassed the pipeline
+// normalization entirely.
+func TestRunNormalizesWorkers(t *testing.T) {
+	in := requestInstance(t)
+	base, err := Run(context.Background(), Request{Instance: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := base.Solution.Routes
+
+	for _, mode := range []Mode{ModeSingle, ModeIterative, ModeAssignOnly} {
+		var ref []byte
+		for _, workers := range []int{1, 0, -7} {
+			req := Request{
+				Instance: in,
+				Mode:     mode,
+				Options: Options{
+					Workers: workers,
+					Route:   RouteOptions{Workers: workers},
+					TDM:     TDMOptions{Workers: workers},
+				},
+			}
+			if mode == ModeIterative {
+				req.Rounds = 1
+			}
+			if mode == ModeAssignOnly {
+				req.Routing = routes
+			}
+			resp, err := Run(context.Background(), req)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", mode, workers, err)
+			}
+			b := solutionBytes(t, resp.Solution)
+			if ref == nil {
+				ref = b
+			} else if !bytes.Equal(ref, b) {
+				t.Fatalf("%v: workers=%d diverged from workers=1", mode, workers)
+			}
+		}
+	}
+}
+
+// TestRunRequestValidation covers the malformed-request errors.
+func TestRunRequestValidation(t *testing.T) {
+	in := requestInstance(t)
+	if _, err := Run(context.Background(), Request{}); err == nil {
+		t.Error("nil instance accepted")
+	}
+	if _, err := Run(context.Background(), Request{Instance: in, Mode: Mode(42)}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := Run(context.Background(), Request{Instance: in, Mode: ModeAssignOnly}); err == nil {
+		t.Error("ModeAssignOnly without routing accepted")
+	}
+	if _, err := Run(context.Background(), Request{
+		Instance: in, Mode: ModeAssignOnly, Routing: Routing{{0}},
+	}); err == nil {
+		t.Error("ModeAssignOnly with short routing accepted")
+	}
+}
+
+// TestRunProgressEvents checks the OnProgress stream: LR iterations arrive
+// in order, round events precede the rounds' LR work, and the user's own
+// TDM trace still fires alongside.
+func TestRunProgressEvents(t *testing.T) {
+	in := requestInstance(t)
+	var events []Progress
+	traced := 0
+	_, err := Run(context.Background(), Request{
+		Instance: in,
+		Mode:     ModeIterative,
+		Rounds:   2,
+		Options: Options{
+			TDM: TDMOptions{Trace: func(iter int, z, lb float64) { traced++ }},
+		},
+		OnProgress: func(p Progress) { events = append(events, p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lr, rounds int
+	maxRound := 0
+	for _, e := range events {
+		switch e.Kind {
+		case ProgressLR:
+			lr++
+			if e.Round < maxRound {
+				t.Fatalf("LR event round went backwards: %d after %d", e.Round, maxRound)
+			}
+		case ProgressRound:
+			rounds++
+			maxRound = e.Round + 1
+		default:
+			t.Fatalf("unknown progress kind %q", e.Kind)
+		}
+	}
+	if lr == 0 {
+		t.Error("no LR progress events")
+	}
+	if rounds == 0 {
+		t.Error("no round progress events")
+	}
+	if traced != lr {
+		t.Errorf("user trace fired %d times, OnProgress saw %d LR events", traced, lr)
+	}
+}
+
+// TestResponseMarshalJSONGolden pins the wire schema of a Response: one
+// JSON shape for every mode, snake_case keys, milliseconds for walls, the
+// Degraded cause flattened to its message, and the solution summarized.
+func TestResponseMarshalJSONGolden(t *testing.T) {
+	resp := &Response{
+		Mode: ModeIterative,
+		Solution: &Solution{
+			Routes: Routing{{0, 1}, {2}},
+			Assign: Assignment{Ratios: [][]int64{{2, 4}, {6}}},
+		},
+		Report: Report{
+			Iterations:  41,
+			Converged:   true,
+			LowerBound:  11.5,
+			RelaxedZ:    12.25,
+			GTRNoRef:    16,
+			GTRMax:      14,
+			Interrupted: context.Canceled,
+		},
+		RouteStats: RouteStats{RoutedNets: 2, RipUpRounds: 3, RevertedRound: 1, RippedNets: 5},
+		Times: StageTimes{
+			Route:       1500 * time.Microsecond,
+			LR:          2250 * time.Microsecond,
+			LegalRefine: 250 * time.Microsecond,
+		},
+		Degraded: &Degraded{
+			Stage:          StageFeedback,
+			Cause:          context.Canceled,
+			LRIterations:   41,
+			FeedbackRounds: 2,
+			IncumbentGTR:   14,
+		},
+		RoundsRun:  2,
+		RoundsKept: 1,
+		InitialGTR: 16,
+	}
+	got, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"mode":"iterative",` +
+		`"report":{"iterations":41,"converged":true,"lower_bound":11.5,"relaxed_z":12.25,"gtr_noref":16,"gtr_max":14,"interrupted":"context canceled"},` +
+		`"route_stats":{"routed_nets":2,"ripup_rounds":3,"reverted_rounds":1,"ripped_nets":5},` +
+		`"times":{"route_ms":1.5,"lr_ms":2.25,"legal_refine_ms":0.25,"total_ms":4},` +
+		`"degraded":{"stage":"feedback","cause":"context canceled","lr_iterations":41,"feedback_rounds":2,"incumbent_gtr":14},` +
+		`"rounds_run":2,"rounds_kept":1,"initial_gtr":16,` +
+		`"solution":{"nets":2,"routed_edges":3}}`
+	if string(got) != want {
+		t.Errorf("golden mismatch:\n got: %s\nwant: %s", got, want)
+	}
+
+	// A clean single-mode response: null degraded, zero iterate fields —
+	// the same schema, not a different one.
+	clean := &Response{Mode: ModeSingle}
+	got, err = json.Marshal(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantClean = `{"mode":"single",` +
+		`"report":{"iterations":0,"converged":false,"lower_bound":0,"relaxed_z":0,"gtr_noref":0,"gtr_max":0},` +
+		`"route_stats":{"routed_nets":0,"ripup_rounds":0,"reverted_rounds":0,"ripped_nets":0},` +
+		`"times":{"route_ms":0,"lr_ms":0,"legal_refine_ms":0,"total_ms":0},` +
+		`"degraded":null,"rounds_run":0,"rounds_kept":0,"initial_gtr":0,"solution":null}`
+	if string(got) != wantClean {
+		t.Errorf("clean golden mismatch:\n got: %s\nwant: %s", got, wantClean)
+	}
+}
+
+// TestResponseJSONRoundTrip checks UnmarshalJSON against MarshalJSON: a
+// decoded Response re-encodes to the identical wire bytes (the solution
+// summary, which decoding drops, excepted), so the tdmroutd client sees
+// exactly what the server reported.
+func TestResponseJSONRoundTrip(t *testing.T) {
+	resp := &Response{
+		Mode: ModeIterative,
+		Report: Report{
+			Iterations: 41, Converged: true, LowerBound: 11.5, RelaxedZ: 12.25,
+			GTRNoRef: 16, GTRMax: 14, Interrupted: context.Canceled,
+		},
+		RouteStats: RouteStats{RoutedNets: 2, RipUpRounds: 3, RevertedRound: 1, RippedNets: 5},
+		Times: StageTimes{
+			Route:       1500 * time.Microsecond,
+			LR:          2250 * time.Microsecond,
+			LegalRefine: 250 * time.Microsecond,
+		},
+		Degraded: &Degraded{
+			Stage: StageFeedback, Cause: context.Canceled,
+			LRIterations: 41, FeedbackRounds: 2, IncumbentGTR: 14,
+		},
+		RoundsRun: 2, RoundsKept: 1, InitialGTR: 16,
+	}
+	wire, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Response
+	if err := json.Unmarshal(wire, &back); err != nil {
+		t.Fatal(err)
+	}
+	again, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(wire) != string(again) {
+		t.Errorf("round trip diverged:\n out: %s\nback: %s", wire, again)
+	}
+	if back.Times.LR != resp.Times.LR {
+		t.Errorf("Times.LR = %v, want %v", back.Times.LR, resp.Times.LR)
+	}
+	if back.Degraded == nil || back.Degraded.Cause == nil ||
+		back.Degraded.Cause.Error() != context.Canceled.Error() {
+		t.Errorf("Degraded did not survive the round trip: %+v", back.Degraded)
+	}
+}
+
+// TestRunDegradedDeadline checks the anytime contract through Run: a
+// deadline that expires mid-solve still yields a legal solution with
+// Degraded populated.
+func TestRunDegradedDeadline(t *testing.T) {
+	in := requestInstance(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	iters := 0
+	resp, err := Run(ctx, Request{
+		Instance: in,
+		Options: Options{TDM: TDMOptions{Trace: func(int, float64, float64) {
+			iters++
+			if iters == 3 {
+				cancel()
+			}
+		}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Degraded == nil {
+		t.Fatal("mid-LR cancellation did not set Degraded")
+	}
+	if !errors.Is(resp.Degraded.Cause, context.Canceled) {
+		t.Fatalf("Degraded.Cause = %v, want context.Canceled", resp.Degraded.Cause)
+	}
+	if err := problem.ValidateSolution(in, resp.Solution); err != nil {
+		t.Fatalf("degraded solution invalid: %v", err)
+	}
+}

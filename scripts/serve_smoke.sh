@@ -1,0 +1,105 @@
+#!/bin/sh
+# Smoke-test the tdmroutd job server end to end: build it, boot it on a
+# local port, drive one job through submit -> poll -> solution over HTTP,
+# reconcile /metrics, then drain with SIGTERM and require exit status 0.
+#
+#   scripts/serve_smoke.sh           # default port 18080
+#   SERVE_SMOKE_ADDR=127.0.0.1:9999 scripts/serve_smoke.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+addr=${SERVE_SMOKE_ADDR:-127.0.0.1:18080}
+base="http://$addr"
+work=$(mktemp -d)
+pid=""
+cleanup() {
+  [ -z "$pid" ] || kill "$pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$work/tdmroutd" ./cmd/tdmroutd
+go run ./cmd/gen -name synopsys01 -scale 0.003 -o "$work/instance.txt"
+
+echo "== start tdmroutd on $addr"
+"$work/tdmroutd" -addr "$addr" -pool 2 &
+pid=$!
+
+i=0
+until curl -fsS "$base/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 100 ]; then
+    echo "FAIL: server never became healthy"
+    exit 1
+  fi
+  sleep 0.1
+done
+
+echo "== submit"
+accepted=$(curl -fsS -X POST -H 'Content-Type: text/plain' \
+  --data-binary "@$work/instance.txt" "$base/v1/jobs?name=smoke")
+id=$(printf '%s' "$accepted" | grep -o '"id":"[^"]*"' | head -n 1 | cut -d'"' -f4)
+if [ -z "$id" ]; then
+  echo "FAIL: no job id in submit response: $accepted"
+  exit 1
+fi
+echo "accepted job $id"
+
+echo "== wait for completion"
+i=0
+state=""
+while :; do
+  state=$(curl -fsS "$base/v1/jobs/$id" |
+    grep -o '"state":"[a-z]*"' | head -n 1 | cut -d'"' -f4)
+  case "$state" in
+  done) break ;;
+  failed | canceled | rejected)
+    echo "FAIL: job ended in state $state"
+    exit 1
+    ;;
+  esac
+  i=$((i + 1))
+  if [ "$i" -ge 600 ]; then
+    echo "FAIL: job stuck in state ${state:-unknown}"
+    exit 1
+  fi
+  sleep 0.1
+done
+
+echo "== solution"
+curl -fsS "$base/v1/jobs/$id/solution?format=text" -o "$work/solution.txt"
+if ! [ -s "$work/solution.txt" ]; then
+  echo "FAIL: empty solution body"
+  exit 1
+fi
+wc -l <"$work/solution.txt" | xargs echo "solution lines:"
+
+echo "== metrics"
+curl -fsS "$base/metrics" >"$work/metrics.txt"
+for want in \
+  'tdmroutd_up 1' \
+  'tdmroutd_draining 0' \
+  'tdmroutd_jobs_accepted_total 1' \
+  'tdmroutd_submit_rejected_total 0' \
+  'tdmroutd_jobs_total{outcome="done"} 1' \
+  'tdmroutd_jobs_running 0' \
+  'tdmroutd_queue_depth 0'; do
+  if ! grep -Fqx "$want" "$work/metrics.txt"; then
+    echo "FAIL: metrics missing line: $want"
+    cat "$work/metrics.txt"
+    exit 1
+  fi
+done
+
+echo "== SIGTERM drain"
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: drain exited with status $rc"
+  exit 1
+fi
+
+echo "serve smoke OK"

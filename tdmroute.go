@@ -228,6 +228,9 @@ type Result struct {
 
 // Solve runs the full framework of Fig. 2(b) — NetGroup-aware routing
 // followed by TDM ratio assignment — and returns a legal solution.
+//
+// Deprecated: Use Run with a ModeSingle Request; Solve is a compatibility
+// wrapper over it.
 func Solve(in *Instance, opt Options) (*Result, error) {
 	return SolveCtx(context.Background(), in, opt)
 }
@@ -240,11 +243,20 @@ func Solve(in *Instance, opt Options) (*Result, error) {
 // completes, a malformed instance, or a panic before legalization).
 // Cancellation is observed only at deterministic boundaries, so for a fixed
 // worker count a fixed cancellation point yields a bit-identical incumbent.
+//
+// Deprecated: Use Run with a ModeSingle Request; SolveCtx is a
+// compatibility wrapper over it.
 func SolveCtx(ctx context.Context, in *Instance, opt Options) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
+	resp, err := Run(ctx, Request{Instance: in, Options: opt})
+	if err != nil {
+		return nil, err
 	}
-	opt = opt.withWorkers()
+	return resp.result(), nil
+}
+
+// runSingle is the ModeSingle pipeline: routing followed by TDM ratio
+// assignment, with options already normalized by the Run boundary.
+func runSingle(ctx context.Context, in *Instance, opt Options) (*Result, error) {
 	res := &Result{}
 	t0 := time.Now()
 	var routes Routing
@@ -290,15 +302,30 @@ func SolveCtx(ctx context.Context, in *Instance, opt Options) (*Result, error) {
 // AssignTDM runs only the TDM ratio assignment stage on a fixed routing
 // topology — the "+TA" experiment of Table II, where the paper improves the
 // contest winners' solutions from their topologies alone.
+//
+// Deprecated: Use Run with a ModeAssignOnly Request; AssignTDM is a
+// compatibility wrapper over it.
 func AssignTDM(in *Instance, routes Routing, opt TDMOptions) (Assignment, Report, error) {
-	return tdm.Assign(context.Background(), in, routes, opt)
+	return AssignTDMCtx(context.Background(), in, routes, opt)
 }
 
 // AssignTDMCtx is AssignTDM under a context: an interrupted run still
 // returns a legal assignment legalized from the best LR incumbent, with
 // Report.Interrupted recording the cause.
+//
+// Deprecated: Use Run with a ModeAssignOnly Request; AssignTDMCtx is a
+// compatibility wrapper over it.
 func AssignTDMCtx(ctx context.Context, in *Instance, routes Routing, opt TDMOptions) (Assignment, Report, error) {
-	return tdm.Assign(ctx, in, routes, opt)
+	resp, err := Run(ctx, Request{
+		Instance: in,
+		Mode:     ModeAssignOnly,
+		Options:  Options{TDM: opt},
+		Routing:  routes,
+	})
+	if err != nil {
+		return Assignment{}, Report{}, err
+	}
+	return resp.Solution.Assign, resp.Report, nil
 }
 
 // assignTimed splits the assignment stage into the LR and
