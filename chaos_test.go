@@ -34,8 +34,8 @@ func chaosInstances(t *testing.T) []*problem.Instance {
 
 func TestChaosSweep(t *testing.T) {
 	ins := chaosInstances(t)
-	modes := []chaos.Mode{chaos.ModeCancel, chaos.ModePanic, chaos.ModeCorrupt}
-	const seedsPerCell = 36 // 2 instances x 3 modes x 36 = 216 injections
+	modes := []chaos.Mode{chaos.ModeCancel, chaos.ModePanic, chaos.ModeCorrupt, chaos.ModeDelta}
+	const seedsPerCell = 36 // 2 instances x 4 modes x 36 = 288 injections
 	opt := tdmroute.Options{
 		TDM:     tdmroute.TDMOptions{Epsilon: 1e-4, MaxIter: 50},
 		Workers: 4,

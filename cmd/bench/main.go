@@ -17,6 +17,11 @@
 // GTR, and work counters as JSON; -cpuprofile and -memprofile capture
 // pprof profiles of whichever experiment runs.
 //
+// -delta measures the ECO re-solve: each benchmark is base-solved with
+// retention, a two-net edit is re-solved through the warm ModeDelta path,
+// and the same patched instance is solved cold; the table reports both
+// walls and the speedup (see DESIGN.md §4.5).
+//
 // Experiments are anytime: -timeout bounds the wall clock and the first ^C
 // cancels the run at the next benchmark boundary; either way the rows
 // completed so far are still rendered. Exit status: 0 on a complete run,
@@ -64,6 +69,7 @@ func benchMain() int {
 		workers   = flag.Int("workers", 1, "worker goroutines per solve (1 = sequential; try runtime.NumCPU())")
 		verbose   = flag.Bool("v", false, "print per-benchmark progress to stderr")
 		benchjson = flag.String("benchjson", "", "write the iterated-solve perf measurement to this file as JSON")
+		deltaPerf = flag.Bool("delta", false, "measure the ECO delta re-solve against the cold pipeline")
 		rounds    = flag.Int("rounds", 6, "feedback rounds for -benchjson")
 		reps      = flag.Int("reps", 3, "solves per benchmark for -benchjson (fastest wins)")
 		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -92,6 +98,16 @@ func benchMain() int {
 	}
 	if *benchjson != "" {
 		if err := runBenchJSON(*benchjson, cfg, *rounds, *reps); err != nil {
+			if errors.Is(err, exp.ErrInterrupted) {
+				return exitInterrupted(err)
+			}
+			return fail(err)
+		}
+		return 0
+	}
+	if *deltaPerf {
+		rows, err := exp.DeltaPerf(cfg, *reps)
+		if err = emit(os.Stdout, rows, err, exp.WriteDeltaPerf); err != nil {
 			if errors.Is(err, exp.ErrInterrupted) {
 				return exitInterrupted(err)
 			}

@@ -8,7 +8,11 @@
 //
 //	tdmroutd [-addr :8080] [-pool 2] [-queue 16] [-workers N]
 //	         [-deadline 0] [-max-deadline 0] [-drain-timeout 30s]
-//	         [-epsilon 0] [-maxiter 0] [-ripup 0] [-quiet]
+//	         [-epsilon 0] [-maxiter 0] [-ripup 0] [-warm 4] [-quiet]
+//
+// -warm bounds the node-resident warm sessions kept for delta re-solves
+// (submissions with retain=1); the least recently used idle session is
+// evicted over the cap, and -warm -1 disables retention.
 //
 // Endpoints are documented in the serve package. Exit status: 0 after a
 // clean drain, 1 on a serve or drain error, 2 on usage.
@@ -51,6 +55,7 @@ func serverMain(args []string, logw io.Writer, ready func(addr string)) int {
 		epsilon      = fs.Float64("epsilon", 0, "default LR convergence criterion (0 = paper default)")
 		maxIter      = fs.Int("maxiter", 0, "default LR iteration limit (0 = default 500)")
 		ripup        = fs.Int("ripup", 0, "default rip-up rounds (0 = default, -1 = disable)")
+		warm         = fs.Int("warm", 0, "retained warm session cap for delta re-solves (0 = default 4, -1 = disable)")
 		quiet        = fs.Bool("quiet", false, "suppress per-job log lines")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -65,6 +70,7 @@ func serverMain(args []string, logw io.Writer, ready func(addr string)) int {
 		QueueDepth:      *queue,
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
+		MaxWarmSessions: *warm,
 		SolveOptions: tdmroute.Options{
 			Route:   tdmroute.RouteOptions{RipUpRounds: *ripup},
 			TDM:     tdmroute.TDMOptions{Epsilon: *epsilon, MaxIter: *maxIter},

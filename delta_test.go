@@ -1,0 +1,185 @@
+package tdmroute
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// deltaFixture solves a base instance with retention and picks out the
+// landmarks the validation table needs: a (group, net) membership pair and a
+// live net outside that group.
+func deltaFixture(t *testing.T, bench string, shift int64) (h *WarmHandle, memberGroup, member, nonMember int) {
+	t.Helper()
+	in := equivInstance(t, bench, shift)
+	base, err := Run(context.Background(), Request{Instance: in, Retain: true})
+	if err != nil {
+		t.Fatalf("base solve: %v", err)
+	}
+	h = base.Warm
+	if h == nil {
+		t.Fatal("Retain returned no warm handle")
+	}
+	memberGroup, member, nonMember = -1, -1, -1
+	for g := range in.Groups {
+		if len(in.Groups[g].Nets) > 0 {
+			memberGroup, member = g, in.Groups[g].Nets[0]
+			break
+		}
+	}
+	if member < 0 {
+		t.Fatal("instance has no group members")
+	}
+	for n := range in.Nets {
+		if len(in.Nets[n].Terminals) > 0 && !containsSorted(in.Groups[memberGroup].Nets, n) {
+			nonMember = n
+			break
+		}
+	}
+	if nonMember < 0 {
+		t.Fatal("instance has no net outside the fixture group")
+	}
+	return h, memberGroup, member, nonMember
+}
+
+// TestDeltaValidationRejects drives every validation branch with a malformed
+// delta and pins the contract that a rejected delta leaves the warm handle
+// healthy and fully usable.
+func TestDeltaValidationRejects(t *testing.T) {
+	h, mg, member, nonMember := deltaFixture(t, "synopsys01", 15)
+	in := h.Instance()
+	numNets, numGroups := len(in.Nets), len(in.Groups)
+	nv, ne := in.G.NumVertices(), in.G.NumEdges()
+
+	cases := []struct {
+		name string
+		d    *Delta
+		want string
+	}{
+		{"remove out of range", &Delta{RemoveNets: []int{numNets}}, "out of range"},
+		{"remove negative", &Delta{RemoveNets: []int{-1}}, "out of range"},
+		{"remove twice", &Delta{RemoveNets: []int{member, member}}, "removed twice"},
+		{"added net without terminals", &Delta{AddNets: []Net{{}}}, "no terminals"},
+		{"terminal out of range", &Delta{AddNets: []Net{{Terminals: []int{nv}}}}, "terminal"},
+		{"duplicate terminal", &Delta{AddNets: []Net{{Terminals: []int{0, 0}}}}, "duplicate terminal"},
+		{"added group out of range", &Delta{AddNets: []Net{{Terminals: []int{0, 1}, Groups: []int{numGroups}}}}, "group"},
+		{"added groups not increasing", &Delta{AddNets: []Net{{Terminals: []int{0, 1}, Groups: []int{mg, mg}}}}, "strictly increasing"},
+		{"group edit bad group", &Delta{GroupRemove: []GroupEdit{{Group: numGroups, Net: member}}}, "out of range"},
+		{"group edit bad net", &Delta{GroupAdd: []GroupEdit{{Group: mg, Net: numNets}}}, "pre-existing"},
+		{"group remove non-member", &Delta{GroupRemove: []GroupEdit{{Group: mg, Net: nonMember}}}, "not a member"},
+		{"group add existing member", &Delta{GroupAdd: []GroupEdit{{Group: mg, Net: member}}}, "already a member"},
+		{"duplicate group remove", &Delta{GroupRemove: []GroupEdit{{Group: mg, Net: member}, {Group: mg, Net: member}}}, "duplicate group edit"},
+		{"repeated group add", &Delta{GroupAdd: []GroupEdit{{Group: mg, Net: nonMember}, {Group: mg, Net: nonMember}}}, "conflicting group edits"},
+		{"group edit on removed net", &Delta{RemoveNets: []int{member}, GroupRemove: []GroupEdit{{Group: mg, Net: member}}}, "is removed"},
+		{"edge out of range", &Delta{EdgeBias: []EdgeBiasEdit{{Edge: ne, Delta: 1}}}, "out of range"},
+		{"negative cumulative bias", &Delta{EdgeBias: []EdgeBiasEdit{{Edge: 0, Delta: -1}}}, "negative"},
+		{"bias above the cap", &Delta{EdgeBias: []EdgeBiasEdit{{Edge: 0, Delta: MaxEdgeBias + 1}}}, "exceeds the maximum"},
+		{"bias overflow in two steps", &Delta{EdgeBias: []EdgeBiasEdit{{Edge: 0, Delta: MaxEdgeBias}, {Edge: 0, Delta: 1}}}, "exceeds the maximum"},
+	}
+	for _, tc := range cases {
+		_, err := Run(context.Background(), Request{Mode: ModeDelta, Base: h, Delta: tc.d})
+		if err == nil {
+			t.Errorf("%s: malformed delta accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+		if h.Err() != nil {
+			t.Fatalf("%s: rejected delta poisoned the handle: %v", tc.name, h.Err())
+		}
+	}
+
+	// The handle stayed usable through every rejection.
+	if _, err := Run(context.Background(), Request{Mode: ModeDelta, Base: h,
+		Delta: &Delta{EdgeBias: []EdgeBiasEdit{{Edge: 0, Delta: 1}}}}); err != nil {
+		t.Fatalf("valid delta after rejections: %v", err)
+	}
+
+	// Cross-delta checks: removing an already-tombstoned net, and withdrawing
+	// more bias than the prior deltas deposited.
+	if _, err := Run(context.Background(), Request{Mode: ModeDelta, Base: h,
+		Delta: &Delta{RemoveNets: []int{member}}}); err != nil {
+		t.Fatalf("removal delta: %v", err)
+	}
+	if _, err := Run(context.Background(), Request{Mode: ModeDelta, Base: h,
+		Delta: &Delta{RemoveNets: []int{member}}}); err == nil ||
+		!strings.Contains(err.Error(), "already removed") {
+		t.Fatalf("re-removing a tombstoned net: got %v", err)
+	}
+	if _, err := Run(context.Background(), Request{Mode: ModeDelta, Base: h,
+		Delta: &Delta{EdgeBias: []EdgeBiasEdit{{Edge: 0, Delta: -2}}}}); err == nil ||
+		!strings.Contains(err.Error(), "negative") {
+		t.Fatalf("over-withdrawing cumulative bias: got %v", err)
+	}
+	if h.Err() != nil {
+		t.Fatalf("cross-delta rejections poisoned the handle: %v", h.Err())
+	}
+}
+
+// TestDeltaModeGuards covers the request-shape errors around retention and
+// ModeDelta dispatch.
+func TestDeltaModeGuards(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Run(ctx, Request{Mode: ModeDelta, Delta: &Delta{}}); err == nil ||
+		!strings.Contains(err.Error(), "Request.Base") {
+		t.Fatalf("ModeDelta without Base: got %v", err)
+	}
+
+	in := equivInstance(t, "synopsys02", 16)
+	base, err := Run(ctx, Request{Instance: in, Retain: true})
+	if err != nil {
+		t.Fatalf("base solve: %v", err)
+	}
+	if _, err := Run(ctx, Request{Mode: ModeDelta, Base: base.Warm}); err == nil ||
+		!strings.Contains(err.Error(), "Request.Delta") {
+		t.Fatalf("ModeDelta without Delta: got %v", err)
+	}
+	if _, err := Run(ctx, Request{Instance: in, Mode: ModeAssignOnly, Retain: true}); err == nil ||
+		!strings.Contains(err.Error(), "Retain") {
+		t.Fatalf("Retain on ModeAssignOnly: got %v", err)
+	}
+
+	m, err := ParseMode("delta")
+	if err != nil || m != ModeDelta {
+		t.Fatalf("ParseMode(delta) = %v, %v", m, err)
+	}
+	if got := ModeDelta.String(); got != "delta" {
+		t.Fatalf("ModeDelta.String() = %q", got)
+	}
+}
+
+// TestDeltaPoisonsHandleOnFailure pins the failure semantics after state
+// mutation: a delta interrupted once its edits have landed leaves the handle
+// poisoned, and every later use reports the original failure instead of
+// operating on half-patched state.
+func TestDeltaPoisonsHandleOnFailure(t *testing.T) {
+	h, _, _, _ := deltaFixture(t, "hidden01", 17)
+
+	// Bias a routed edge so the reroute set is non-empty, then cancel before
+	// the reroute can start.
+	routes := h.Routes()
+	d := &Delta{}
+	for _, es := range routes {
+		if len(es) > 0 {
+			d.EdgeBias = []EdgeBiasEdit{{Edge: es[0], Delta: 1}}
+			break
+		}
+	}
+	if len(d.EdgeBias) == 0 {
+		t.Fatal("instance has no routed edge to bias")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, Request{Mode: ModeDelta, Base: h, Delta: d}); err == nil {
+		t.Fatal("cancelled delta reported success")
+	}
+	if h.Err() == nil {
+		t.Fatal("failed delta left the handle unpoisoned")
+	}
+	if _, err := Run(context.Background(), Request{Mode: ModeDelta, Base: h,
+		Delta: &Delta{EdgeBias: []EdgeBiasEdit{{Edge: 0, Delta: 1}}}}); err == nil ||
+		!strings.Contains(err.Error(), "poisoned") {
+		t.Fatalf("poisoned handle accepted a delta: got %v", err)
+	}
+}

@@ -37,6 +37,11 @@ const (
 	ModePanic
 	// ModeCorrupt corrupts the serialized instance bytes before parsing.
 	ModeCorrupt
+	// ModeDelta retains a base solve and injects a seeded cancellation
+	// into a seeded ECO re-solve of its warm state. The invariant gains a
+	// clause: a failed delta must leave the handle poisoned, a successful
+	// one must not.
+	ModeDelta
 )
 
 func (m Mode) String() string {
@@ -47,6 +52,8 @@ func (m Mode) String() string {
 		return "panic"
 	case ModeCorrupt:
 		return "corrupt"
+	case ModeDelta:
+		return "delta"
 	default:
 		return fmt.Sprintf("mode(%d)", int(m))
 	}
@@ -124,6 +131,48 @@ func Run(in *problem.Instance, mode Mode, seed int64, opt tdmroute.Options) Outc
 		defer par.SetChunkHook(nil)
 		o.Res, o.Err = tdmroute.Run(context.Background(), tdmroute.Request{Instance: in, Options: opt})
 
+	case ModeDelta:
+		// The delta patches its instance in place, so the base solve runs
+		// on a clone — the caller's instance stays pristine across seeds.
+		work := in.Clone()
+		base, err := tdmroute.Run(context.Background(),
+			tdmroute.Request{Instance: work, Options: opt, Retain: true})
+		if err != nil {
+			o.Err = err
+			return o
+		}
+		h := base.Warm
+		d := seededDelta(rng, work, h.Routes())
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		switch rng.Intn(3) {
+		case 0:
+			cancel()
+		case 1:
+			k := rng.Intn(30)
+			prev := opt.TDM.Trace
+			opt.TDM.Trace = func(iter int, z, lb float64) {
+				if prev != nil {
+					prev(iter, z, lb)
+				}
+				if iter >= k {
+					cancel()
+				}
+			}
+		default:
+			dctx, dcancel := context.WithDeadline(ctx, time.Unix(0, 0))
+			defer dcancel()
+			ctx = dctx
+		}
+		o.In = h.Instance() // the patched instance the solution must satisfy
+		o.Res, o.Err = tdmroute.Run(ctx,
+			tdmroute.Request{Mode: tdmroute.ModeDelta, Base: h, Delta: d, Options: opt})
+		// Poisoning consistency: exactly the failed deltas poison.
+		if (o.Err != nil) != (h.Err() != nil) {
+			o.Res = nil
+			o.Err = fmt.Errorf("chaos delta seed %d: run error %v but handle error %v", seed, o.Err, h.Err())
+		}
+
 	case ModeCorrupt:
 		var buf bytes.Buffer
 		if err := problem.WriteInstance(&buf, in); err != nil {
@@ -144,6 +193,45 @@ func Run(in *problem.Instance, mode Mode, seed int64, opt tdmroute.Options) Outc
 		o.Err = fmt.Errorf("chaos: unknown mode %d", mode)
 	}
 	return o
+}
+
+// seededDelta builds a deterministic, valid-by-construction ECO edit: one
+// random alive net removed, one 2-pin net added between distinct vertices,
+// and congestion bias on one random routed edge.
+func seededDelta(rng *rand.Rand, in *problem.Instance, routes tdmroute.Routing) *tdmroute.Delta {
+	d := &tdmroute.Delta{}
+	var alive []int
+	for n := range in.Nets {
+		if len(in.Nets[n].Terminals) > 0 {
+			alive = append(alive, n)
+		}
+	}
+	if len(alive) > 0 {
+		d.RemoveNets = []int{alive[rng.Intn(len(alive))]}
+	}
+	if nv := in.G.NumVertices(); nv >= 2 {
+		a := rng.Intn(nv)
+		b := rng.Intn(nv - 1)
+		if b >= a {
+			b++
+		}
+		d.AddNets = []tdmroute.Net{{Terminals: []int{a, b}}}
+	}
+	// Routed edges in first-seen order, so the pick is deterministic.
+	seen := make(map[int]bool)
+	var routed []int
+	for _, es := range routes {
+		for _, e := range es {
+			if !seen[e] {
+				seen[e] = true
+				routed = append(routed, e)
+			}
+		}
+	}
+	if len(routed) > 0 {
+		d.EdgeBias = []tdmroute.EdgeBiasEdit{{Edge: routed[rng.Intn(len(routed))], Delta: 1 + rng.Intn(3)}}
+	}
+	return d
 }
 
 // Corrupt applies a seeded sequence of byte-level mutations — bit flips,
@@ -219,9 +307,9 @@ func Check(o Outcome) error {
 // promises, not an arbitrary failure.
 func checkTyped(o Outcome) error {
 	switch o.Mode {
-	case ModeCancel:
+	case ModeCancel, ModeDelta:
 		if !errors.Is(o.Err, context.Canceled) && !errors.Is(o.Err, context.DeadlineExceeded) {
-			return fmt.Errorf("chaos cancel seed %d: error does not unwrap to a context error: %v", o.Seed, o.Err)
+			return fmt.Errorf("chaos %s seed %d: error does not unwrap to a context error: %v", o.Mode, o.Seed, o.Err)
 		}
 	case ModePanic:
 		var pe *par.PanicError

@@ -94,6 +94,49 @@ func TestRunCancelMidLRDegrades(t *testing.T) {
 	}
 }
 
+// A seeded delta injection must be deterministic end to end — the warm
+// re-solve observes cancellation only at the same clean boundaries as a
+// cold one — and the poisoning clause must hold on every seed (Run itself
+// converts a poisoning mismatch into a reported violation).
+func TestRunDeltaDeterministic(t *testing.T) {
+	in := testInstance(t, 19)
+	sawResult, sawError := false, false
+	for seed := int64(0); seed < 20; seed++ {
+		a := Run(in, ModeDelta, seed, testOptions())
+		if err := Check(a); err != nil {
+			t.Fatal(err)
+		}
+		b := Run(in, ModeDelta, seed, testOptions())
+		if err := Check(b); err != nil {
+			t.Fatal(err)
+		}
+		if (a.Err == nil) != (b.Err == nil) {
+			t.Fatalf("seed %d: outcomes diverge: %v vs %v", seed, a.Err, b.Err)
+		}
+		if a.Err != nil {
+			sawError = true
+			continue
+		}
+		sawResult = true
+		var ba, bb bytes.Buffer
+		if err := problem.WriteSolution(&ba, a.Res.Solution); err != nil {
+			t.Fatal(err)
+		}
+		if err := problem.WriteSolution(&bb, b.Res.Solution); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+			t.Fatalf("seed %d: delta incumbents differ between identical injections", seed)
+		}
+	}
+	if !sawResult {
+		t.Error("no delta seed produced a solved outcome")
+	}
+	if !sawError {
+		t.Error("no delta seed produced a typed failure (the poisoning path went unexercised)")
+	}
+}
+
 // Injected chunk panics must never escape Run.
 func TestRunPanicContained(t *testing.T) {
 	in := testInstance(t, 13)

@@ -1,0 +1,43 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestDeltaPerfShape runs the ECO measurement on a tiny benchmark and checks
+// the row is fully populated and renders.
+func TestDeltaPerfShape(t *testing.T) {
+	cfg := Config{Scale: 0.002, Benchmarks: []string{"synopsys01"}}
+	rows, err := DeltaPerf(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Bench != "synopsys01" || r.TotalNets <= 0 {
+		t.Errorf("row identity: %+v", r)
+	}
+	if r.EditedNets != 2 {
+		t.Errorf("edited nets = %d, want 2 (one removed, one added)", r.EditedNets)
+	}
+	if r.BaseWallMS <= 0 || r.ColdWallMS <= 0 || r.DeltaWallMS <= 0 {
+		t.Errorf("missing wall times: %+v", r)
+	}
+	if r.Speedup <= 0 {
+		t.Errorf("speedup = %v, want > 0", r.Speedup)
+	}
+	if r.DeltaGTR <= 0 || r.ColdGTR <= 0 {
+		t.Errorf("non-positive GTR: delta=%d cold=%d", r.DeltaGTR, r.ColdGTR)
+	}
+
+	var buf bytes.Buffer
+	WriteDeltaPerf(&buf, rows)
+	out := buf.String()
+	if !strings.Contains(out, "synopsys01") || !strings.Contains(out, "geomean speedup") {
+		t.Errorf("rendered table missing content:\n%s", out)
+	}
+}

@@ -40,6 +40,26 @@ type Instance struct {
 // NumNets returns the netlist size.
 func (in *Instance) NumNets() int { return len(in.Nets) }
 
+// Clone returns a deep copy of the instance's netlist and groups. The FPGA
+// graph is shared: it is immutable for the life of an instance, and deep
+// copies exist to let one side mutate nets and group membership (an ECO
+// delta) while the other stays frozen.
+func (in *Instance) Clone() *Instance {
+	c := &Instance{Name: in.Name, G: in.G}
+	c.Nets = make([]Net, len(in.Nets))
+	for i, n := range in.Nets {
+		c.Nets[i] = Net{
+			Terminals: append([]int(nil), n.Terminals...),
+			Groups:    append([]int(nil), n.Groups...),
+		}
+	}
+	c.Groups = make([]Group, len(in.Groups))
+	for i, g := range in.Groups {
+		c.Groups[i] = Group{Nets: append([]int(nil), g.Nets...)}
+	}
+	return c
+}
+
 // NumGroups returns the number of NetGroups.
 func (in *Instance) NumGroups() int { return len(in.Groups) }
 

@@ -29,6 +29,12 @@ type Session struct {
 	// Undo state of the last successful Reroute.
 	undoNets  []int
 	undoSaved [][]int
+
+	// bias is the phantom congestion added per edge by AddEdgeBias (ECO
+	// edge-capacity edits), folded into the router's usage. Tracked so the
+	// non-negativity invariant can be enforced: usage must never drop below
+	// the load of the real nets, or rip-up decrements would underflow.
+	bias []int64
 }
 
 // NewSession creates a session for in. The APSP LUT is built here — once —
@@ -160,6 +166,88 @@ func (s *Session) Reroute(ctx context.Context, nets []int) error {
 	}
 	s.undoNets, s.undoSaved = dedup, saved
 	return nil
+}
+
+// Grow extends the session's per-net state to cover nets appended to the
+// instance's netlist since the session was created (ECO net additions). The
+// appended nets start unrouted; route them with Reroute. Per-edge state is
+// untouched: the FPGA graph is immutable for the life of a session, so the
+// APSP LUT and usage array stay valid. Growing also invalidates nothing —
+// the memoized MSTs of existing nets are pure functions of their (unchanged)
+// terminal lists.
+func (s *Session) Grow() {
+	r := s.r
+	n := len(r.in.Nets)
+	for len(r.routes) < n {
+		r.routes = append(r.routes, nil)
+		r.mstCost = append(r.mstCost, 0)
+		r.mst = append(r.mst, nil)
+		r.mstDone = append(r.mstDone, false)
+	}
+}
+
+// Remove permanently rips the given nets out of the session's topology (ECO
+// net removals): their usage contributions are released and their routes
+// cleared. Unlike Reroute there is no undo — the caller is deleting the
+// nets, and the instance entries are expected to be tombstoned alongside.
+// Duplicate entries are ignored after the first occurrence; ripping an
+// already-unrouted net is a no-op.
+func (s *Session) Remove(nets []int) error {
+	r := s.r
+	seen := make(map[int]bool, len(nets))
+	for _, n := range nets {
+		if n < 0 || n >= len(r.routes) {
+			return fmt.Errorf("route: net index %d out of range [0, %d)", n, len(r.routes))
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		for _, e := range r.routes[n] {
+			r.usage[e]--
+		}
+		r.routes[n] = nil
+	}
+	return nil
+}
+
+// MaxEdgeBias bounds the cumulative phantom load AddEdgeBias may pile onto
+// one edge. Usage is a uint32 shared with real net loads; the cap keeps the
+// sum comfortably inside the counter on any realistic instance.
+const MaxEdgeBias = 1 << 20
+
+// AddEdgeBias adds delta phantom nets of congestion to an edge — the ECO
+// model of an edge capacity change. Positive bias makes the edge look
+// busier, steering subsequent reroutes away from it; a negative delta
+// withdraws bias added earlier. The cumulative bias of an edge can never go
+// negative (usage must keep covering the real nets) nor exceed MaxEdgeBias;
+// a violating delta is rejected without changing anything.
+func (s *Session) AddEdgeBias(edge, delta int) error {
+	r := s.r
+	if edge < 0 || edge >= len(r.usage) {
+		return fmt.Errorf("route: edge index %d out of range [0, %d)", edge, len(r.usage))
+	}
+	if s.bias == nil {
+		s.bias = make([]int64, len(r.usage))
+	}
+	nb := s.bias[edge] + int64(delta)
+	if nb < 0 {
+		return fmt.Errorf("route: edge %d cumulative bias would become negative (%d)", edge, nb)
+	}
+	if nb > MaxEdgeBias {
+		return fmt.Errorf("route: edge %d cumulative bias %d exceeds the maximum %d", edge, nb, MaxEdgeBias)
+	}
+	s.bias[edge] = nb
+	r.usage[edge] = uint32(int64(r.usage[edge]) + int64(delta))
+	return nil
+}
+
+// EdgeBias returns the cumulative phantom load applied to an edge so far.
+func (s *Session) EdgeBias(edge int) int64 {
+	if s.bias == nil || edge < 0 || edge >= len(s.bias) {
+		return 0
+	}
+	return s.bias[edge]
 }
 
 // UndoReroute restores the routes replaced by the last successful Reroute.

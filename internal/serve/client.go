@@ -74,6 +74,10 @@ type SubmitRequest struct {
 	RipUp   int
 	Workers int
 	Pow2    bool
+	// Retain keeps the solved job's warm session on the server so later
+	// SubmitDelta calls can re-solve it incrementally. Not supported for
+	// ModeAssignOnly.
+	Retain bool
 }
 
 // Client is the typed client of a tdmroutd server.
@@ -155,6 +159,9 @@ func (c *Client) Submit(ctx context.Context, req SubmitRequest) (*JobStatus, err
 	if req.Pow2 {
 		q.Set("pow2", "1")
 	}
+	if req.Retain {
+		q.Set("retain", "1")
+	}
 
 	var instance bytes.Buffer
 	var err error
@@ -205,6 +212,44 @@ func (c *Client) Submit(ctx context.Context, req SubmitRequest) (*JobStatus, err
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", contentType)
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, apiError(resp)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// SubmitDelta queues an incremental re-solve of baseID's warm session (the
+// base job must have been submitted with Retain and have finished). The
+// returned job behaves like any other: poll or stream it, then fetch its
+// solution — which is for the patched instance. Conflicting deltas (the
+// session is busy) and missing sessions surface as 409 and 410 APIErrors.
+func (c *Client) SubmitDelta(ctx context.Context, baseID string, d DeltaDoc, deadline time.Duration) (*JobStatus, error) {
+	q := url.Values{}
+	if deadline > 0 {
+		q.Set("deadline", deadline.String())
+	}
+	body, err := json.Marshal(d)
+	if err != nil {
+		return nil, err
+	}
+	u := c.BaseURL + "/v1/jobs/" + baseID + "/delta"
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
 	resp, err := c.http().Do(hreq)
 	if err != nil {
 		return nil, err

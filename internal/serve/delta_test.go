@@ -1,0 +1,335 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"tdmroute"
+	"tdmroute/internal/problem"
+)
+
+// submitRetained submits the instance with retention and waits for it.
+func submitRetained(t *testing.T, c *Client, in *tdmroute.Instance) *JobStatus {
+	t.Helper()
+	ctx := context.Background()
+	st, err := c.Submit(ctx, SubmitRequest{Instance: in, Retain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("retained base job: state %s, error %q", final.State, final.Error)
+	}
+	return final
+}
+
+// TestServerDeltaEndToEnd drives the delta endpoint over the wire: a
+// retained base job, a first delta (removal + added net + edge bias), and a
+// chained second delta, each byte-identical to the same sequence run through
+// the library locally, each valid on the correspondingly patched instance.
+func TestServerDeltaEndToEnd(t *testing.T) {
+	in := testInstance(t)
+	ctx := context.Background()
+	_, c := startServer(t, Config{Workers: 2})
+
+	base := submitRetained(t, c, in)
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metricValue(t, metrics, "tdmroutd_warm_sessions"); got != 1 {
+		t.Fatalf("warm_sessions = %v, want 1", got)
+	}
+	if got := metricValue(t, metrics, "tdmroutd_warm_retained_total"); got != 1 {
+		t.Fatalf("warm_retained_total = %v, want 1", got)
+	}
+
+	// Build the delta from client-side knowledge only: the instance that was
+	// uploaded and the base solution's routes.
+	baseSol, err := c.Solution(ctx, base.ID, FormatText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := -1
+	for n := range in.Nets {
+		if len(in.Nets[n].Terminals) >= 2 {
+			rm = n
+			break
+		}
+	}
+	if rm < 0 {
+		t.Fatal("no removable net")
+	}
+	biased := -1
+	for _, es := range baseSol.Routes {
+		if len(es) > 0 {
+			biased = es[0]
+			break
+		}
+	}
+	if biased < 0 {
+		t.Fatal("no routed edge")
+	}
+	terms := in.Nets[rm].Terminals
+	doc1 := DeltaDoc{
+		RemoveNets: []int{rm},
+		AddNets:    []DeltaNetDoc{{Terminals: []int{terms[0], terms[1]}}},
+		EdgeBias:   []EdgeBiasDoc{{Edge: biased, Delta: 2}},
+	}
+	doc2 := DeltaDoc{EdgeBias: []EdgeBiasDoc{{Edge: biased, Delta: -1}}}
+
+	// The local reference: the identical base + delta chain through the
+	// library on a clone of the uploaded instance.
+	inL := in.Clone()
+	refBase, err := tdmroute.Run(ctx, tdmroute.Request{Instance: inL, Retain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refD1, err := tdmroute.Run(ctx, tdmroute.Request{
+		Mode: tdmroute.ModeDelta, Base: refBase.Warm, Delta: doc1.toDelta()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refD2, err := tdmroute.Run(ctx, tdmroute.Request{
+		Mode: tdmroute.ModeDelta, Base: refD1.Warm, Delta: doc2.toDelta()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runDelta := func(doc DeltaDoc, ref *tdmroute.Response, patched *tdmroute.Instance) {
+		t.Helper()
+		st, err := c.SubmitDelta(ctx, base.ID, doc, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.BaseID != base.ID {
+			t.Fatalf("delta job base_id = %q, want %q", st.BaseID, base.ID)
+		}
+		if st.Mode != "delta" {
+			t.Fatalf("delta job mode = %q", st.Mode)
+		}
+		final, err := c.Wait(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.State != StateDone || final.Response == nil || final.Response.Degraded != nil {
+			t.Fatalf("delta job: state %s, error %q, response %+v", final.State, final.Error, final.Response)
+		}
+		sol, err := c.Solution(ctx, st.ID, FormatText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := problem.ValidateSolution(patched, sol); err != nil {
+			t.Fatalf("delta solution invalid on patched instance: %v", err)
+		}
+		if !bytes.Equal(solutionText(t, sol), solutionText(t, ref.Solution)) {
+			t.Fatal("delta solution diverged from the local reference chain")
+		}
+		if final.Response.Report.GTRMax != ref.Report.GTRMax {
+			t.Fatalf("delta GTR %d, local reference %d", final.Response.Report.GTRMax, ref.Report.GTRMax)
+		}
+	}
+	// inL has been patched in place by the local chain, so it doubles as
+	// the patched-instance reference for validation.
+	runDelta(doc1, refD1, inL)
+	runDelta(doc2, refD2, inL)
+
+	metrics, err = c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metricValue(t, metrics, "tdmroutd_warm_sessions"); got != 1 {
+		t.Fatalf("warm_sessions after deltas = %v, want 1 (session released, not dropped)", got)
+	}
+	if got := metricValue(t, metrics, "tdmroutd_warm_dropped_total"); got != 0 {
+		t.Fatalf("warm_dropped_total = %v, want 0", got)
+	}
+}
+
+// TestServerDeltaErrors covers the endpoint's status-code contract: 404 for
+// an unknown base job, 409 for an unfinished base or a busy session, 410
+// when no warm session exists, and 400 for a malformed body. Delta
+// validation failures surface on the delta job itself, which fails without
+// poisoning the session.
+func TestServerDeltaErrors(t *testing.T) {
+	in := testInstance(t)
+	ctx := context.Background()
+	s, c := startServer(t, Config{Workers: 1})
+
+	var apiErr *APIError
+	// Unknown base job.
+	if _, err := c.SubmitDelta(ctx, "j9999999", DeltaDoc{}, 0); !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Fatalf("unknown base: err = %v, want 404", err)
+	}
+	// Base finished without retention.
+	plain, err := c.Submit(ctx, SubmitRequest{Instance: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, plain.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SubmitDelta(ctx, plain.ID, DeltaDoc{}, 0); !errors.As(err, &apiErr) || apiErr.Status != 410 {
+		t.Fatalf("no warm session: err = %v, want 410", err)
+	}
+	// Unfinished base.
+	slow, err := c.Submit(ctx, slowSubmit(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SubmitDelta(ctx, slow.ID, DeltaDoc{}, 0); !errors.As(err, &apiErr) || apiErr.Status != 409 {
+		t.Fatalf("unfinished base: err = %v, want 409", err)
+	}
+	if err := c.Cancel(ctx, slow.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, slow.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	base := submitRetained(t, c, in)
+	// Busy session: acquire it out from under the endpoint.
+	if _, found, busy := s.warm.acquire(base.ID); !found || busy {
+		t.Fatal("could not acquire the warm session directly")
+	}
+	if _, err := c.SubmitDelta(ctx, base.ID, DeltaDoc{}, 0); !errors.As(err, &apiErr) || apiErr.Status != 409 {
+		t.Fatalf("busy session: err = %v, want 409", err)
+	}
+	s.warm.release(base.ID)
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metricValue(t, metrics, "tdmroutd_warm_conflict_total"); got != 1 {
+		t.Fatalf("warm_conflict_total = %v, want 1", got)
+	}
+
+	// Malformed body.
+	resp, err := c.http().Post(c.BaseURL+"/v1/jobs/"+base.ID+"/delta", "application/json",
+		bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("malformed delta body: status %d, want 400", resp.StatusCode)
+	}
+
+	// An invalid delta is accepted as a job and fails there, leaving the
+	// session healthy for the next delta.
+	bad, err := c.SubmitDelta(ctx, base.ID, DeltaDoc{RemoveNets: []int{-1}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, bad.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateFailed {
+		t.Fatalf("invalid delta job: state %s, want failed", final.State)
+	}
+	good, err := c.SubmitDelta(ctx, base.ID, DeltaDoc{EdgeBias: []EdgeBiasDoc{{Edge: 0, Delta: 1}}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final, err = c.Wait(ctx, good.ID); err != nil || final.State != StateDone {
+		t.Fatalf("delta after a rejected one: state %v, err %v", final, err)
+	}
+}
+
+// TestServerWarmEviction pins the retention bound: with capacity 1, a second
+// retained job evicts the first's idle session; deltas on the evicted job
+// get 410, deltas on the survivor run.
+func TestServerWarmEviction(t *testing.T) {
+	in := testInstance(t)
+	ctx := context.Background()
+	_, c := startServer(t, Config{Workers: 1, MaxWarmSessions: 1})
+
+	first := submitRetained(t, c, in)
+	second := submitRetained(t, c, in)
+
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metricValue(t, metrics, "tdmroutd_warm_sessions"); got != 1 {
+		t.Fatalf("warm_sessions = %v, want 1", got)
+	}
+	if got := metricValue(t, metrics, "tdmroutd_warm_evicted_total"); got != 1 {
+		t.Fatalf("warm_evicted_total = %v, want 1", got)
+	}
+
+	var apiErr *APIError
+	if _, err := c.SubmitDelta(ctx, first.ID, DeltaDoc{}, 0); !errors.As(err, &apiErr) || apiErr.Status != 410 {
+		t.Fatalf("delta on evicted session: err = %v, want 410", err)
+	}
+	st, err := c.SubmitDelta(ctx, second.ID, DeltaDoc{EdgeBias: []EdgeBiasDoc{{Edge: 0, Delta: 1}}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final, err := c.Wait(ctx, st.ID); err != nil || final.State != StateDone {
+		t.Fatalf("delta on surviving session: state %v, err %v", final, err)
+	}
+}
+
+// TestServerDeltaPoisonDrop pins the poisoning path over the wire: a delta
+// whose deadline expires before the reroute mutates state past recovery, so
+// the session is dropped (not released) and later deltas get 410.
+func TestServerDeltaPoisonDrop(t *testing.T) {
+	in := testInstance(t)
+	ctx := context.Background()
+	_, c := startServer(t, Config{Workers: 1})
+
+	base := submitRetained(t, c, in)
+	baseSol, err := c.Solution(ctx, base.ID, FormatText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	biased := -1
+	for _, es := range baseSol.Routes {
+		if len(es) > 0 {
+			biased = es[0]
+			break
+		}
+	}
+	if biased < 0 {
+		t.Fatal("no routed edge")
+	}
+
+	// The bias forces a non-empty reroute set; the 1ns deadline is expired
+	// before the job starts, so the reroute aborts after the instance and
+	// session were already patched — the poisoning case.
+	doc := DeltaDoc{EdgeBias: []EdgeBiasDoc{{Edge: biased, Delta: 1}}}
+	st, err := c.SubmitDelta(ctx, base.ID, doc, time.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateCanceled {
+		t.Fatalf("expired delta: state %s (error %q), want canceled", final.State, final.Error)
+	}
+
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metricValue(t, metrics, "tdmroutd_warm_dropped_total"); got != 1 {
+		t.Fatalf("warm_dropped_total = %v, want 1", got)
+	}
+	if got := metricValue(t, metrics, "tdmroutd_warm_sessions"); got != 0 {
+		t.Fatalf("warm_sessions = %v, want 0 after the drop", got)
+	}
+	var apiErr *APIError
+	if _, err := c.SubmitDelta(ctx, base.ID, DeltaDoc{}, 0); !errors.As(err, &apiErr) || apiErr.Status != 410 {
+		t.Fatalf("delta on dropped session: err = %v, want 410", err)
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/delta", s.handleDelta)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/solution", s.handleSolution)
@@ -54,7 +55,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	j, ok := s.submit(req, deadline)
+	j, ok := s.submit(req, deadline, nil)
 	if !ok {
 		if s.draining.Load() {
 			s.unavailable(w, "server is draining")
@@ -151,6 +152,12 @@ func (s *Server) parseSubmit(r *http.Request) (tdmroute.Request, time.Duration, 
 	if v := q.Get("pow2"); v == "1" || v == "true" {
 		req.Options.TDM.Legal = tdmroute.LegalPow2
 	}
+	if v := q.Get("retain"); v == "1" || v == "true" {
+		if mode == tdmroute.ModeAssignOnly {
+			return tdmroute.Request{}, 0, fmt.Errorf("retain is not supported for mode=assign (there is no routing state to retain)")
+		}
+		req.Retain = true
+	}
 	return req, deadline, nil
 }
 
@@ -236,9 +243,12 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(map[string]any{"id": j.id, "state": state})
 }
 
-// handleEvents streams the job's progress as Server-Sent Events: every
-// recorded event is replayed, then live events follow until the job is
-// terminal (the final event has type "done") or the client goes away.
+// handleEvents streams the job's progress as Server-Sent Events: recorded
+// events from the resume cursor on are replayed, then live events follow
+// until the job is terminal (the final event has type "done") or the client
+// goes away. A reconnecting client resumes after the Last-Event-ID it saw;
+// a cursor beyond the log is clamped to its end (the stream follows the
+// live tail) instead of hanging the subscriber forever.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j := s.jobFor(w, r)
 	if j == nil {
@@ -249,13 +259,21 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
+	next := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		id, err := strconv.Atoi(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad Last-Event-ID %q", v)
+			return
+		}
+		next = id + 1
+	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
-	next := 0
 	for {
-		evs, notify, terminal := j.eventsSince(next)
+		evs, from, notify, terminal := j.eventsSince(next)
 		for _, e := range evs {
 			data, err := json.Marshal(e)
 			if err != nil {
@@ -263,7 +281,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			}
 			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, data)
 		}
-		next += len(evs)
+		next = from + len(evs)
 		if len(evs) > 0 {
 			fl.Flush()
 		}
@@ -333,7 +351,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.write(w, len(s.queue), cap(s.queue), running, s.cfg.Workers, s.draining.Load())
+	s.metrics.write(w, len(s.queue), cap(s.queue), running, s.cfg.Workers, s.warm.size(), s.draining.Load())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

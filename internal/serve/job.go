@@ -65,6 +65,8 @@ type JobStatus struct {
 	State State  `json:"state"`
 	Mode  string `json:"mode"`
 	Bench string `json:"bench,omitempty"`
+	// BaseID names the job whose warm session a delta job re-solves.
+	BaseID string `json:"base_id,omitempty"`
 	// NumEdges is the instance's edge count; solution parsers need it.
 	NumEdges int       `json:"num_edges"`
 	Created  time.Time `json:"created"`
@@ -89,6 +91,12 @@ type job struct {
 	deadline time.Duration
 	numEdges int
 	created  time.Time
+	// baseID is the warm-session owner for delta jobs.
+	baseID string
+	// onFinish fires exactly once when the job reaches a terminal state, by
+	// whatever path (solved, failed, cancelled while queued, rejected by a
+	// drain). Delta jobs use it to release or drop their warm session.
+	onFinish func()
 
 	mu       sync.Mutex
 	state    State
@@ -158,8 +166,8 @@ func (j *job) progress(p tdmroute.Progress) {
 // reached one (a queued job cancelled by DELETE and later swept by drain).
 func (j *job) finish(state State, resp *tdmroute.Response, err error, row *exp.PerfRow) bool {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.state.Terminal() {
+		j.mu.Unlock()
 		return false
 	}
 	j.state = state
@@ -173,6 +181,12 @@ func (j *job) finish(state State, resp *tdmroute.Response, err error, row *exp.P
 		e.Error = err.Error()
 	}
 	j.appendEventLocked(e)
+	hook := j.onFinish
+	j.onFinish = nil
+	j.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
 	return true
 }
 
@@ -183,34 +197,49 @@ func (j *job) finish(state State, resp *tdmroute.Response, err error, row *exp.P
 // returned state is the state after the call.
 func (j *job) requestCancel() (State, bool) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	switch {
 	case j.state == StateQueued:
 		j.state = StateCanceled
 		j.err = context.Canceled
 		j.finished = time.Now()
 		j.appendEventLocked(Event{Type: "done", State: StateCanceled, Error: context.Canceled.Error()})
+		hook := j.onFinish
+		j.onFinish = nil
+		j.mu.Unlock()
+		if hook != nil {
+			hook()
+		}
 		return StateCanceled, true
 	case j.state == StateRunning:
 		if j.cancelFn != nil {
 			j.cancelFn()
 		}
+		j.mu.Unlock()
 		return StateRunning, false
 	}
-	return j.state, false
+	st := j.state
+	j.mu.Unlock()
+	return st, false
 }
 
-// eventsSince returns a copy of the events from seq on, the channel that
-// will be closed when more arrive, and whether the stream is complete (the
-// job is terminal and every event has been handed out).
-func (j *job) eventsSince(seq int) ([]Event, <-chan struct{}, bool) {
+// eventsSince returns a copy of the events from seq on, the clamped position
+// actually used, the channel that will be closed when more arrive, and
+// whether the stream is complete (the job is terminal and every event has
+// been handed out). seq is clamped to [0, len(events)]: a resume cursor
+// beyond the log (a bogus Last-Event-ID) replays nothing and follows the
+// live tail instead of parking the subscriber forever on a completion
+// condition it can never satisfy.
+func (j *job) eventsSince(seq int) ([]Event, int, <-chan struct{}, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	var evs []Event
-	if seq < len(j.events) {
-		evs = append(evs, j.events[seq:]...)
+	if seq < 0 {
+		seq = 0
 	}
-	return evs, j.notify, j.state.Terminal() && seq+len(evs) == len(j.events)
+	if seq > len(j.events) {
+		seq = len(j.events)
+	}
+	evs := append([]Event(nil), j.events[seq:]...)
+	return evs, seq, j.notify, j.state.Terminal() && seq+len(evs) == len(j.events)
 }
 
 // currentState returns the job's state.
@@ -239,6 +268,7 @@ func (j *job) status() *JobStatus {
 		State:     j.state,
 		Mode:      j.req.Mode.String(),
 		Bench:     j.req.Instance.Name,
+		BaseID:    j.baseID,
 		NumEdges:  j.numEdges,
 		Created:   j.created,
 		Started:   j.started,

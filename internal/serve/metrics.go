@@ -89,6 +89,13 @@ func formatFloat(v float64) string {
 type metrics struct {
 	accepted       atomic.Int64
 	submitRejected atomic.Int64
+	// Warm-session lifecycle: retained on a finished retain=1 job, evicted
+	// by the capacity bound, dropped after a poisoning delta failure, and
+	// conflicts (409s) from concurrent deltas on one session.
+	warmRetained atomic.Int64
+	warmEvicted  atomic.Int64
+	warmDropped  atomic.Int64
+	warmConflict atomic.Int64
 
 	mu       sync.Mutex
 	outcomes [numOutcomes]int64
@@ -142,7 +149,7 @@ func (m *metrics) summary() string {
 // writeMetrics renders the full exposition. The server passes its live
 // queue/worker gauges so they reconcile with the counters: at quiescence
 // accepted == sum(outcomes) + queued + running.
-func (m *metrics) write(w io.Writer, queueDepth, queueCap, running, workers int, draining bool) {
+func (m *metrics) write(w io.Writer, queueDepth, queueCap, running, workers, warmSessions int, draining bool) {
 	fmt.Fprintf(w, "# tdmroutd metrics\n")
 	fmt.Fprintf(w, "tdmroutd_up 1\n")
 	fmt.Fprintf(w, "tdmroutd_draining %d\n", boolInt(draining))
@@ -152,6 +159,11 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap, running, workers int,
 	fmt.Fprintf(w, "tdmroutd_jobs_running %d\n", running)
 	fmt.Fprintf(w, "tdmroutd_jobs_accepted_total %d\n", m.accepted.Load())
 	fmt.Fprintf(w, "tdmroutd_submit_rejected_total %d\n", m.submitRejected.Load())
+	fmt.Fprintf(w, "tdmroutd_warm_sessions %d\n", warmSessions)
+	fmt.Fprintf(w, "tdmroutd_warm_retained_total %d\n", m.warmRetained.Load())
+	fmt.Fprintf(w, "tdmroutd_warm_evicted_total %d\n", m.warmEvicted.Load())
+	fmt.Fprintf(w, "tdmroutd_warm_dropped_total %d\n", m.warmDropped.Load())
+	fmt.Fprintf(w, "tdmroutd_warm_conflict_total %d\n", m.warmConflict.Load())
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for o := outcome(0); o < numOutcomes; o++ {

@@ -31,6 +31,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -62,6 +63,11 @@ type Config struct {
 	// RetryAfter is the Retry-After value on 503 rejections. Zero
 	// selects 1s.
 	RetryAfter time.Duration
+	// MaxWarmSessions bounds the warm solver sessions retained for delta
+	// re-solves (?retain=1 submissions). Retaining beyond the bound evicts
+	// the least recently used idle session. Zero selects 4; negative
+	// disables retention.
+	MaxWarmSessions int
 	// SolveOptions is the base solver configuration; per-job query
 	// parameters (epsilon, maxiter, ripup, workers, pow2) override it.
 	SolveOptions tdmroute.Options
@@ -81,6 +87,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.MaxWarmSessions == 0 {
+		c.MaxWarmSessions = 4
 	}
 	return c
 }
@@ -103,6 +112,7 @@ type Server struct {
 	jobs   map[string]*job
 	nextID int
 
+	warm    *warmRegistry
 	metrics metrics
 }
 
@@ -117,6 +127,7 @@ func New(cfg Config) *Server {
 		queue: make(chan *job, cfg.QueueDepth),
 		//lint:ignore rawgo shutdown signal channel, not solver parallelism: closing it stops the worker pool
 		stopc: make(chan struct{}),
+		warm:  newWarmRegistry(cfg.MaxWarmSessions),
 	}
 	s.metrics.init()
 	s.routes()
@@ -153,9 +164,10 @@ func (s *Server) lookup(id string) *job {
 	return s.jobs[id]
 }
 
-// submit queues a new job. It returns false when the server is draining or
-// the queue is full.
-func (s *Server) submit(req tdmroute.Request, deadline time.Duration) (*job, bool) {
+// submit queues a new job. setup, when non-nil, configures the job (delta
+// base id, finish hook) before it becomes visible to any worker. It returns
+// false when the server is draining or the queue is full.
+func (s *Server) submit(req tdmroute.Request, deadline time.Duration, setup func(*job)) (*job, bool) {
 	deadline = s.clampDeadline(deadline)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -167,6 +179,9 @@ func (s *Server) submit(req tdmroute.Request, deadline time.Duration) (*job, boo
 	}
 	s.nextID++
 	j := newJob(jobID(s.nextID), req, deadline)
+	if setup != nil {
+		setup(j)
+	}
 	select {
 	case s.queue <- j:
 	default:
@@ -190,14 +205,11 @@ func (s *Server) clampDeadline(d time.Duration) time.Duration {
 }
 
 func jobID(n int) string {
-	// Zero-padded so lexical and submission order agree in listings.
-	const digits = "0123456789"
-	buf := [8]byte{'j', '0', '0', '0', '0', '0', '0', '0'}
-	for i := len(buf) - 1; i > 0 && n > 0; i-- {
-		buf[i] = digits[n%10]
-		n /= 10
-	}
-	return string(buf[:])
+	// Zero-padded to seven digits so lexical and submission order agree in
+	// listings; ids beyond that simply grow a digit. (A fixed-width buffer
+	// here once truncated ids above 9,999,999 to their low seven digits,
+	// colliding with earlier jobs.)
+	return fmt.Sprintf("j%07d", n)
 }
 
 // worker is one pool goroutine: it runs jobs until Shutdown.
@@ -229,6 +241,14 @@ func (s *Server) runJob(j *job) {
 		// Cancelled or rejected while queued; already terminal.
 		return
 	}
+	// A drain that started between this worker's dequeue and begin() has
+	// already swept the running jobs — this one was still queued then and
+	// would run to completion un-cancelled. Observing the drain here closes
+	// that window: the job degrades to its best-so-far incumbent like every
+	// other in-flight job.
+	if s.draining.Load() {
+		cancel()
+	}
 	req := j.req
 	req.OnProgress = j.progress
 	var resp *tdmroute.Response
@@ -244,13 +264,30 @@ func (s *Server) runJob(j *job) {
 
 // finishJob classifies a finished solve and records it. An interrupted run
 // that still produced a legal incumbent arrives as resp with Degraded set
-// and a nil error; only runs with no possible incumbent arrive as errors.
+// and a nil error; an error can still ride along with an incumbent (a
+// ModeIterative hard failure after successful rounds), and only runs with no
+// possible incumbent lose their response.
 func (s *Server) finishJob(j *job, resp *tdmroute.Response, err error) {
 	state := StateDone
 	outcome := outcomeDone
 	switch {
+	case err != nil && resp != nil && resp.Solution != nil:
+		// A hard error with a legal incumbent: keep the solution (it
+		// validated in an earlier round) and report the run as degraded,
+		// with the error on the job. Discarding it here used to throw away
+		// every kept round of an iterative solve.
+		outcome = outcomeDegraded
+		if resp.Degraded == nil {
+			resp.Degraded = &tdmroute.Degraded{
+				Stage:          tdmroute.StageFeedback,
+				Cause:          err,
+				LRIterations:   resp.Report.Iterations,
+				FeedbackRounds: resp.RoundsRun,
+				IncumbentGTR:   resp.Report.GTRMax,
+			}
+		}
 	case err != nil:
-		resp = nil // a ModeIterative hard error may carry a partial response
+		resp = nil
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			state, outcome = StateCanceled, outcomeCanceled
 		} else {
@@ -258,6 +295,22 @@ func (s *Server) finishJob(j *job, resp *tdmroute.Response, err error) {
 		}
 	case resp.Degraded != nil:
 		outcome = outcomeDegraded
+	}
+	// Strip the warm handle off the response before it is recorded: it
+	// never travels over the wire, and retained sessions live in the
+	// registry, keyed by the job that built them. Delta jobs return their
+	// base job's handle, which stays under the base id (the finish hook
+	// releases or drops it).
+	if resp != nil && resp.Warm != nil {
+		h := resp.Warm
+		resp.Warm = nil
+		if j.req.Mode != tdmroute.ModeDelta {
+			if evicted, retained := s.warm.put(j.id, h); retained {
+				s.metrics.warmRetained.Add(1)
+				s.metrics.warmEvicted.Add(int64(evicted))
+				s.logf("job %s: warm session retained (%d evicted)", j.id, evicted)
+			}
+		}
 	}
 	var row *exp.PerfRow
 	if resp != nil && resp.Solution != nil && !j.started.IsZero() {

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"sync"
+
+	"tdmroute"
+)
+
+// warmRegistry pins the warm solver sessions of retained jobs to this node.
+// A session is keyed by the job id that produced it; delta submissions
+// acquire it exclusively for the duration of the delta job. The registry is
+// bounded: retaining a session beyond the cap evicts the least recently used
+// idle one (a busy session is never evicted — the delta running on it owns
+// the state).
+type warmRegistry struct {
+	mu      sync.Mutex
+	max     int
+	seq     int64
+	entries map[string]*warmEntry
+}
+
+type warmEntry struct {
+	handle *tdmroute.WarmHandle
+	// busy marks the session as owned by an in-flight delta job; a warm
+	// handle is single-threaded, so concurrent deltas conflict (409).
+	busy     bool
+	lastUsed int64
+}
+
+func newWarmRegistry(max int) *warmRegistry {
+	return &warmRegistry{max: max, entries: map[string]*warmEntry{}}
+}
+
+// put registers a session under id and returns how many idle sessions the
+// capacity bound evicted. A non-positive cap disables retention entirely.
+func (r *warmRegistry) put(id string, h *tdmroute.WarmHandle) (evicted int, retained bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.max <= 0 {
+		return 0, false
+	}
+	r.seq++
+	r.entries[id] = &warmEntry{handle: h, lastUsed: r.seq}
+	for len(r.entries) > r.max {
+		victim := ""
+		var oldest int64
+		for vid, e := range r.entries {
+			if e.busy || vid == id {
+				continue
+			}
+			if victim == "" || e.lastUsed < oldest {
+				victim, oldest = vid, e.lastUsed
+			}
+		}
+		if victim == "" {
+			break // everything else is busy; temporarily over cap
+		}
+		delete(r.entries, victim)
+		evicted++
+	}
+	return evicted, true
+}
+
+// acquire hands out the session for exclusive use. found reports whether the
+// id has a session at all; busy reports a conflict with an in-flight delta.
+func (r *warmRegistry) acquire(id string) (h *tdmroute.WarmHandle, found, busy bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.entries[id]
+	if e == nil {
+		return nil, false, false
+	}
+	if e.busy {
+		return nil, true, true
+	}
+	e.busy = true
+	r.seq++
+	e.lastUsed = r.seq
+	return e.handle, true, false
+}
+
+// release returns an acquired session to the pool.
+func (r *warmRegistry) release(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.entries[id]; e != nil {
+		e.busy = false
+		r.seq++
+		e.lastUsed = r.seq
+	}
+}
+
+// drop discards a session (poisoned by a failed delta, or no longer wanted).
+func (r *warmRegistry) drop(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.entries, id)
+}
+
+// size reports the number of retained sessions, for the metrics gauge.
+func (r *warmRegistry) size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}

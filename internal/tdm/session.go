@@ -87,6 +87,7 @@ func (t *Session) RunLR(ctx context.Context, routes problem.Routing, changed []i
 		if t.s == nil {
 			t.s = newLRState(t.in, routes, opt)
 		} else {
+			t.grow(len(routes))
 			t.patch(routes, changed)
 			t.s.resetRun(opt)
 		}
@@ -156,6 +157,51 @@ func (t *Session) stampEdge(e int) {
 		t.newCnt[e] = 0
 		t.aff = append(t.aff, int32(e))
 	}
+}
+
+// grow extends the per-net state for nets appended to the instance since the
+// session's LR state was built (ECO net additions). The appended nets carry
+// no cells yet: netStart gains slots repeating the previous total — exactly
+// what a cold build on the old routing extended with empty routes produces —
+// so the subsequent patch call, whose changed set must include every
+// appended net (the delta solver guarantees it), splices their real cells
+// in. Group-indexed state (multipliers, windows) is untouched: deltas edit
+// membership of existing groups only, so the group count is invariant.
+func (t *Session) grow(numNets int) {
+	old := len(t.routes)
+	if numNets <= old {
+		return
+	}
+	s := t.s
+	ns := make([]int32, numNets+1)
+	copy(ns, s.netStart)
+	tail := s.netStart[old]
+	for n := old + 1; n <= numNets; n++ {
+		ns[n] = tail
+	}
+	s.netStart = ns
+	s.pi = growF64(s.pi, numNets)
+	s.sqrtPi = growF64(s.sqrtPi, numNets)
+	s.sqrtPiX = growF64(s.sqrtPiX, numNets)
+	s.netTDM = growF64(s.netTDM, numNets)
+	if t.netStamp != nil {
+		stamp := make([]uint32, numNets)
+		copy(stamp, t.netStamp)
+		t.netStamp = stamp // appended nets start unstamped (epoch 0 != any live epoch)
+	}
+	for len(t.routes) < numNets {
+		t.routes = append(t.routes, nil)
+	}
+}
+
+// growF64 returns b zero-extended to length n.
+func growF64(b []float64, n int) []float64 {
+	if len(b) >= n {
+		return b
+	}
+	nb := make([]float64, n)
+	copy(nb, b)
+	return nb
 }
 
 // resizeI32 returns b with length n, reusing its capacity when possible.

@@ -98,7 +98,11 @@ func SolveIterativeCtx(ctx context.Context, in *Instance, opt IterateOptions) (*
 // normalized by the Run boundary. When a hard (non-interruption) error
 // occurs after the base solve, the returned result is non-nil alongside the
 // error and carries the incumbent and the stage times of all work done.
-func runIterative(ctx context.Context, in *Instance, opt IterateOptions) (*IterateResult, error) {
+//
+// warm, when non-nil, receives the run's live sessions, final multipliers,
+// and the stale-net bookkeeping (Request.Retain); the caller must discard it
+// when runIterative also returns an error.
+func runIterative(ctx context.Context, in *Instance, opt IterateOptions, warm *WarmHandle) (*IterateResult, error) {
 	if opt.Rounds == 0 {
 		opt.Rounds = 3
 	}
@@ -107,6 +111,14 @@ func runIterative(ctx context.Context, in *Instance, opt IterateOptions) (*Itera
 	rs := route.NewSession(in, opt.Base.Route)
 	ts := tdm.NewSession(in)
 	var lambda []float64
+	var stale []int
+	if warm != nil {
+		warm.rs, warm.ts = rs, ts
+		defer func() {
+			warm.lambda = lambda
+			warm.stale = stale
+		}()
+	}
 	base, err := solveBaseSession(ctx, in, opt.Base, rs, ts, &lambda)
 	if err != nil {
 		return nil, err
@@ -128,10 +140,19 @@ func runIterative(ctx context.Context, in *Instance, opt IterateOptions) (*Itera
 			opt.onRound(round)
 		}
 		res.RoundsRun++
-		improved, err := feedbackRoundSession(ctx, in, res, opt, rs, ts, &lambda)
+		improved, err := feedbackRoundSession(ctx, in, res, opt, rs, ts, &lambda, &stale)
 		if err != nil {
 			if isInterruption(err) {
 				stop = err // incumbent stands; the round's candidate is dropped
+				if warm != nil {
+					// A contained panic may have interrupted the TDM session
+					// mid-splice; a cancellation stops only at clean
+					// boundaries. Poison the handle on the former.
+					var pe *par.PanicError
+					if errors.As(err, &pe) {
+						warm.err = err
+					}
+				}
 				break
 			}
 			return res, err
@@ -203,13 +224,9 @@ func solveBaseSession(ctx context.Context, in *Instance, opt Options, rs *route.
 		stage = StageRoute
 	}
 	if stage != "" {
-		cause := rep.Interrupted
-		if cause == nil {
-			cause = ctx.Err()
-		}
 		res.Degraded = &Degraded{
 			Stage:        stage,
-			Cause:        cause,
+			Cause:        degradedCause(rep, ctx),
 			LRIterations: rep.Iterations,
 			IncumbentGTR: rep.GTRMax,
 		}
@@ -222,8 +239,13 @@ func solveBaseSession(ctx context.Context, in *Instance, opt Options, rs *route.
 // the LR state is patched with just those nets. On rejection or error the
 // reroute is undone, restoring the accepted topology. (A rejected or failed
 // round always ends the loop, so the TDM session — already patched to the
-// dropped candidate — is not consulted again.)
-func feedbackRoundSession(ctx context.Context, in *Instance, res *IterateResult, opt IterateOptions, rs *route.Session, ts *tdm.Session, lambda *[]float64) (bool, error) {
+// dropped candidate — is not consulted again within this run.)
+//
+// stale records the nets whose routes the TDM session was patched with this
+// round; it is cleared when the round is accepted, so after the loop it
+// names exactly the nets on which the TDM session lags the routing session.
+// A retained warm handle folds it into the next delta's changed set.
+func feedbackRoundSession(ctx context.Context, in *Instance, res *IterateResult, opt IterateOptions, rs *route.Session, ts *tdm.Session, lambda *[]float64, stale *[]int) (bool, error) {
 	cur := res.Solution
 	_, gmax := eval.MaxGroupTDM(in, cur)
 	if gmax < 0 {
@@ -249,6 +271,10 @@ func feedbackRoundSession(ctx context.Context, in *Instance, res *IterateResult,
 	topt.WarmLambda = *lambda
 	var captured []float64
 	topt.CaptureLambda = func(l []float64) { captured = l }
+	// Copy rather than alias the group's member list: it outlives the round
+	// inside a retained warm handle, while delta group edits mutate the
+	// instance's slices in place.
+	*stale = append([]int(nil), members...)
 	assign, rep, times, _, err := assignTimedSession(ctx, ts, in, candidate, members, topt)
 	res.Times.LR += times.LR
 	res.Times.LegalRefine += times.LegalRefine
@@ -264,6 +290,7 @@ func feedbackRoundSession(ctx context.Context, in *Instance, res *IterateResult,
 	res.Solution = &Solution{Routes: rs.Routes(), Assign: assign}
 	res.Report = rep
 	*lambda = captured
+	*stale = nil
 	return true, nil
 }
 

@@ -22,10 +22,16 @@ const (
 	// ModeAssignOnly runs only the TDM ratio assignment on the fixed
 	// topology supplied in Request.Routing (the "+TA" experiment).
 	ModeAssignOnly
+	// ModeDelta re-solves an ECO edit against retained warm state: the
+	// request carries the warm handle of a previous Retain run
+	// (Request.Base) plus the edit (Request.Delta), and only the affected
+	// nets are re-routed. The instance travels inside the handle;
+	// Request.Instance is ignored.
+	ModeDelta
 )
 
 // String returns the wire name of the mode ("single", "iterative",
-// "assign"); ParseMode is its inverse.
+// "assign", "delta"); ParseMode is its inverse.
 func (m Mode) String() string {
 	switch m {
 	case ModeSingle:
@@ -34,6 +40,8 @@ func (m Mode) String() string {
 		return "iterative"
 	case ModeAssignOnly:
 		return "assign"
+	case ModeDelta:
+		return "delta"
 	default:
 		return fmt.Sprintf("mode(%d)", int(m))
 	}
@@ -48,6 +56,8 @@ func ParseMode(s string) (Mode, error) {
 		return ModeIterative, nil
 	case "assign":
 		return ModeAssignOnly, nil
+	case "delta":
+		return ModeDelta, nil
 	}
 	return 0, fmt.Errorf("tdmroute: unknown mode %q", s)
 }
@@ -101,6 +111,21 @@ type Request struct {
 	// Options.TDM.Trace; both fire when both are set.
 	OnProgress func(Progress)
 
+	// Retain asks Run to keep the solver's warm state — routing and TDM
+	// sessions plus the captured multipliers — and return it in
+	// Response.Warm for later ModeDelta requests. Supported by ModeSingle
+	// and ModeIterative; the state is retained only when Run succeeds
+	// (degraded incumbents retain, hard errors do not). Retention does not
+	// change the solution: the retained path computes byte-identical results
+	// to the throwaway one.
+	Retain bool
+	// Base is the warm handle a ModeDelta request re-solves against
+	// (required for ModeDelta, ignored otherwise).
+	Base *WarmHandle
+	// Delta is the ECO edit a ModeDelta request applies (required for
+	// ModeDelta, ignored otherwise).
+	Delta *Delta
+
 	// onRound is the deterministic mid-round cancellation hook of the
 	// equivalence tests (see IterateOptions.onRound); it fires before the
 	// OnProgress round event.
@@ -131,6 +156,12 @@ type Response struct {
 	RoundsKept int
 	// InitialGTR is the single-pass GTR_max before any feedback round.
 	InitialGTR int64
+	// Warm is the retained warm state when the request asked for it
+	// (Request.Retain) and after every successful ModeDelta solve (the same
+	// handle, ready for the next delta). It never travels over the wire:
+	// MarshalJSON omits it, and the serve layer pins handles to the node
+	// that built them.
+	Warm *WarmHandle
 }
 
 // Run executes one request. It is the single context-first entry point of
@@ -146,13 +177,16 @@ func Run(ctx context.Context, req Request) (*Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if req.Instance == nil {
+	if req.Instance == nil && req.Mode != ModeDelta {
 		return nil, errors.New("tdmroute: Run: nil Instance")
 	}
 	req.Options = req.Options.normalized()
 	req = req.wireProgress()
 	switch req.Mode {
 	case ModeSingle:
+		if req.Retain {
+			return runSingleRetained(ctx, req)
+		}
 		res, err := runSingle(ctx, req.Instance, req.Options)
 		if err != nil {
 			return nil, err
@@ -160,11 +194,15 @@ func Run(ctx context.Context, req Request) (*Response, error) {
 		return res.response(ModeSingle), nil
 
 	case ModeIterative:
+		var warm *WarmHandle
+		if req.Retain {
+			warm = &WarmHandle{in: req.Instance, opt: req.Options}
+		}
 		res, err := runIterative(ctx, req.Instance, IterateOptions{
 			Rounds:  req.Rounds,
 			Base:    req.Options,
 			onRound: req.onRound,
-		})
+		}, warm)
 		if res == nil {
 			return nil, err
 		}
@@ -172,10 +210,19 @@ func Run(ctx context.Context, req Request) (*Response, error) {
 		resp.RoundsRun = res.RoundsRun
 		resp.RoundsKept = res.RoundsKept
 		resp.InitialGTR = res.InitialGTR
+		if warm != nil && err == nil {
+			resp.Warm = warm
+		}
 		return resp, err
 
 	case ModeAssignOnly:
+		if req.Retain {
+			return nil, errors.New("tdmroute: Run: Retain is not supported for ModeAssignOnly (there is no routing state to retain)")
+		}
 		return runAssignOnly(ctx, req)
+
+	case ModeDelta:
+		return runDelta(ctx, req)
 
 	default:
 		return nil, fmt.Errorf("tdmroute: Run: unknown mode %d", int(req.Mode))
@@ -205,13 +252,9 @@ func runAssignOnly(ctx context.Context, req Request) (*Response, error) {
 		Times:    times,
 	}
 	if stage != "" {
-		cause := rep.Interrupted
-		if cause == nil {
-			cause = ctx.Err()
-		}
 		resp.Degraded = &Degraded{
 			Stage:        stage,
-			Cause:        cause,
+			Cause:        degradedCause(rep, ctx),
 			LRIterations: rep.Iterations,
 			IncumbentGTR: rep.GTRMax,
 		}

@@ -261,6 +261,61 @@ func TestResponseMarshalJSONGolden(t *testing.T) {
 	if string(got) != wantClean {
 		t.Errorf("clean golden mismatch:\n got: %s\nwant: %s", got, wantClean)
 	}
+
+	// A degraded delta response whose stage was curtailed without a recorded
+	// cause: degradedCause substitutes a definite sentinel, so the wire
+	// schema never carries an empty cause alongside a non-null degraded
+	// (regression: runAssignOnly used to build Degraded with a nil Cause).
+	curtailed := &Response{
+		Mode: ModeDelta,
+		Degraded: &Degraded{
+			Stage:        StageLR,
+			Cause:        degradedCause(Report{}, context.Background()),
+			LRIterations: 7,
+			IncumbentGTR: 20,
+		},
+	}
+	got, err = json.Marshal(curtailed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantCurtailed = `{"mode":"delta",` +
+		`"report":{"iterations":0,"converged":false,"lower_bound":0,"relaxed_z":0,"gtr_noref":0,"gtr_max":0},` +
+		`"route_stats":{"routed_nets":0,"ripup_rounds":0,"reverted_rounds":0,"ripped_nets":0},` +
+		`"times":{"route_ms":0,"lr_ms":0,"legal_refine_ms":0,"total_ms":0},` +
+		`"degraded":{"stage":"lr","cause":"tdmroute: run curtailed without a recorded cause","lr_iterations":7,"feedback_rounds":0,"incumbent_gtr":20},` +
+		`"rounds_run":0,"rounds_kept":0,"initial_gtr":0,"solution":null}`
+	if string(got) != wantCurtailed {
+		t.Errorf("curtailed golden mismatch:\n got: %s\nwant: %s", got, wantCurtailed)
+	}
+}
+
+// TestDegradedCauseNeverNil pins the satellite fix for the nil-Cause
+// Degraded: whichever combination of interruption record and context state a
+// curtailed stage ends in, the attributed cause is definite.
+func TestDegradedCauseNeverNil(t *testing.T) {
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	boom := errors.New("boom")
+	cases := []struct {
+		name string
+		rep  Report
+		ctx  context.Context
+		want error
+	}{
+		{"interrupted wins", Report{Interrupted: boom}, cancelled, boom},
+		{"context next", Report{}, cancelled, context.Canceled},
+		{"sentinel fallback", Report{}, context.Background(), errCurtailed},
+	}
+	for _, tc := range cases {
+		got := degradedCause(tc.rep, tc.ctx)
+		if got == nil {
+			t.Fatalf("%s: degradedCause returned nil", tc.name)
+		}
+		if !errors.Is(got, tc.want) {
+			t.Errorf("%s: degradedCause = %v, want %v", tc.name, got, tc.want)
+		}
+	}
 }
 
 // TestResponseJSONRoundTrip checks UnmarshalJSON against MarshalJSON: a

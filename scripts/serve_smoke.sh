@@ -1,7 +1,9 @@
 #!/bin/sh
 # Smoke-test the tdmroutd job server end to end: build it, boot it on a
-# local port, drive one job through submit -> poll -> solution over HTTP,
-# reconcile /metrics, then drain with SIGTERM and require exit status 0.
+# local port, drive one job through submit -> poll -> solution over HTTP
+# with retain=1, re-solve an ECO edit through the delta endpoint against
+# the retained warm session, reconcile /metrics, then drain with SIGTERM
+# and require exit status 0.
 #
 #   scripts/serve_smoke.sh           # default port 18080
 #   SERVE_SMOKE_ADDR=127.0.0.1:9999 scripts/serve_smoke.sh
@@ -38,7 +40,7 @@ done
 
 echo "== submit"
 accepted=$(curl -fsS -X POST -H 'Content-Type: text/plain' \
-  --data-binary "@$work/instance.txt" "$base/v1/jobs?name=smoke")
+  --data-binary "@$work/instance.txt" "$base/v1/jobs?name=smoke&retain=1")
 id=$(printf '%s' "$accepted" | grep -o '"id":"[^"]*"' | head -n 1 | cut -d'"' -f4)
 if [ -z "$id" ]; then
   echo "FAIL: no job id in submit response: $accepted"
@@ -46,26 +48,31 @@ if [ -z "$id" ]; then
 fi
 echo "accepted job $id"
 
+wait_done() {
+  _wid=$1
+  i=0
+  state=""
+  while :; do
+    state=$(curl -fsS "$base/v1/jobs/$_wid" |
+      grep -o '"state":"[a-z]*"' | head -n 1 | cut -d'"' -f4)
+    case "$state" in
+    done) return 0 ;;
+    failed | canceled | rejected)
+      echo "FAIL: job $_wid ended in state $state"
+      exit 1
+      ;;
+    esac
+    i=$((i + 1))
+    if [ "$i" -ge 600 ]; then
+      echo "FAIL: job $_wid stuck in state ${state:-unknown}"
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+
 echo "== wait for completion"
-i=0
-state=""
-while :; do
-  state=$(curl -fsS "$base/v1/jobs/$id" |
-    grep -o '"state":"[a-z]*"' | head -n 1 | cut -d'"' -f4)
-  case "$state" in
-  done) break ;;
-  failed | canceled | rejected)
-    echo "FAIL: job ended in state $state"
-    exit 1
-    ;;
-  esac
-  i=$((i + 1))
-  if [ "$i" -ge 600 ]; then
-    echo "FAIL: job stuck in state ${state:-unknown}"
-    exit 1
-  fi
-  sleep 0.1
-done
+wait_done "$id"
 
 echo "== solution"
 curl -fsS "$base/v1/jobs/$id/solution?format=text" -o "$work/solution.txt"
@@ -75,16 +82,38 @@ if ! [ -s "$work/solution.txt" ]; then
 fi
 wc -l <"$work/solution.txt" | xargs echo "solution lines:"
 
+echo "== delta re-solve against the warm session"
+accepted=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+  --data '{"edge_bias":[{"edge":0,"delta":1}]}' "$base/v1/jobs/$id/delta")
+did=$(printf '%s' "$accepted" | grep -o '"id":"[^"]*"' | head -n 1 | cut -d'"' -f4)
+if [ -z "$did" ] || [ "$did" = "$id" ]; then
+  echo "FAIL: no delta job id in response: $accepted"
+  exit 1
+fi
+echo "accepted delta job $did (base $id)"
+wait_done "$did"
+curl -fsS "$base/v1/jobs/$did/solution?format=text" -o "$work/delta.txt"
+if ! [ -s "$work/delta.txt" ]; then
+  echo "FAIL: empty delta solution body"
+  exit 1
+fi
+wc -l <"$work/delta.txt" | xargs echo "delta solution lines:"
+
 echo "== metrics"
 curl -fsS "$base/metrics" >"$work/metrics.txt"
 for want in \
   'tdmroutd_up 1' \
   'tdmroutd_draining 0' \
-  'tdmroutd_jobs_accepted_total 1' \
+  'tdmroutd_jobs_accepted_total 2' \
   'tdmroutd_submit_rejected_total 0' \
-  'tdmroutd_jobs_total{outcome="done"} 1' \
+  'tdmroutd_jobs_total{outcome="done"} 2' \
   'tdmroutd_jobs_running 0' \
-  'tdmroutd_queue_depth 0'; do
+  'tdmroutd_queue_depth 0' \
+  'tdmroutd_warm_sessions 1' \
+  'tdmroutd_warm_retained_total 1' \
+  'tdmroutd_warm_evicted_total 0' \
+  'tdmroutd_warm_dropped_total 0' \
+  'tdmroutd_warm_conflict_total 0'; do
   if ! grep -Fqx "$want" "$work/metrics.txt"; then
     echo "FAIL: metrics missing line: $want"
     cat "$work/metrics.txt"

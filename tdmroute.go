@@ -198,8 +198,9 @@ type Degraded struct {
 	// incumbent, so a StageRoute degradation does not mean TDM assignment
 	// was skipped.
 	Stage Stage
-	// Cause is the reason the run stopped: context.Canceled,
-	// context.DeadlineExceeded, or a *par.PanicError.
+	// Cause is the reason the run stopped — context.Canceled,
+	// context.DeadlineExceeded, or a *par.PanicError — and is never nil
+	// (when no concrete cause was recorded a definite sentinel stands in).
 	Cause error
 	// LRIterations counts completed Lagrangian-relaxation iterations.
 	LRIterations int
@@ -285,13 +286,9 @@ func runSingle(ctx context.Context, in *Instance, opt Options) (*Result, error) 
 		stage = StageRoute
 	}
 	if stage != "" {
-		cause := rep.Interrupted
-		if cause == nil {
-			cause = ctx.Err()
-		}
 		res.Degraded = &Degraded{
 			Stage:        stage,
-			Cause:        cause,
+			Cause:        degradedCause(rep, ctx),
 			LRIterations: rep.Iterations,
 			IncumbentGTR: rep.GTRMax,
 		}
