@@ -1,15 +1,19 @@
-// Command tdmlint runs the repository's static-analysis suite: four
-// stdlib-only analyzers enforcing the solver's determinism and overflow
-// invariants (see internal/lint).
+// Command tdmlint runs the repository's static-analysis suite: eight
+// stdlib-only analyzers enforcing the solver's determinism, overflow,
+// concurrency, and cancellation invariants (see internal/lint).
 //
 // Usage:
 //
-//	tdmlint [-tests] [-only floatcast,maporder] [pattern ...]
+//	tdmlint [-tests] [-only ctxflow,satarith] [-json] [-sarif file] [-fix] [pattern ...]
 //
 // Patterns are module-relative package directories ("internal/tdm") or
 // subtrees ("./..."); no patterns means the whole module. Each finding
-// prints as "file:line: analyzer: message". Exit status is 0 for a clean
-// tree, 1 when there are findings, and 2 on load or usage errors.
+// prints as "file:line: analyzer: message"; -json switches stdout to a JSON
+// array, and -sarif additionally writes a SARIF 2.1.0 report (use "-" for
+// stdout) for CI code-scanning annotation. -fix applies the mechanical
+// rewrites some analyzers attach (satarith saturating-helper rewrites,
+// stale-directive removal) and reports what remains. Exit status is 0 for a
+// clean tree, 1 when there are findings, and 2 on load or usage errors.
 //
 // A "//lint:ignore <analyzer> <reason>" comment on the flagged line, or on
 // the line directly above it, suppresses a finding; unused or malformed
@@ -36,6 +40,10 @@ func run(args []string, out io.Writer) int {
 	tests := fs.Bool("tests", false, "also analyze _test.go files and external test packages")
 	only := fs.String("only", "", "comma-separated analyzer subset (default: all)")
 	dir := fs.String("C", "", "directory inside the target module (default: current directory)")
+	jsonOut := fs.Bool("json", false, "print findings as a JSON array instead of text")
+	sarifOut := fs.String("sarif", "", "also write a SARIF 2.1.0 report to this file (\"-\" for stdout)")
+	fix := fs.Bool("fix", false, "apply mechanical fixes, then report the remaining findings")
+	workers := fs.Int("workers", 0, "loader parallelism (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -44,6 +52,7 @@ func run(args []string, out io.Writer) int {
 		Dir:          *dir,
 		Patterns:     fs.Args(),
 		IncludeTests: *tests,
+		Workers:      *workers,
 	}
 	if *only != "" {
 		cfg.Analyzers = strings.Split(*only, ",")
@@ -54,8 +63,55 @@ func run(args []string, out io.Writer) int {
 		fmt.Fprintln(os.Stderr, "tdmlint:", err)
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Fprintln(out, f)
+
+	if *fix {
+		changed, err := lint.ApplyFixes(findings)
+		for _, f := range changed {
+			fmt.Fprintf(os.Stderr, "tdmlint: fixed %s\n", f)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tdmlint:", err)
+			return 2
+		}
+		if len(changed) > 0 {
+			// Re-run so the report reflects the rewritten tree.
+			findings, err = lint.Run(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tdmlint:", err)
+				return 2
+			}
+		}
+	}
+
+	if *sarifOut != "" {
+		w := out
+		if *sarifOut != "-" {
+			f, err := os.Create(*sarifOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tdmlint:", err)
+				return 2
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := lint.WriteSARIF(w, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "tdmlint:", err)
+			return 2
+		}
+	}
+
+	switch {
+	case *jsonOut:
+		if err := lint.WriteJSON(out, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "tdmlint:", err)
+			return 2
+		}
+	case *sarifOut == "-":
+		// SARIF already went to stdout; skip the text listing.
+	default:
+		for _, f := range findings {
+			fmt.Fprintln(out, f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "tdmlint: %d finding(s)\n", len(findings))

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -43,5 +46,89 @@ func TestRunUsageErrors(t *testing.T) {
 	}
 	if code := run([]string{"-C", "/nonexistent-dir-xyz"}, &out); code != 2 {
 		t.Errorf("bad dir: exit code = %d, want 2", code)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var out strings.Builder
+	code := run([]string{"-C", fixtureDir, "-json", "floatcast"}, &out)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; output:\n%s", code, out.String())
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &decoded); err != nil {
+		t.Fatalf("-json output does not decode: %v\n%s", err, out.String())
+	}
+	if len(decoded) != 1 || decoded[0]["analyzer"] != "floatcast" {
+		t.Errorf("unexpected JSON findings: %v", decoded)
+	}
+}
+
+func TestRunSARIFToStdout(t *testing.T) {
+	var out strings.Builder
+	code := run([]string{"-C", fixtureDir, "-sarif", "-", "floatcast"}, &out)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	var log map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &log); err != nil {
+		t.Fatalf("-sarif - did not produce pure SARIF on stdout: %v\n%s", err, out.String())
+	}
+	if log["version"] != "2.1.0" {
+		t.Errorf("SARIF version = %v, want 2.1.0", log["version"])
+	}
+}
+
+func TestRunSARIFToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.sarif")
+	var out strings.Builder
+	code := run([]string{"-C", fixtureDir, "-sarif", path, "floatcast"}, &out)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	// Text listing still goes to stdout alongside the file report.
+	if !strings.Contains(out.String(), "floatcast/floatcast.go:13") {
+		t.Errorf("text listing missing when -sarif writes to a file:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("SARIF file not written: %v", err)
+	}
+	var log map[string]any
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF file does not decode: %v", err)
+	}
+}
+
+func TestRunFixRepairsModule(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module fixme\n\ngo 1.22\n")
+	write("pkg/pkg.go", `package pkg
+
+func scale(n int) int {
+	//lint:ignore floatcast stale directive the fixer should remove
+	return n * 2
+}
+`)
+	var out strings.Builder
+	code := run([]string{"-C", dir, "-fix", "./..."}, &out)
+	if code != 0 {
+		t.Fatalf("exit code after -fix = %d, want 0; output:\n%s", code, out.String())
+	}
+	src, err := os.ReadFile(filepath.Join(dir, "pkg/pkg.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(src), "lint:ignore") {
+		t.Errorf("-fix left the stale directive in place:\n%s", src)
 	}
 }

@@ -163,6 +163,7 @@ func RoutePathFinder(in *problem.Instance) (problem.Routing, error) {
 		if r.ownStamp[e] == r.ownEpoch {
 			return 0
 		}
+		//lint:ignore satarith usage <= |nets| and history <= PathFinderIterations*|nets|, so the biased product stays far below 2^64 for any instance that fits in memory
 		return (1 + uint64(r.history[e])) * (1 + uint64(r.usage[e]))
 	}
 	for iter := 0; iter < PathFinderIterations; iter++ {
@@ -183,6 +184,7 @@ func RoutePathFinder(in *problem.Instance) (problem.Routing, error) {
 		// Accumulate history on contended edges.
 		for e := range r.history {
 			if r.usage[e] > 1 {
+				//lint:ignore satarith bounded accumulation: at most PathFinderIterations additions of usage-1 <= |nets|, far below 2^32
 				r.history[e] += r.usage[e] - 1
 			}
 		}

@@ -1,6 +1,9 @@
 package graph
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // WeightedEdge is an edge of an abstract weighted graph handed to Kruskal.
 // Payload carries caller-defined context (e.g. which net-terminal pair the
@@ -42,7 +45,7 @@ func Kruskal(n int, edges []WeightedEdge) []WeightedEdge {
 func MSTCost(tree []WeightedEdge) int64 {
 	var total int64
 	for _, e := range tree {
-		total += e.Weight
+		total = satAdd(total, e.Weight)
 	}
 	return total
 }
@@ -52,4 +55,20 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// satAdd adds two edge weights, clamping at the int64 extremes instead of
+// wrapping. It mirrors problem.SatAdd64, which this package cannot import
+// (problem depends on graph): foldCost caps a single weight at 2^62-1, so a
+// tree holding a few near-saturated corridor weights would otherwise wrap
+// MSTCost negative and invert the net-ordering score.
+func satAdd(a, b int64) int64 {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		if a > 0 {
+			return math.MaxInt64
+		}
+		return math.MinInt64
+	}
+	return s
 }

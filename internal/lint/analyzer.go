@@ -14,16 +14,26 @@ type Analyzer struct {
 	Run  func(p *Pass)
 }
 
-// All registers the analyzers in the order they run.
-var All = []*Analyzer{FloatCast, MapOrder, RawGo, FloatEq}
+// All registers the analyzers in the order they run: the four syntax-level
+// v1 passes, then the four dataflow-aware v2 passes.
+var All = []*Analyzer{FloatCast, MapOrder, RawGo, FloatEq, CtxFlow, MutexHold, SatArith, DetSource}
 
 // Pass carries one package through one analyzer.
 type Pass struct {
 	Fset *token.FileSet
 	Pkg  *Package
-	// SolverPkgs and ParAllowed are the resolved Config lists.
+	// SolverPkgs, ParAllowed, and ServePkgs are the resolved Config lists.
 	SolverPkgs []string
 	ParAllowed []string
+	ServePkgs  []string
+	// SatExempt lists the packages allowed to do raw wide arithmetic (the
+	// saturating-helper home, internal/problem by default).
+	SatExempt []string
+	// Facts holds the module-wide function facts, final for this package's
+	// dependencies (and, once the package checked, for the package itself).
+	Facts *FactSet
+	// ModPath is the module path, for recognizing module-internal callees.
+	ModPath string
 
 	root     string
 	analyzer string
@@ -39,12 +49,38 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportFix records a finding that carries a mechanical rewrite: replacing
+// the source range [start, end) with newText (plus, optionally, ensuring an
+// import). tdmlint -fix applies it.
+func (p *Pass) ReportFix(start, end token.Pos, newText, needsImport, format string, args ...any) {
+	p.findings = append(p.findings, Finding{
+		Pos:      relPos(p.Fset.Position(start), p.root),
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+		Fix: &Fix{
+			File:        p.Fset.Position(start).Filename,
+			Start:       p.Fset.Position(start).Offset,
+			End:         p.Fset.Position(end).Offset,
+			NewText:     newText,
+			NeedsImport: needsImport,
+		},
+	})
+}
+
 // InSolverPkg reports whether the pass's package is one of (or nested under)
 // the configured solver packages.
 func (p *Pass) InSolverPkg() bool { return pathIn(p.Pkg.ImportPath, p.SolverPkgs) }
 
 // InParAllowed reports whether the package may use raw concurrency.
 func (p *Pass) InParAllowed() bool { return pathIn(p.Pkg.ImportPath, p.ParAllowed) }
+
+// InServePkg reports whether the package is part of the serving tier, where
+// mutexhold applies.
+func (p *Pass) InServePkg() bool { return pathIn(p.Pkg.ImportPath, p.ServePkgs) }
+
+// InSatExempt reports whether the package owns the saturating helpers and is
+// therefore exempt from satarith.
+func (p *Pass) InSatExempt() bool { return pathIn(p.Pkg.ImportPath, p.SatExempt) }
 
 // pathIn reports whether path equals an entry or lives in an entry's subtree.
 // External test packages ("pkg.test") count as their base package.

@@ -1,0 +1,20 @@
+package lint
+
+import "testing"
+
+// BenchmarkRunFullTree measures a whole-repository run of all eight
+// analyzers — parse, parallel type-check in topological levels, fact
+// propagation, analysis, suppression. The budget is a handful of seconds
+// per run; the parallel loader and the memoized source importer are what
+// keep it there.
+func BenchmarkRunFullTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		findings, err := Run(Config{Dir: "../.."})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(findings) != 0 {
+			b.Fatalf("tree not clean: %d findings", len(findings))
+		}
+	}
+}

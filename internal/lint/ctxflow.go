@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces the solver's cancellation contract (PR 3: cancellation is
+// observed at deterministic boundaries, never dropped) with two rules:
+//
+//  1. Dropped context: an exported function that accepts a context.Context
+//     and never consults it or forwards it to any call silently strips the
+//     caller's deadline and cancellation. This applies module-wide — an
+//     entry point that ignores its ctx is lying about being cancellable.
+//
+//  2. Unobserved heavy loop: in a solver package (or the module root, where
+//     the feedback loops live), an outermost loop whose body transitively
+//     performs iterative work — it calls a module function carrying the
+//     loops fact — inside a function that was handed a ctx must observe
+//     that ctx somewhere in the loop: a direct ctx.Err()/Done()/Deadline()
+//     check, or forwarding ctx into a callee that observes it. The loop is
+//     the deterministic boundary; without the check, a routing/LR/refine
+//     round spins to completion no matter what the caller cancelled.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flag dropped contexts and heavy solver loops that never observe cancellation",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	info := p.Pkg.Info
+	loopRule := p.InSolverPkg() || p.Pkg.RelDir == "."
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxVar := ctxParam(info, fd.Type)
+
+			// Rule 1: dropped context on an exported entry point.
+			if fd.Name.IsExported() && hasCtxParam(info, fd.Type) {
+				if ctxVar == nil {
+					p.Reportf(fd.Pos(), "exported %s discards its context.Context (unnamed parameter): name it and thread it through, or drop it from the signature", fd.Name.Name)
+				} else if !usesVar(info, fd.Body, ctxVar) {
+					p.Reportf(fd.Pos(), "exported %s accepts a context.Context but never uses it: cancellation and deadlines are silently dropped", fd.Name.Name)
+				}
+			}
+
+			// Rule 2: unobserved heavy loops.
+			if !loopRule || ctxVar == nil {
+				continue
+			}
+			for _, loop := range outermostLoops(fd.Body) {
+				body := loopBody(loop)
+				if body == nil {
+					continue
+				}
+				if !callsIterativeWork(p, info, body) {
+					continue
+				}
+				if loopObservesCtx(p, info, body, ctxVar) {
+					continue
+				}
+				p.Reportf(loop.Pos(), "loop transitively performs iterative solver work but never observes ctx: check ctx.Err() at an iteration boundary or forward ctx to a ctx-aware callee")
+			}
+		}
+	}
+}
+
+// hasCtxParam reports whether the signature includes a context.Context
+// parameter, named or not.
+func hasCtxParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isContextType(info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// usesVar reports whether the body mentions the variable at all.
+func usesVar(info *types.Info, body *ast.BlockStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// outermostLoops returns the for/range statements in body that are not
+// nested inside another loop of the same function (loops inside function
+// literals are their own functions' concern).
+func outermostLoops(body *ast.BlockStmt) []ast.Stmt {
+	var loops []ast.Stmt
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			switch m.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loops = append(loops, m.(ast.Stmt))
+				return false // do not descend: nested loops ride on the outer boundary
+			case *ast.FuncLit:
+				return false
+			}
+			return true
+		})
+	}
+	walk(body)
+	return loops
+}
+
+// loopBody returns the block of a for or range statement.
+func loopBody(loop ast.Stmt) *ast.BlockStmt {
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		return l.Body
+	case *ast.RangeStmt:
+		return l.Body
+	}
+	return nil
+}
+
+// callsIterativeWork reports whether the block (including nested loops and
+// function literals, which execute on the loop's behalf) calls a
+// module-internal function carrying the loops fact.
+func callsIterativeWork(p *Pass, info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		path := fn.Pkg().Path()
+		if path != p.ModPath && !strings.HasPrefix(path, p.ModPath+"/") {
+			return true
+		}
+		if p.Facts.Loops(fn) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// loopObservesCtx reports whether the block observes the ctx variable: a
+// direct Err/Done/Deadline/Value call on it, or passing it to a callee that
+// carries the observes-ctx fact (ForCtx, a solver stage, a child-context
+// constructor).
+func loopObservesCtx(p *Pass, info *types.Info, body *ast.BlockStmt, ctx *types.Var) bool {
+	observed := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if observed {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && info.Uses[id] == ctx {
+				switch sel.Sel.Name {
+				case "Done", "Err", "Deadline", "Value":
+					observed = true
+					return false
+				}
+			}
+		}
+		if fn := calleeFunc(info, call); fn != nil && passesVar(info, call, ctx) {
+			if p.Facts.ObservesCtx(fn) {
+				observed = true
+				return false
+			}
+			if fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+				switch fn.Name() {
+				case "WithCancel", "WithTimeout", "WithDeadline", "WithCancelCause":
+					observed = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return observed
+}

@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetSource hunts nondeterminism sources that can reach a Solution:
+//
+//  1. In solver packages: calls to time.Now/Since/Until and any use of
+//     math/rand or math/rand/v2. Solver decisions keyed on wall-clock time
+//     or an unseeded generator break the byte-identical replay contract
+//     that the delta pipeline, the chaos harness, and the distributed
+//     coordinator all pin on.
+//
+//  2. Everywhere else in the module that handles solver data (the root
+//     package, internal/*) but is outside maporder's solver allowlist:
+//     order-dependent map-range loops — the same check maporder applies to
+//     the solver core, extended outward. Unlike maporder, the
+//     collect-then-sort idiom (append range keys, sort the slice before
+//     use) is recognized and exempt, since the sort re-establishes
+//     determinism.
+//
+// cmd/ and examples/ are presentation code and exempt from rule 2.
+var DetSource = &Analyzer{
+	Name: "detsource",
+	Doc:  "flag nondeterminism sources: wall-clock/rand in solver packages, unordered map iteration elsewhere",
+	Run:  runDetSource,
+}
+
+func runDetSource(p *Pass) {
+	if p.InSolverPkg() {
+		runDetSourceClock(p)
+		return
+	}
+	if strings.HasPrefix(p.Pkg.RelDir, "cmd/") || strings.HasPrefix(p.Pkg.RelDir, "examples/") {
+		return
+	}
+	runDetSourceMaps(p)
+}
+
+// runDetSourceClock flags wall-clock and rand sources in a solver package.
+func runDetSourceClock(p *Pass) {
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkg, ok := info.Uses[x].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pkg.Imported().Path() {
+			case "time":
+				switch sel.Sel.Name {
+				case "Now", "Since", "Until":
+					p.Reportf(sel.Pos(), "time.%s in a solver package: wall-clock values must not influence solver decisions; plumb timing through the caller's telemetry", sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				p.Reportf(sel.Pos(), "%s.%s in a solver package: randomness breaks byte-identical replay; derive choices from instance data or a seeded source threaded through Options", pkg.Imported().Path(), sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// runDetSourceMaps extends the map-order determinism check beyond the solver
+// allowlist, with the collect-then-sort idiom recognized.
+func runDetSourceMaps(p *Pass) {
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := info.TypeOf(rng.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); !ok {
+					return true
+				}
+				reason := orderDependent(info, rng.Body)
+				if reason == "" {
+					return true
+				}
+				if reason == "appends to a slice" && appendsAreSortedAfter(info, fd.Body, rng) {
+					return true
+				}
+				p.Reportf(rng.Pos(), "map-range loop %s: map iteration order is nondeterministic and this package's output can reach a Solution; sort the keys first", reason)
+				return true
+			})
+		}
+	}
+}
+
+// appendsAreSortedAfter reports whether every slice appended to inside the
+// map-range loop is passed to a sort function after the loop in the same
+// function body — the collect-then-sort idiom, whose result is
+// deterministic.
+func appendsAreSortedAfter(info *types.Info, fnBody *ast.BlockStmt, rng *ast.RangeStmt) bool {
+	targets := appendTargets(info, rng.Body)
+	if targets == nil {
+		return false
+	}
+	for obj := range targets {
+		if !sortedAfter(info, fnBody, rng, obj) {
+			return false
+		}
+	}
+	return true
+}
+
+// appendTargets collects the variables appended to in the block. It returns
+// nil when any append target is not a plain variable (too opaque to track).
+func appendTargets(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	targets := map[types.Object]bool{}
+	opaque := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBuiltin(info, call.Fun, "append") || len(call.Args) == 0 {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				targets[obj] = true
+				return true
+			}
+		}
+		opaque = true
+		return true
+	})
+	if opaque || len(targets) == 0 {
+		return nil
+	}
+	return targets
+}
+
+// sortedAfter reports whether obj is passed to a sort.*/slices.Sort* call
+// positioned after the range statement in the function body.
+func sortedAfter(info *types.Info, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if !isSortCall(info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentioned := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+					mentioned = true
+				}
+				return !mentioned
+			})
+			if mentioned {
+				found = true
+				break
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortCall reports whether the call is sort.<anything> or
+// slices.Sort*/slices.SortFunc*.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := info.Uses[x].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	switch pkg.Imported().Path() {
+	case "sort":
+		return true
+	case "slices":
+		return strings.HasPrefix(sel.Sel.Name, "Sort")
+	}
+	return false
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ApplyFixes applies the mechanical rewrites attached to findings (tdmlint
+// -fix): byte-range replacements, followed by any imports the new text
+// needs, followed by gofmt. It returns the files it changed, sorted.
+// Overlapping fixes within one file are applied first-wins; the survivor of
+// a skipped overlap stays in the findings list for the next run.
+func ApplyFixes(findings []Finding) ([]string, error) {
+	byFile := map[string][]*Fix{}
+	for i := range findings {
+		if f := findings[i].Fix; f != nil {
+			byFile[f.File] = append(byFile[f.File], f)
+		}
+	}
+	var changed []string
+	for file, fixes := range byFile {
+		if err := applyFileFixes(file, fixes); err != nil {
+			return changed, err
+		}
+		changed = append(changed, file)
+	}
+	sort.Strings(changed)
+	return changed, nil
+}
+
+func applyFileFixes(file string, fixes []*Fix) error {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return fmt.Errorf("lint: applying fixes: %w", err)
+	}
+	// Sort ascending, drop overlaps (first wins), then apply back to front
+	// so earlier offsets stay valid.
+	sort.Slice(fixes, func(i, j int) bool { return fixes[i].Start < fixes[j].Start })
+	kept := fixes[:0]
+	end := -1
+	var imports []string
+	for _, f := range fixes {
+		if f.Start < end || f.Start > f.End || f.End > len(src) {
+			continue
+		}
+		kept = append(kept, f)
+		end = f.End
+		if f.NeedsImport != "" {
+			imports = append(imports, f.NeedsImport)
+		}
+	}
+	out := append([]byte(nil), src...)
+	for i := len(kept) - 1; i >= 0; i-- {
+		f := kept[i]
+		out = append(out[:f.Start], append([]byte(f.NewText), out[f.End:]...)...)
+	}
+	for _, imp := range imports {
+		out, err = ensureImport(out, imp)
+		if err != nil {
+			return fmt.Errorf("lint: adding import %q to %s: %w", imp, file, err)
+		}
+	}
+	formatted, err := format.Source(out)
+	if err != nil {
+		// The rewrite produced invalid Go; write nothing and report.
+		return fmt.Errorf("lint: fix result for %s does not parse: %w", file, err)
+	}
+	return os.WriteFile(file, formatted, 0o644)
+}
+
+// ensureImport inserts the import path into the file's first import block
+// (or creates one after the package clause) unless it is already imported.
+func ensureImport(src []byte, path string) ([]byte, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ImportsOnly)
+	if err != nil {
+		return nil, err
+	}
+	for _, im := range f.Imports {
+		if p, _ := strconv.Unquote(im.Path.Value); p == path {
+			return src, nil
+		}
+	}
+	line := "\t" + strconv.Quote(path) + "\n"
+	if len(f.Imports) > 0 {
+		// Insert before the first existing import spec.
+		off := fset.Position(f.Imports[0].Pos()).Offset
+		// Grouped import block: splice a new line in. Single ungrouped
+		// import: wrap is messier, so splice a separate import statement
+		// after the package clause instead.
+		if i := strings.LastIndex(string(src[:off]), "import ("); i >= 0 {
+			out := append([]byte(nil), src[:off]...)
+			out = append(out, []byte(line)...)
+			out = append(out, src[off:]...)
+			return out, nil
+		}
+	}
+	// No import block: add one right after the package clause line.
+	off := fset.Position(f.Name.End()).Offset
+	nl := strings.IndexByte(string(src[off:]), '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("no newline after package clause")
+	}
+	insert := off + nl + 1
+	block := "\nimport (\n" + line + ")\n"
+	out := append([]byte(nil), src[:insert]...)
+	out = append(out, []byte(block)...)
+	out = append(out, src[insert:]...)
+	return out, nil
+}

@@ -12,6 +12,10 @@ type directive struct {
 	analyzer string
 	reason   string
 	used     bool
+	// file/startOff/endOff record the comment's exact byte range in the
+	// file as loaded, for the -fix removal of stale directives.
+	file             string
+	startOff, endOff int
 	// filewide marks a //lint:file-ignore: it suppresses every finding of
 	// its analyzer in the whole file, wherever it appears in the file.
 	filewide bool
@@ -45,7 +49,13 @@ func collectDirectives(fset *token.FileSet, f *ast.File, known map[string]bool) 
 				continue // block comments do not carry directives
 			}
 			text = strings.TrimSpace(text)
-			d := &directive{pos: fset.Position(c.Pos())}
+			start := fset.Position(c.Pos())
+			d := &directive{
+				pos:      start,
+				file:     start.Filename,
+				startOff: start.Offset,
+				endOff:   fset.Position(c.End()).Offset,
+			}
 			rest, ok := strings.CutPrefix(text, fileDirectivePrefix)
 			if ok {
 				d.filewide = true
@@ -68,6 +78,13 @@ func collectDirectives(fset *token.FileSet, f *ast.File, known map[string]bool) 
 		}
 	}
 	return out
+}
+
+// removalFix returns the fix deleting the stale directive's comment text.
+// Applying it leaves the line behind (possibly empty); gofmt in the apply
+// pass tidies the result.
+func (d *directive) removalFix() *Fix {
+	return &Fix{File: d.file, Start: d.startOff, End: d.endOff, NewText: ""}
 }
 
 // matches reports whether the directive suppresses a finding by the given

@@ -1,7 +1,12 @@
-// Package lint is a stdlib-only static-analysis suite enforcing the solver's
-// determinism and overflow invariants. It loads and type-checks the module
-// with go/parser + go/types (no x/tools dependency) and runs four analyzers
-// over every package:
+// Package lint is a stdlib-only static-analysis framework enforcing the
+// solver's determinism, overflow, concurrency, and cancellation invariants.
+// It loads and type-checks the module with go/parser + go/types (no x/tools
+// dependency), in parallel topological levels through internal/par, and
+// propagates cross-package function facts ("this function blocks", "this
+// function observes its context", "this function iterates") bottom-up in
+// dependency order. Eight analyzers run over every package:
+//
+// Syntax-level (v1):
 //
 //   - floatcast: float→integer conversions with no saturation or finiteness
 //     guard (the conversion is platform-defined when the value overflows).
@@ -13,6 +18,22 @@
 //     fork-join helpers.
 //   - floateq: == or != between floating-point operands (comparisons with
 //     the constant 0 sentinel are allowed).
+//
+// Dataflow-aware (v2):
+//
+//   - ctxflow: an exported function that accepts a context.Context and never
+//     consults or forwards it drops cancellation on the floor; a loop in a
+//     solver package that transitively performs iterative work must observe
+//     its context at some boundary.
+//   - mutexhold: in the serving tier, a sync.Mutex/RWMutex must never be
+//     held across a blocking operation — channel sends/receives, selects
+//     without default, net/http calls, writes to abstract io.Writers, or
+//     calls to functions carrying the blocks fact.
+//   - satarith: wide (*, +, <<) integer arithmetic on cost/usage/slot/ratio
+//     values outside internal/problem's saturating helpers.
+//   - detsource: nondeterminism sources in solver packages (time.Now,
+//     math/rand) and order-dependent map iteration in result-handling
+//     packages beyond maporder's allowlist.
 //
 // A finding is suppressed by a "//lint:ignore <analyzer> <reason>" comment
 // on the flagged line or on the line directly above it, or — for files
@@ -34,6 +55,23 @@ type Finding struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Fix, when non-nil, is a mechanical rewrite that resolves the finding;
+	// tdmlint -fix applies it.
+	Fix *Fix
+}
+
+// Fix is a textual replacement within one file.
+type Fix struct {
+	// File is the path as recorded by the loader (absolute for module
+	// files).
+	File string
+	// Start and End are byte offsets of the replaced range within File.
+	Start, End int
+	// NewText replaces the range.
+	NewText string
+	// NeedsImport, when non-empty, names an import path the rewritten file
+	// must import.
+	NeedsImport string
 }
 
 // String formats the finding as "file:line: analyzer: message". The file is
@@ -58,13 +96,22 @@ type Config struct {
 	// Analyzers names the analyzers to run; empty runs all of them.
 	Analyzers []string
 	// SolverPkgs lists the import paths (each also covering its subtree)
-	// where maporder applies. Nil selects the solver packages of this
-	// repository: internal/{graph,route,tdm,problem,baseline} under the
-	// module path.
+	// where maporder, ctxflow's loop rule, satarith, and detsource apply.
+	// Nil selects the solver packages of this repository:
+	// internal/{graph,route,tdm,problem,baseline} under the module path.
 	SolverPkgs []string
 	// ParAllowed lists the import paths allowed to use raw concurrency
 	// primitives. Nil selects internal/par under the module path.
 	ParAllowed []string
+	// ServePkgs lists the serving-tier import paths where mutexhold
+	// applies. Nil selects internal/serve under the module path.
+	ServePkgs []string
+	// SatExempt lists the packages exempt from satarith because they own
+	// the saturating helpers. Nil selects internal/problem under the
+	// module path.
+	SatExempt []string
+	// Workers bounds the loader's parallelism; 0 selects GOMAXPROCS.
+	Workers int
 }
 
 // defaultSolverSuffixes are the packages whose iteration order feeds solver
@@ -86,7 +133,7 @@ func Run(cfg Config) ([]Finding, error) {
 	if err != nil {
 		return nil, err
 	}
-	mod, err := loadModule(root, modPath, cfg.IncludeTests)
+	mod, err := loadModule(root, modPath, cfg.IncludeTests, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -114,6 +161,14 @@ func Run(cfg Config) ([]Finding, error) {
 	if parAllowed == nil {
 		parAllowed = []string{modPath + "/internal/par"}
 	}
+	servePkgs := cfg.ServePkgs
+	if servePkgs == nil {
+		servePkgs = []string{modPath + "/internal/serve"}
+	}
+	satExempt := cfg.SatExempt
+	if satExempt == nil {
+		satExempt = []string{modPath + "/internal/problem"}
+	}
 
 	var findings []Finding
 	for _, pkg := range mod.Pkgs {
@@ -125,6 +180,10 @@ func Run(cfg Config) ([]Finding, error) {
 			Pkg:        pkg,
 			SolverPkgs: solver,
 			ParAllowed: parAllowed,
+			ServePkgs:  servePkgs,
+			SatExempt:  satExempt,
+			Facts:      mod.Facts,
+			ModPath:    modPath,
 			root:       root,
 		}
 		var dirs []*directive
@@ -164,6 +223,7 @@ func Run(cfg Config) ([]Finding, error) {
 					Pos:      relPos(d.pos, root),
 					Analyzer: "ignore",
 					Message:  fmt.Sprintf("unused %s directive for %s", d.name(), d.analyzer),
+					Fix:      d.removalFix(),
 				})
 			}
 		}

@@ -13,6 +13,9 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
+
+	"tdmroute/internal/par"
 )
 
 // Package is one type-checked package of the module under analysis.
@@ -30,12 +33,13 @@ type Package struct {
 }
 
 // module is the loaded view of one Go module: every package parsed and
-// type-checked in dependency order.
+// type-checked in dependency order, with cross-package function facts.
 type module struct {
-	Root string // absolute module root (directory of go.mod)
-	Path string // module path from go.mod
-	Fset *token.FileSet
-	Pkgs []*Package // dependency order
+	Root  string // absolute module root (directory of go.mod)
+	Path  string // module path from go.mod
+	Fset  *token.FileSet
+	Pkgs  []*Package // dependency order
+	Facts *FactSet
 }
 
 // findModuleRoot walks upward from dir until it finds go.mod.
@@ -77,18 +81,40 @@ func parseModulePath(data []byte) string {
 // included when includeTests is set; external test packages (package foo_test)
 // are checked as separate packages. Directories named testdata or vendor and
 // hidden/underscore directories are skipped.
-func loadModule(root, modPath string, includeTests bool) (*module, error) {
+//
+// Loading is parallel in two phases, both through internal/par so the lint
+// tool obeys its own rawgo rule: directories parse concurrently (the shared
+// token.FileSet is synchronized), then packages type-check concurrently in
+// topological levels — every package in a level depends only on packages of
+// earlier levels, so a level is an embarrassingly parallel batch. Standard-
+// library imports are resolved once, up front, through a memoized source
+// importer; the level workers then only read the memo. Function facts
+// (FactBlocks, FactObservesCtx, FactLoops) are computed per package inside
+// the level batch and merged in deterministic package order between levels,
+// so by the time a package checks, the facts of everything it imports are
+// final.
+func loadModule(root, modPath string, includeTests bool, workers int) (*module, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	fset := token.NewFileSet()
 	dirs, err := packageDirs(root)
 	if err != nil {
 		return nil, err
 	}
 
+	// Phase 1: parse every directory concurrently.
+	parsed := make([][]*Package, len(dirs))
+	parseErrs := make([]error, len(dirs))
+	par.ForMin(len(dirs), workers, 1, func(_, start, end int) {
+		for i := start; i < end; i++ {
+			parsed[i], parseErrs[i] = parseDir(fset, root, modPath, dirs[i], includeTests)
+		}
+	})
 	var pkgs []*Package
-	for _, rel := range dirs {
-		ps, err := parseDir(fset, root, modPath, rel, includeTests)
-		if err != nil {
-			return nil, err
+	for i, ps := range parsed {
+		if parseErrs[i] != nil {
+			return nil, parseErrs[i]
 		}
 		pkgs = append(pkgs, ps...)
 	}
@@ -98,43 +124,176 @@ func loadModule(root, modPath string, includeTests bool) (*module, error) {
 		return nil, err
 	}
 
-	std := importer.ForCompiler(fset, "source", nil)
-	checked := map[string]*types.Package{}
-	imp := &moduleImporter{std: std, checked: checked}
-	for _, p := range ordered {
-		conf := types.Config{Importer: imp}
-		var typeErrs []error
-		conf.Error = func(err error) { typeErrs = append(typeErrs, err) }
-		info := &types.Info{
-			Types:      map[ast.Expr]types.TypeAndValue{},
-			Defs:       map[*ast.Ident]types.Object{},
-			Uses:       map[*ast.Ident]types.Object{},
-			Selections: map[*ast.SelectorExpr]*types.Selection{},
-			Implicits:  map[ast.Node]types.Object{},
+	// Phase 2: pre-resolve the standard-library imports serially through a
+	// memoized source importer. Every import path a module file names is
+	// warmed here, so the concurrent level workers below hit only the memo.
+	imp := newMemoImporter(fset)
+	for _, path := range externalImports(pkgs, modPath) {
+		if _, err := imp.Import(path); err != nil {
+			return nil, fmt.Errorf("lint: resolving import %q: %w", path, err)
 		}
-		tpkg, _ := conf.Check(p.ImportPath, fset, p.Files, info)
-		if len(typeErrs) > 0 {
-			return nil, fmt.Errorf("lint: type-checking %s: %v", p.ImportPath, typeErrs[0])
-		}
-		p.Types = tpkg
-		p.Info = info
-		checked[p.ImportPath] = tpkg
 	}
-	return &module{Root: root, Path: modPath, Fset: fset, Pkgs: ordered}, nil
+
+	// Phase 3: type-check in parallel topological levels.
+	facts := newFactSet()
+	for _, level := range topoLevels(ordered, modPath) {
+		errs := make([]error, len(level))
+		pkgFacts := make([]map[*types.Func]Fact, len(level))
+		par.ForMin(len(level), workers, 1, func(_, start, end int) {
+			for i := start; i < end; i++ {
+				errs[i] = checkPackage(fset, level[i], imp)
+				if errs[i] == nil {
+					pkgFacts[i] = computeFacts(level[i], facts)
+				}
+			}
+		})
+		for i, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+			imp.addModulePkg(level[i].ImportPath, level[i].Types)
+			facts.merge(pkgFacts[i])
+		}
+	}
+	return &module{Root: root, Path: modPath, Fset: fset, Pkgs: ordered, Facts: facts}, nil
 }
 
-// moduleImporter resolves module-internal imports from the already-checked
-// set and everything else (the standard library) from source.
-type moduleImporter struct {
-	std     types.Importer
-	checked map[string]*types.Package
+// checkPackage runs go/types over one package.
+func checkPackage(fset *token.FileSet, p *Package, imp types.Importer) error {
+	conf := types.Config{Importer: imp}
+	var typeErrs []error
+	conf.Error = func(err error) { typeErrs = append(typeErrs, err) }
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	tpkg, _ := conf.Check(p.ImportPath, fset, p.Files, info)
+	if len(typeErrs) > 0 {
+		return fmt.Errorf("lint: type-checking %s: %v", p.ImportPath, typeErrs[0])
+	}
+	p.Types = tpkg
+	p.Info = info
+	return nil
 }
 
-func (m *moduleImporter) Import(path string) (*types.Package, error) {
-	if p, ok := m.checked[path]; ok {
+// memoImporter resolves module-internal imports from the already-checked set
+// and everything else (the standard library) through one source importer
+// whose results are memoized. The memo makes concurrent Import calls cheap
+// and safe: after the warm-up pass every lookup is a map hit; the fallback
+// path for a cold import is serialized by mu.
+type memoImporter struct {
+	std types.Importer
+
+	mu     sync.Mutex
+	memo   map[string]*types.Package
+	module map[string]*types.Package
+}
+
+func newMemoImporter(fset *token.FileSet) *memoImporter {
+	return &memoImporter{
+		std:    importer.ForCompiler(fset, "source", nil),
+		memo:   map[string]*types.Package{},
+		module: map[string]*types.Package{},
+	}
+}
+
+// addModulePkg records a checked module package. Called on the driver
+// goroutine between levels, never concurrently with Import.
+func (m *memoImporter) addModulePkg(path string, pkg *types.Package) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.module[path] = pkg
+}
+
+func (m *memoImporter) Import(path string) (*types.Package, error) {
+	m.mu.Lock()
+	if p, ok := m.module[path]; ok {
+		m.mu.Unlock()
 		return p, nil
 	}
-	return m.std.Import(path)
+	if p, ok := m.memo[path]; ok {
+		m.mu.Unlock()
+		return p, nil
+	}
+	m.mu.Unlock()
+	// Cold path: the source importer is not documented as concurrency-safe,
+	// so imports run one at a time. The warm-up pass in loadModule means
+	// this is reached concurrently only for paths no module file names
+	// directly, which does not happen in practice.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p, ok := m.memo[path]; ok {
+		return p, nil
+	}
+	p, err := m.std.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	m.memo[path] = p
+	return p, nil
+}
+
+// externalImports collects every import path outside the module, sorted.
+func externalImports(pkgs []*Package, modPath string) []string {
+	seen := map[string]bool{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, im := range f.Imports {
+				path := strings.Trim(im.Path.Value, `"`)
+				if path == modPath || strings.HasPrefix(path, modPath+"/") {
+					continue
+				}
+				seen[path] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// topoLevels groups dependency-ordered packages into levels: a package's
+// level is one past the highest level among its module-internal imports, so
+// each level only depends on strictly earlier ones and can type-check as one
+// parallel batch.
+func topoLevels(ordered []*Package, modPath string) [][]*Package {
+	levelOf := map[string]int{}
+	var levels [][]*Package
+	for _, p := range ordered {
+		lv := 0
+		for _, f := range p.Files {
+			for _, im := range f.Imports {
+				path := strings.Trim(im.Path.Value, `"`)
+				if path != modPath && !strings.HasPrefix(path, modPath+"/") {
+					continue
+				}
+				if dl, ok := levelOf[path]; ok && dl+1 > lv {
+					lv = dl + 1
+				}
+			}
+		}
+		// An external test package implicitly depends on its base package,
+		// which topoSort already placed earlier; key both under the same
+		// path, keeping the maximum.
+		base := strings.TrimSuffix(p.ImportPath, ".test")
+		if dl, ok := levelOf[base]; ok && p.ImportPath != base && dl+1 > lv {
+			lv = dl + 1
+		}
+		if cur, ok := levelOf[p.ImportPath]; !ok || lv > cur {
+			levelOf[p.ImportPath] = lv
+		}
+		for len(levels) <= lv {
+			levels = append(levels, nil)
+		}
+		levels[lv] = append(levels[lv], p)
+	}
+	return levels
 }
 
 // packageDirs lists module-relative directories that may contain packages.

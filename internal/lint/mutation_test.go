@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMutationsResurrectHistoricalBugs writes a throwaway module seeded with
+// the exact shapes of bugs earlier PRs fixed by hand, and asserts each
+// analyzer convicts its class. This is the analyzer suite's reason to exist:
+// if one of these shapes stops being caught, the regression is in the
+// analyzer, not the solver.
+//
+//   - satarith:  the ratio-doubling overflow the legalizer shipped with
+//     (a TDM ratio near 2^62 shifted left wraps into a negative "legal"
+//     value) before the saturating helpers existed.
+//   - ctxflow:   a solve entry point accepting a context it never threads
+//     into its routing loop — cancellation silently dropped.
+//   - mutexhold: the serving-tier drain/broadcast race: notifying
+//     subscriber channels while the state mutex is held, so one stuck
+//     subscriber wedges every request.
+//   - detsource: a wall-clock tie-break inside net ordering, breaking
+//     byte-identical replay.
+func TestMutationsResurrectHistoricalBugs(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module mutant\n\ngo 1.22\n",
+		"solver/solver.go": `package solver
+
+import (
+	"context"
+	"time"
+)
+
+// legalizeRatio is the PR-1 overflow shape: doubling a ratio near the top
+// of its range wraps negative and passes the legality check.
+func legalizeRatio(ratio int64, shift uint) int64 {
+	return ratio << shift
+}
+
+// Solve is the dropped-context shape: the routing loop never observes ctx.
+func Solve(ctx context.Context, nets int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	total := 0
+	for n := 0; n < nets; n++ {
+		total += route(n)
+	}
+	return total
+}
+
+func route(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+
+// tieBreak is the wall-clock nondeterminism shape.
+func tieBreak(a, b int) int {
+	if time.Now().UnixNano()%2 == 0 {
+		return a
+	}
+	return b
+}
+`,
+		"serve/serve.go": `package serve
+
+import "sync"
+
+type hub struct {
+	mu   sync.Mutex
+	subs []chan int
+	seq  int
+}
+
+// broadcast is the PR-6 drain-race shape: subscriber sends under the state
+// lock, so one stuck subscriber wedges every caller.
+func (h *hub) broadcast() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.seq++
+	for _, ch := range h.subs {
+		ch <- h.seq
+	}
+}
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	findings, err := Run(Config{
+		Dir:        dir,
+		SolverPkgs: []string{"mutant/solver"},
+		ServePkgs:  []string{"mutant/serve"},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	count := map[string]int{}
+	for _, f := range findings {
+		count[f.Analyzer]++
+	}
+	wantAtLeast := map[string]int{
+		"satarith":  1, // the ratio shift
+		"ctxflow":   1, // the unobserved routing loop
+		"mutexhold": 1, // the send under h.mu
+		"detsource": 1, // the time.Now tie-break
+	}
+	for analyzer, n := range wantAtLeast {
+		if count[analyzer] < n {
+			t.Errorf("%s: got %d findings on the seeded mutant, want >= %d\nall findings:\n%s",
+				analyzer, count[analyzer], n, findingsList(findings))
+		}
+	}
+
+	// Each conviction must land in the file carrying its shape.
+	wantFile := map[string]string{
+		"satarith":  "solver/solver.go",
+		"ctxflow":   "solver/solver.go",
+		"detsource": "solver/solver.go",
+		"mutexhold": "serve/serve.go",
+	}
+	for _, f := range findings {
+		if want, ok := wantFile[f.Analyzer]; ok && f.Pos.Filename != want {
+			t.Errorf("%s finding in %s, want %s: %s", f.Analyzer, f.Pos.Filename, want, f.Message)
+		}
+	}
+}
+
+func findingsList(findings []Finding) string {
+	var sb strings.Builder
+	for _, f := range findings {
+		sb.WriteString("  " + f.String() + "\n")
+	}
+	return sb.String()
+}
+
+// TestMutationFixRepairsRatioOverflow runs ApplyFixes on the seeded
+// satarith mutant and verifies the rewrite routes through the saturating
+// helper and still parses.
+func TestMutationFixRepairsRatioOverflow(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module mutant\n\ngo 1.22\n")
+	write("internal/problem/sat.go", `package problem
+
+func SatShl64(v int64, k uint) int64 { return v << k }
+func SatMul64(a, b int64) int64      { return a * b }
+func SatAdd64(a, b int64) int64      { return a + b }
+`)
+	write("solver/solver.go", `package solver
+
+func legalizeRatio(ratio int64, shift uint) int64 {
+	return ratio << shift
+}
+`)
+
+	cfg := Config{Dir: dir, SolverPkgs: []string{"mutant/solver"}}
+	findings, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	changed, err := ApplyFixes(findings)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if len(changed) != 1 || !strings.HasSuffix(changed[0], "solver/solver.go") {
+		t.Fatalf("ApplyFixes changed %v, want solver/solver.go", changed)
+	}
+	src, err := os.ReadFile(filepath.Join(dir, "solver/solver.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "problem.SatShl64(ratio, shift)") {
+		t.Errorf("fix did not route through the helper:\n%s", src)
+	}
+	// The repaired mutant must lint clean.
+	after, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run after fix: %v", err)
+	}
+	if len(after) != 0 {
+		t.Errorf("repaired mutant still has findings:\n%s", findingsList(after))
+	}
+}

@@ -1,0 +1,272 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// MutexHold enforces the serving tier's liveness invariant: a
+// sync.Mutex/RWMutex must never be held across a blocking operation. PRs 5
+// and 6 each fixed a latent race of exactly this shape (a drain sweeping the
+// queue under the server lock, a metrics renderer writing to a slow client
+// under the metrics lock) — with the worker pool and SSE fan-out, one slow
+// peer behind a held lock stalls every other request.
+//
+// The analyzer runs an intra-procedural dataflow over each function in the
+// serve packages: it tracks the set of held locks through the statement
+// list (Lock/RLock adds, Unlock/RUnlock removes, defer Unlock holds to
+// function end, branches are explored with a copy of the held set) and
+// flags, inside a held region:
+//
+//   - channel sends and receives, and selects without a default clause;
+//   - calls to known-blocking standard-library functions (time.Sleep,
+//     net/http round trips, net dials, io.Copy, ...);
+//   - writes through an abstract io.Writer (which may be a socket);
+//   - calls to module functions carrying the cross-package blocks fact.
+//
+// Goroutine bodies launched inside the region run on their own stack and
+// are skipped; non-invoked function literals are skipped too (they execute
+// later, possibly after the unlock).
+var MutexHold = &Analyzer{
+	Name: "mutexhold",
+	Doc:  "flag blocking operations while a sync mutex is held in the serving tier",
+	Run:  runMutexHold,
+}
+
+func runMutexHold(p *Pass) {
+	if !p.InServePkg() {
+		return
+	}
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &lockWalker{pass: p, info: info}
+			w.walkStmts(fd.Body.List, map[string]token.Pos{})
+		}
+	}
+}
+
+// lockWalker tracks held locks through one function body.
+type lockWalker struct {
+	pass *Pass
+	info *types.Info
+}
+
+// walkStmts processes a statement list sequentially, mutating held in
+// place. Branch statements are explored with a copy: an unlock on one path
+// does not release the lock on the fall-through path (the conservative
+// direction — a branch that unlocks almost always returns).
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, s := range stmts {
+		w.walkStmt(s, held)
+	}
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, held map[string]token.Pos) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, kind := w.lockCall(call); key != "" {
+				switch kind {
+				case "Lock", "RLock":
+					held[key] = call.Pos()
+				case "Unlock", "RUnlock":
+					delete(held, key)
+				}
+				return
+			}
+		}
+		w.checkExpr(s.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock to function end: leave it held.
+		// Other deferred calls run after the region; skip them.
+		return
+	case *ast.GoStmt:
+		// The goroutine runs on its own stack; locks held here are not
+		// held there.
+		return
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.checkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.checkExpr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.checkExpr(e, held)
+		}
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			w.report(s.Pos(), held, "channel send")
+		}
+	case *ast.SelectStmt:
+		if len(held) > 0 && !selectHasDefault(s) {
+			w.report(s.Pos(), held, "select with no default clause")
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.BlockStmt:
+		w.walkStmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		w.checkExpr(s.Cond, held)
+		w.walkStmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			w.walkStmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.checkExpr(s.Cond, held)
+		}
+		w.walkStmts(s.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		w.checkExpr(s.X, held)
+		w.walkStmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.checkExpr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, held)
+	default:
+		// DeclStmt, IncDecStmt, Branch, Empty: scan embedded expressions.
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.checkExpr(e, held)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// checkExpr flags blocking operations inside an expression while locks are
+// held. Function literals are skipped unless immediately invoked.
+func (w *lockWalker) checkExpr(e ast.Expr, held map[string]token.Pos) {
+	if len(held) == 0 || e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // executes later, not under this region
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.report(n.Pos(), held, "channel receive")
+			}
+		case *ast.CallExpr:
+			if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+				// Immediately-invoked literal: its body runs here, under
+				// the region.
+				w.walkStmts(lit.Body.List, copyHeld(held))
+				return false
+			}
+			if desc := w.blockingCall(n); desc != "" {
+				w.report(n.Pos(), held, desc)
+			}
+		}
+		return true
+	})
+}
+
+// lockCall classifies a call as a Lock/Unlock on a sync.Mutex or RWMutex
+// and returns a stable key for the lock expression.
+func (w *lockWalker) lockCall(call *ast.CallExpr) (key, kind string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	t := w.info.TypeOf(sel.X)
+	if t == nil {
+		return "", ""
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	name := types.TypeString(t, nil)
+	if name != "sync.Mutex" && name != "sync.RWMutex" {
+		return "", ""
+	}
+	return types.ExprString(sel.X), sel.Sel.Name
+}
+
+// blockingCall describes why the call may block, or returns "".
+func (w *lockWalker) blockingCall(call *ast.CallExpr) string {
+	fn := calleeFunc(w.info, call)
+	if fn != nil {
+		key := funcKey(fn)
+		if stdBlocking[key] {
+			return "call to " + key
+		}
+		if fn.Pkg() != nil {
+			path := fn.Pkg().Path()
+			if (path == w.pass.ModPath || strings.HasPrefix(path, w.pass.ModPath+"/")) && w.pass.Facts.Blocks(fn) {
+				return "call to " + fn.Name() + " (carries the blocks fact)"
+			}
+		}
+	}
+	if isAbstractWriterCall(w.info, call) {
+		return "write through an abstract io.Writer (may be a socket)"
+	}
+	return ""
+}
+
+func (w *lockWalker) report(pos token.Pos, held map[string]token.Pos, what string) {
+	w.pass.Reportf(pos, "%s while %s is held: a slow peer stalls every goroutine contending for the lock; release first or move the operation out of the region", what, heldNames(held))
+}
+
+// heldNames renders the held set deterministically.
+func heldNames(held map[string]token.Pos) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	if len(names) == 1 {
+		return names[0]
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}

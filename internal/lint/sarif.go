@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONFinding is the machine-readable form of one finding (tdmlint -json).
+type JSONFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	// Fixable marks findings tdmlint -fix can rewrite mechanically.
+	Fixable bool `json:"fixable,omitempty"`
+}
+
+// WriteJSON renders the findings as a JSON array, one object per finding.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	out := make([]JSONFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, JSONFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+			Fixable:  f.Fix != nil,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SARIF 2.1.0 structures — the subset GitHub code scanning consumes.
+// https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders the findings as a SARIF 2.1.0 log with one rule per
+// analyzer (plus the implicit "ignore" rule for directive problems), so CI
+// can upload the report for per-line PR annotations.
+func WriteSARIF(w io.Writer, findings []Finding) error {
+	rules := []sarifRule{}
+	seen := map[string]bool{}
+	addRule := func(id, doc string) {
+		if !seen[id] {
+			seen[id] = true
+			rules = append(rules, sarifRule{ID: id, ShortDescription: sarifMessage{Text: doc}})
+		}
+	}
+	for _, a := range All {
+		addRule(a.Name, a.Doc)
+	}
+	addRule("ignore", "flag malformed or stale //lint:ignore directives")
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: f.Pos.Filename},
+					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "tdmlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// ParseSARIF decodes a SARIF log produced by WriteSARIF back into findings
+// (file/line/column/analyzer/message), for round-trip tests and tooling.
+func ParseSARIF(r io.Reader) ([]Finding, error) {
+	var log sarifLog
+	if err := json.NewDecoder(r).Decode(&log); err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, run := range log.Runs {
+		for _, res := range run.Results {
+			f := Finding{Analyzer: res.RuleID, Message: res.Message.Text}
+			if len(res.Locations) > 0 {
+				loc := res.Locations[0].PhysicalLocation
+				f.Pos.Filename = loc.ArtifactLocation.URI
+				f.Pos.Line = loc.Region.StartLine
+				f.Pos.Column = loc.Region.StartColumn
+			}
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestSARIFGoldenRoundTrip renders the fixture findings as SARIF, compares
+// the report against the checked-in golden (regenerate with -update), and
+// decodes it back to prove no finding loses its position, analyzer, or
+// message on the way through CI code scanning.
+func TestSARIFGoldenRoundTrip(t *testing.T) {
+	findings, err := Run(fixtureConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, findings); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+
+	const golden = "testdata/findings.sarif"
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("read golden (run with -update to create): %v", err)
+		}
+		if buf.String() != string(want) {
+			t.Errorf("SARIF differs from %s\n--- got ---\n%s", golden, buf.String())
+		}
+	}
+
+	// Structural sanity: valid JSON, correct version, one rule per analyzer.
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if v := raw["version"]; v != "2.1.0" {
+		t.Errorf("SARIF version = %v, want 2.1.0", v)
+	}
+
+	back, err := ParseSARIF(&buf)
+	if err != nil {
+		t.Fatalf("ParseSARIF: %v", err)
+	}
+	if len(back) != len(findings) {
+		t.Fatalf("round trip lost findings: got %d, want %d", len(back), len(findings))
+	}
+	for i, f := range findings {
+		b := back[i]
+		if b.Pos.Filename != f.Pos.Filename || b.Pos.Line != f.Pos.Line ||
+			b.Analyzer != f.Analyzer || b.Message != f.Message {
+			t.Errorf("finding %d round trip mismatch:\n got %s\nwant %s", i, b, f)
+		}
+	}
+}
+
+// TestWriteJSON pins the machine-readable shape, including the fixable
+// marker satarith's int64 findings carry.
+func TestWriteJSON(t *testing.T) {
+	findings, err := Run(fixtureConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, findings); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded []JSONFinding
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("JSON output does not decode: %v", err)
+	}
+	if len(decoded) != len(findings) {
+		t.Fatalf("got %d JSON findings, want %d", len(decoded), len(findings))
+	}
+	fixable := 0
+	for _, d := range decoded {
+		if d.Fixable {
+			fixable++
+			if !strings.HasPrefix(d.File, "satarith/") && !strings.HasPrefix(d.File, "ctxflow/") &&
+				!strings.HasPrefix(d.File, "mutexhold/") && !strings.HasPrefix(d.File, "detsource/") &&
+				!strings.HasPrefix(d.File, "detmaps/") && !strings.HasPrefix(d.File, "unusedignore/") {
+				t.Errorf("unexpected fixable finding in %s", d.File)
+			}
+		}
+	}
+	if fixable == 0 {
+		t.Error("no fixable findings: satarith rewrites and stale-directive removals should be marked")
+	}
+}

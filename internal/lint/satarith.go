@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SatArith generalizes the overflow class PRs 1–2 fixed by hand: wide
+// integer arithmetic on solver quantities. A TDM ratio near 2^62 doubled by
+// a legalizer, a cost multiplied by a slot count, a power-of-two refine
+// shifting past bit 62 — all wrap silently into negative "legal" values. The
+// saturating helpers in internal/problem (SatAdd64, SatMul64, SatShl64, the
+// ratio ceilings) are the single blessed implementation; this analyzer flags
+// raw `*`, `+`, and `<<` (and their assignment forms) on int64/uint32
+// operands in solver packages when the expression involves a solver quantity
+// — an identifier whose name mentions cost, usage, slot, ratio, weight, psi,
+// phi, or gtr. Constant-folded expressions and expressions with a constant
+// operand below the overflow horizon are exempt; `<<` is flagged whenever
+// the shifted value or the shift amount is non-constant.
+//
+// Findings on `*` and `+` carry a mechanical -fix rewriting the expression
+// through the saturating helper.
+var SatArith = &Analyzer{
+	Name: "satarith",
+	Doc:  "flag raw wide arithmetic on cost/usage/slot values outside the saturating helpers",
+	Run:  runSatArith,
+}
+
+// satNameFragments are the identifier fragments marking a solver quantity.
+var satNameFragments = []string{"cost", "usage", "slot", "ratio", "weight", "psi", "phi", "gtr"}
+
+func runSatArith(p *Pass) {
+	if p.InSatExempt() {
+		return
+	}
+	if !p.InSolverPkg() && p.Pkg.RelDir != "." {
+		return
+	}
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				p.checkSatBinary(info, n)
+			case *ast.AssignStmt:
+				p.checkSatAssign(info, n)
+			}
+			return true
+		})
+	}
+}
+
+// satHelper maps an operator to its saturating helper name.
+func satHelper(op token.Token) string {
+	switch op {
+	case token.MUL, token.MUL_ASSIGN:
+		return "SatMul64"
+	case token.ADD, token.ADD_ASSIGN:
+		return "SatAdd64"
+	case token.SHL, token.SHL_ASSIGN:
+		return "SatShl64"
+	}
+	return ""
+}
+
+func (p *Pass) checkSatBinary(info *types.Info, bin *ast.BinaryExpr) {
+	switch bin.Op {
+	case token.MUL, token.ADD, token.SHL:
+	default:
+		return
+	}
+	tv, ok := info.Types[bin]
+	if !ok || tv.Value != nil { // constant folded: the compiler checks it
+		return
+	}
+	if !isWideInt(tv.Type) {
+		return
+	}
+	xc := exprConst(info, bin.X)
+	yc := exprConst(info, bin.Y)
+	if bin.Op != token.SHL && (xc || yc) {
+		// a*2 or cost+1: a constant operand keeps the growth bounded per
+		// operation; the overflow class here is wide×wide.
+		return
+	}
+	if bin.Op == token.SHL && xc && yc {
+		return
+	}
+	if !mentionsSolverQuantity(bin) {
+		return
+	}
+	helper := satHelper(bin.Op)
+	if isWideInt64(tv.Type) {
+		p.ReportFix(bin.Pos(), bin.End(),
+			"problem."+helper+"("+types.ExprString(bin.X)+", "+types.ExprString(bin.Y)+")",
+			p.ModPath+"/internal/problem",
+			"raw %s on wide solver quantity can overflow silently: use problem.%s (or a //lint:ignore with the bound that makes it safe)", bin.Op, helper)
+		return
+	}
+	p.Reportf(bin.Pos(), "raw %s on wide solver quantity can overflow silently: saturate or bound the operands first", bin.Op)
+}
+
+func (p *Pass) checkSatAssign(info *types.Info, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.MUL_ASSIGN, token.ADD_ASSIGN, token.SHL_ASSIGN:
+	default:
+		return
+	}
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	t := info.TypeOf(as.Lhs[0])
+	if !isWideInt(t) {
+		return
+	}
+	if as.Tok != token.SHL_ASSIGN && exprConst(info, as.Rhs[0]) {
+		return
+	}
+	if !mentionsSolverQuantity(as.Lhs[0]) && !mentionsSolverQuantity(as.Rhs[0]) {
+		return
+	}
+	helper := satHelper(as.Tok)
+	if isWideInt64(t) {
+		lhs := types.ExprString(as.Lhs[0])
+		p.ReportFix(as.Pos(), as.End(),
+			lhs+" = problem."+helper+"("+lhs+", "+types.ExprString(as.Rhs[0])+")",
+			p.ModPath+"/internal/problem",
+			"raw %s on wide solver quantity can overflow silently: use problem.%s (or a //lint:ignore with the bound that makes it safe)", as.Tok, helper)
+		return
+	}
+	p.Reportf(as.Pos(), "raw %s on wide solver quantity can overflow silently: saturate or bound the operands first", as.Tok)
+}
+
+// isWideInt reports whether t is an integer wide enough for silent-overflow
+// trouble in the solver's domains: int64/uint64/uint32 (and int/uint, which
+// are 64-bit on every supported platform).
+func isWideInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int64, types.Uint64, types.Uint32, types.Int, types.Uint:
+		return true
+	}
+	return false
+}
+
+// isWideInt64 reports whether t is exactly int64, the type the saturating
+// helpers operate on.
+func isWideInt64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Int64
+}
+
+// exprConst reports whether the expression is a typed or untyped constant.
+func exprConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// mentionsSolverQuantity reports whether any identifier in the expression
+// names a solver quantity (cost, usage, slot, ratio, weight, psi, phi, gtr).
+func mentionsSolverQuantity(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			name := strings.ToLower(id.Name)
+			for _, frag := range satNameFragments {
+				if strings.Contains(name, frag) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,85 @@
+// Package ctxflow seeds cancellation-contract violations: exported entry
+// points that drop their context, and loops doing transitive iterative work
+// without observing cancellation. The package is registered as a solver
+// package in the test config so the loop rule applies.
+package ctxflow
+
+import "context"
+
+// iterate is the iterative-work carrier: the loops fact computed for it
+// propagates into every caller.
+func iterate(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+
+// stage observes its context, making it a valid cancellation boundary for
+// loops that forward ctx into it.
+func stage(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return iterate(n)
+}
+
+// BadUnnamed never binds its context: cancellation cannot reach the body.
+func BadUnnamed(context.Context, int) int { return 1 }
+
+// BadUnused binds ctx and then ignores it.
+func BadUnused(ctx context.Context, n int) int { return iterate(n) }
+
+// BadLoop checks ctx once up front but spins through iterative work with no
+// observation at any iteration boundary.
+func BadLoop(ctx context.Context, rounds int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	total := 0
+	for r := 0; r < rounds; r++ {
+		total += iterate(r)
+	}
+	return total
+}
+
+// GoodLoop checks ctx at every iteration boundary.
+func GoodLoop(ctx context.Context, rounds int) int {
+	total := 0
+	for r := 0; r < rounds; r++ {
+		if ctx.Err() != nil {
+			break
+		}
+		total += iterate(r)
+	}
+	return total
+}
+
+// GoodForward forwards ctx into a callee that observes it.
+func GoodForward(ctx context.Context, rounds int) int {
+	total := 0
+	for r := 0; r < rounds; r++ {
+		total += stage(ctx, r)
+	}
+	return total
+}
+
+// SuppressedLoop is the BadLoop shape with a justified suppression.
+func SuppressedLoop(ctx context.Context, rounds int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	total := 0
+	//lint:ignore ctxflow fixture: rounds is bounded by a small constant at every call site
+	for r := 0; r < rounds; r++ {
+		total += iterate(r)
+	}
+	return total
+}
+
+// StaleDirective carries an ignore with nothing underneath to suppress.
+func StaleDirective(n int) int {
+	//lint:ignore ctxflow fixture: stale — nothing here violates the rule
+	return n + 1
+}

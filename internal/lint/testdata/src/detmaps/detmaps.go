@@ -1,0 +1,42 @@
+// Package detmaps seeds order-dependent map iteration outside the solver
+// allowlist, where detsource's extended map rule applies. The
+// collect-then-sort idiom is recognized and exempt.
+package detmaps
+
+import "sort"
+
+// BadCollect returns keys in raw map order.
+func BadCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// GoodCollectSort sorts the collected keys before returning: deterministic.
+func GoodCollectSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SuppressedCollect documents why raw order is acceptable here.
+func SuppressedCollect(m map[string]int) []string {
+	var out []string
+	//lint:ignore detsource fixture: the caller re-sorts before anything reaches a Solution
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// StaleDirective carries an ignore over ordered slice iteration.
+func StaleDirective(xs []string) []string {
+	//lint:ignore detsource fixture: stale — slice iteration is ordered
+	sort.Strings(xs)
+	return xs
+}

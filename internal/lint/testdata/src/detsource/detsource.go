@@ -1,0 +1,37 @@
+// Package detsource seeds wall-clock and randomness uses in a solver
+// package, where any such source breaks byte-identical replay. The package
+// is registered as a solver package in the test config.
+package detsource
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BadClock keys a value on wall-clock time.
+func BadClock() int64 {
+	return time.Now().UnixNano()
+}
+
+// BadRand draws from the global generator.
+func BadRand(n int) int {
+	return rand.Intn(n)
+}
+
+// GoodDuration uses the time package only for a constant duration, never
+// the clock.
+func GoodDuration() time.Duration {
+	return 5 * time.Millisecond
+}
+
+// SuppressedClock stamps telemetry with an explicit justification.
+func SuppressedClock() int64 {
+	//lint:ignore detsource fixture: telemetry-only timestamp, never feeds a solver decision
+	return time.Now().Unix()
+}
+
+// StaleDirective carries an ignore over clock-free arithmetic.
+func StaleDirective(n int) int {
+	//lint:ignore detsource fixture: stale — no clock or generator here
+	return n + 1
+}

@@ -1,0 +1,100 @@
+// Package mutexhold seeds lock-across-blocking-operation violations. The
+// package is registered as a serving-tier package in the test config, so the
+// mutexhold analyzer's lock-region dataflow applies. Channels arrive as
+// parameters (never constructed here) to keep rawgo silent.
+package mutexhold
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+)
+
+type server struct {
+	mu    sync.Mutex
+	state int
+}
+
+// waitPeer blocks on a channel receive; the blocks fact computed for it
+// propagates to callers.
+func waitPeer(ch chan int) int { return <-ch }
+
+// BadSend sends on a channel while holding mu.
+func (s *server) BadSend(ch chan int) {
+	s.mu.Lock()
+	ch <- s.state
+	s.mu.Unlock()
+}
+
+// BadWriter writes through an abstract io.Writer — possibly a socket —
+// while mu is held to function end by the deferred unlock.
+func (s *server) BadWriter(w io.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(w, "state %d\n", s.state)
+}
+
+// BadFactCall calls a module function carrying the blocks fact under mu.
+func (s *server) BadFactCall(ch chan int) {
+	s.mu.Lock()
+	s.state = waitPeer(ch)
+	s.mu.Unlock()
+}
+
+// BadSelect parks on a select with no default clause under mu.
+func (s *server) BadSelect(a, b chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-a:
+		s.state = v
+	case v := <-b:
+		s.state = v
+	}
+}
+
+// GoodUnlockFirst releases mu before the send.
+func (s *server) GoodUnlockFirst(ch chan int) {
+	s.mu.Lock()
+	v := s.state
+	s.mu.Unlock()
+	ch <- v
+}
+
+// GoodBuffer renders into memory under mu and touches the writer after.
+func (s *server) GoodBuffer(w io.Writer) {
+	var buf bytes.Buffer
+	s.mu.Lock()
+	fmt.Fprintf(&buf, "state %d\n", s.state)
+	s.mu.Unlock()
+	w.Write(buf.Bytes())
+}
+
+// GoodNonBlockingEnqueue uses select-with-default under mu: it never parks.
+func (s *server) GoodNonBlockingEnqueue(ch chan int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case ch <- s.state:
+		return true
+	default:
+		return false
+	}
+}
+
+// SuppressedSend documents why this particular send cannot park.
+func (s *server) SuppressedSend(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore mutexhold fixture: ch is buffered by contract and drained before every call
+	ch <- s.state
+}
+
+// StaleDirective carries an ignore over pure computation.
+func (s *server) StaleDirective() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore mutexhold fixture: stale — pure computation under the lock
+	return s.state + 1
+}

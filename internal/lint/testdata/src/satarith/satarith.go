@@ -1,0 +1,48 @@
+// Package satarith seeds raw wide-integer arithmetic on solver quantities
+// (identifiers naming cost/usage/slot/ratio/...). The package is registered
+// as a solver package in the test config.
+package satarith
+
+// BadMul multiplies two wide solver quantities: silent wrap on overflow.
+func BadMul(cost, slots int64) int64 {
+	return cost * slots
+}
+
+// BadAddAssign accumulates usage without a saturation guard.
+func BadAddAssign(usage []int64, delta int64) {
+	usage[0] += delta
+}
+
+// BadShift shifts a ratio by a runtime amount: bits slide past 62 silently.
+func BadShift(ratio int64, k uint) int64 {
+	return ratio << k
+}
+
+// BadNarrow multiplies uint32 usage counters: no int64 helper applies, so
+// the finding carries no mechanical fix.
+func BadNarrow(usage, n uint32) uint32 {
+	return usage * n
+}
+
+// GoodConstScale doubles a cost by a constant: growth per operation is
+// bounded, so the raw operator is exempt.
+func GoodConstScale(cost int64) int64 {
+	return cost * 2
+}
+
+// GoodUnrelated multiplies values that are not solver quantities.
+func GoodUnrelated(a, b int64) int64 {
+	return a * b
+}
+
+// SuppressedAdd documents the bound that makes the raw add safe.
+func SuppressedAdd(cost, delta int64) int64 {
+	//lint:ignore satarith fixture: delta is at most 1 by construction
+	return cost + delta
+}
+
+// StaleDirective carries an ignore over an already-exempt expression.
+func StaleDirective(cost int64) int64 {
+	//lint:ignore satarith fixture: stale — constant scaling is exempt anyway
+	return cost * 4
+}

@@ -1,0 +1,83 @@
+package problem
+
+import "math"
+
+// Saturating wide arithmetic for solver quantities (costs, usages, slot
+// counts, ratios). Raw int64 `*`, `+`, and `<<` wrap silently — the exact
+// overflow class once fixed by hand in the TDM legalizers — so every stage
+// doing wide arithmetic on these values routes through the helpers below;
+// the satarith analyzer (internal/lint) enforces it. All three saturate at
+// the int64 range boundaries instead of wrapping, which preserves the
+// ordering invariants the solver relies on (a huge cost stays huge instead
+// of becoming negative and "winning" every comparison).
+
+// SatAdd64 returns a+b, saturating at math.MinInt64/MaxInt64.
+func SatAdd64(a, b int64) int64 {
+	s := a + b
+	// Overflow iff both operands share a sign and the sum flipped it.
+	if (a >= 0) == (b >= 0) && (s >= 0) != (a >= 0) {
+		if a >= 0 {
+			return math.MaxInt64
+		}
+		return math.MinInt64
+	}
+	return s
+}
+
+// SatMul64 returns a*b, saturating at math.MinInt64/MaxInt64.
+func SatMul64(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b
+	// Division-based check: p/b != a exactly when the product wrapped.
+	// MinInt64 * -1 overflows the division itself; handle it first.
+	if a == math.MinInt64 || b == math.MinInt64 {
+		if a == 1 {
+			return b
+		}
+		if b == 1 {
+			return a
+		}
+		if (a < 0) == (b < 0) {
+			return math.MaxInt64
+		}
+		return math.MinInt64
+	}
+	if p/b != a {
+		if (a < 0) == (b < 0) {
+			return math.MaxInt64
+		}
+		return math.MinInt64
+	}
+	return p
+}
+
+// SatShl64 returns v<<k, saturating at math.MinInt64/MaxInt64. Negative
+// shift counts saturate the magnitude immediately (they would panic as raw
+// shifts); shifts of zero return zero.
+func SatShl64(v int64, k int) int64 {
+	if v == 0 {
+		return 0
+	}
+	if k <= 0 {
+		if k == 0 {
+			return v
+		}
+		k = 64
+	}
+	if k >= 64 {
+		if v > 0 {
+			return math.MaxInt64
+		}
+		return math.MinInt64
+	}
+	s := v << k
+	if s>>k != v || (s >= 0) != (v >= 0) {
+		if v > 0 {
+			return math.MaxInt64
+		}
+		return math.MinInt64
+	}
+	return s
+}

@@ -1,0 +1,95 @@
+package problem
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+func TestSatAdd64(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{1, 2, 3},
+		{-5, 3, -2},
+		{math.MaxInt64, 1, math.MaxInt64},
+		{math.MaxInt64, math.MaxInt64, math.MaxInt64},
+		{math.MinInt64, -1, math.MinInt64},
+		{math.MinInt64, math.MinInt64, math.MinInt64},
+		{math.MaxInt64, math.MinInt64, -1},
+		{math.MinInt64, math.MaxInt64, -1},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := SatAdd64(c.a, c.b); got != c.want {
+			t.Errorf("SatAdd64(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSatMul64(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{3, 4, 12},
+		{-3, 4, -12},
+		{0, math.MaxInt64, 0},
+		{math.MaxInt64, 2, math.MaxInt64},
+		{math.MaxInt64, -2, math.MinInt64},
+		{math.MinInt64, -1, math.MaxInt64},
+		{math.MinInt64, 1, math.MinInt64},
+		{1, math.MinInt64, math.MinInt64},
+		{math.MinInt64, 2, math.MinInt64},
+		{math.MinInt64, -2, math.MaxInt64},
+		{1 << 31, 1 << 31, 1 << 62},
+		{1 << 32, 1 << 32, math.MaxInt64},
+	}
+	for _, c := range cases {
+		if got := SatMul64(c.a, c.b); got != c.want {
+			t.Errorf("SatMul64(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestSatMul64AgainstBig cross-checks the saturation decisions against
+// arbitrary-precision arithmetic over a boundary-heavy grid.
+func TestSatMul64AgainstBig(t *testing.T) {
+	vals := []int64{math.MinInt64, math.MinInt64 + 1, -(1 << 32), -3, -1, 0, 1, 2,
+		3037000499, 3037000500, 1 << 31, 1 << 32, math.MaxInt64 - 1, math.MaxInt64}
+	lo, hi := big.NewInt(math.MinInt64), big.NewInt(math.MaxInt64)
+	for _, a := range vals {
+		for _, b := range vals {
+			exact := new(big.Int).Mul(big.NewInt(a), big.NewInt(b))
+			want := exact
+			if exact.Cmp(hi) > 0 {
+				want = hi
+			} else if exact.Cmp(lo) < 0 {
+				want = lo
+			}
+			if got := SatMul64(a, b); got != want.Int64() {
+				t.Errorf("SatMul64(%d, %d) = %d, want %s", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestSatShl64(t *testing.T) {
+	cases := []struct {
+		v    int64
+		k    int
+		want int64
+	}{
+		{1, 3, 8},
+		{0, 63, 0},
+		{1, 62, 1 << 62},
+		{1, 63, math.MaxInt64},
+		{1, 64, math.MaxInt64},
+		{-1, 63, math.MinInt64},
+		{3, 62, math.MaxInt64},
+		{-3, 62, math.MinInt64},
+		{5, 0, 5},
+		{5, -1, math.MaxInt64},
+		{-5, -1, math.MinInt64},
+	}
+	for _, c := range cases {
+		if got := SatShl64(c.v, c.k); got != c.want {
+			t.Errorf("SatShl64(%d, %d) = %d, want %d", c.v, c.k, got, c.want)
+		}
+	}
+}

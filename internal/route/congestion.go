@@ -8,7 +8,10 @@
 // path at every worker count.
 package route
 
-import "tdmroute/internal/par"
+import (
+	"tdmroute/internal/par"
+	"tdmroute/internal/problem"
+)
 
 // congCell records one (net, route-position) incidence on an edge:
 // r.routes[net][pos] is the edge the cell lives on.
@@ -86,7 +89,7 @@ func newCongIndex(r *router) *congIndex {
 		for gi := start; gi < end; gi++ {
 			var sum int64
 			for _, n := range r.in.Groups[gi].Nets {
-				sum += c.psi[n]
+				sum = problem.SatAdd64(sum, c.psi[n])
 			}
 			c.phi[gi] = sum
 		}
@@ -219,13 +222,13 @@ func (c *congIndex) applyPsiDelta(n int, d int64) {
 		return
 	}
 	c.undoPsi = append(c.undoPsi, netVal{net: n, val: c.psi[n]})
-	c.psi[n] += d
+	c.psi[n] = problem.SatAdd64(c.psi[n], d)
 	for _, gi := range c.r.in.Nets[n].Groups {
 		if c.groupStamp[gi] != c.epoch {
 			c.groupStamp[gi] = c.epoch
 			c.undoPhi = append(c.undoPhi, grpVal{grp: gi, val: c.phi[gi]})
 		}
-		c.phi[gi] += d
+		c.phi[gi] = problem.SatAdd64(c.phi[gi], d)
 	}
 }
 

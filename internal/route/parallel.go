@@ -68,6 +68,7 @@ func (r *router) routeWaves(ctx context.Context, order []int) error {
 	if r.ws == nil {
 		r.ws = make([]*netWorker, workers)
 		r.ws[0] = r.w0
+		//lint:ignore ctxflow one-time O(workers) scratch cloning, not solver iteration; the wave loop below checks ctx.Err() every wave
 		for i := 1; i < workers; i++ {
 			r.ws[i] = r.w0.clone()
 		}

@@ -280,7 +280,7 @@ func (r *router) initialRoute(ctx context.Context) error {
 	for gi := range r.in.Groups {
 		var sum int64
 		for _, n := range r.in.Groups[gi].Nets {
-			sum += r.mstCost[n]
+			sum = problem.SatAdd64(sum, r.mstCost[n])
 		}
 		groupCost[gi] = sum
 	}
@@ -386,7 +386,7 @@ func (r *router) computeTree(w *netWorker, n int, alg SteinerAlg, mst []graph.We
 func (r *router) psi(n int) int64 {
 	var sum int64
 	for _, e := range r.routes[n] {
-		sum += int64(r.usage[e])
+		sum = problem.SatAdd64(sum, int64(r.usage[e]))
 	}
 	return sum
 }
@@ -407,7 +407,7 @@ func (r *router) phiAll() []int64 {
 		for gi := start; gi < end; gi++ {
 			var sum int64
 			for _, n := range r.in.Groups[gi].Nets {
-				sum += psi[n]
+				sum = problem.SatAdd64(sum, psi[n])
 			}
 			phi[gi] = sum
 		}

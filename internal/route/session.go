@@ -238,7 +238,7 @@ func (s *Session) AddEdgeBias(edge, delta int) error {
 		return fmt.Errorf("route: edge %d cumulative bias %d exceeds the maximum %d", edge, nb, MaxEdgeBias)
 	}
 	s.bias[edge] = nb
-	r.usage[edge] = uint32(int64(r.usage[edge]) + int64(delta))
+	r.usage[edge] = uint32(problem.SatAdd64(int64(r.usage[edge]), int64(delta)))
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -189,4 +190,48 @@ func TestEventsResume(t *testing.T) {
 	if code != http.StatusBadRequest {
 		t.Fatalf("malformed Last-Event-ID: code %d, want 400", code)
 	}
+}
+
+// blockingWriter stalls every Write until released, modeling a slow metrics
+// scraper on the far end of an http.ResponseWriter.
+type blockingWriter struct {
+	entered sync.Once
+	in      chan struct{} // closed when the first Write has begun
+	release chan struct{} // Writes return once this is closed
+}
+
+func (w *blockingWriter) Write(p []byte) (int, error) {
+	w.entered.Do(func() { close(w.in) })
+	<-w.release
+	return len(p), nil
+}
+
+// TestMetricsWriteReleasesLockBeforeSocket is the regression test for the
+// exposition writer that held m.mu across fmt.Fprintf calls aimed at the
+// HTTP response socket: one slow scraper would stall every worker calling
+// observe. The fixed write renders into a buffer under the lock and touches
+// the writer only after releasing it, so observe must complete while the
+// scraper is still stalled mid-Write.
+func TestMetricsWriteReleasesLockBeforeSocket(t *testing.T) {
+	var m metrics
+	m.init()
+	bw := &blockingWriter{in: make(chan struct{}), release: make(chan struct{})}
+	done := make(chan struct{})
+	go func() {
+		m.write(bw, 0, 8, 0, 2, 0, false)
+		close(done)
+	}()
+	<-bw.in
+	observed := make(chan struct{})
+	go func() {
+		m.observe(outcomeDone, nil)
+		close(observed)
+	}()
+	select {
+	case <-observed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("observe blocked behind a stalled metrics scraper: m.mu is held across the socket write")
+	}
+	close(bw.release)
+	<-done
 }

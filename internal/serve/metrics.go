@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"strconv"
@@ -55,21 +56,22 @@ func (h *histogram) observe(v float64) {
 
 // write renders the histogram in the text exposition format: cumulative
 // buckets, sum, and count. labels is the fixed label fragment without the
-// le pair ("" or `stage="route",`).
-func (h *histogram) write(w io.Writer, name, labels string) {
+// le pair ("" or `stage="route",`). It renders into an in-memory buffer —
+// never a socket — because callers hold the metrics mutex (mutexhold).
+func (h *histogram) write(buf *bytes.Buffer, name, labels string) {
 	cum := int64(0)
 	for i, b := range h.bounds {
 		cum += h.counts[i]
-		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, labels, formatFloat(b), cum)
+		fmt.Fprintf(buf, "%s_bucket{%sle=%q} %d\n", name, labels, formatFloat(b), cum)
 	}
 	cum += h.counts[len(h.bounds)]
-	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, cum)
+	fmt.Fprintf(buf, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, cum)
 	base := trimComma(labels)
 	if base != "" {
 		base = "{" + base + "}"
 	}
-	fmt.Fprintf(w, "%s_sum%s %s\n", name, base, formatFloat(h.sum))
-	fmt.Fprintf(w, "%s_count%s %d\n", name, base, h.n)
+	fmt.Fprintf(buf, "%s_sum%s %s\n", name, base, formatFloat(h.sum))
+	fmt.Fprintf(buf, "%s_count%s %d\n", name, base, h.n)
 }
 
 func trimComma(labels string) string {
@@ -149,30 +151,38 @@ func (m *metrics) summary() string {
 // writeMetrics renders the full exposition. The server passes its live
 // queue/worker gauges so they reconcile with the counters: at quiescence
 // accepted == sum(outcomes) + queued + running.
+//
+// w is typically an http.ResponseWriter — a socket a slow peer can stall —
+// so the exposition is rendered into an in-memory buffer and m.mu is
+// released before the single w.Write. Holding the mutex across the socket
+// write would let one slow scraper block every worker calling observe
+// (the bug class mutexhold exists to catch).
 func (m *metrics) write(w io.Writer, queueDepth, queueCap, running, workers, warmSessions int, draining bool) {
-	fmt.Fprintf(w, "# tdmroutd metrics\n")
-	fmt.Fprintf(w, "tdmroutd_up 1\n")
-	fmt.Fprintf(w, "tdmroutd_draining %d\n", boolInt(draining))
-	fmt.Fprintf(w, "tdmroutd_workers %d\n", workers)
-	fmt.Fprintf(w, "tdmroutd_queue_capacity %d\n", queueCap)
-	fmt.Fprintf(w, "tdmroutd_queue_depth %d\n", queueDepth)
-	fmt.Fprintf(w, "tdmroutd_jobs_running %d\n", running)
-	fmt.Fprintf(w, "tdmroutd_jobs_accepted_total %d\n", m.accepted.Load())
-	fmt.Fprintf(w, "tdmroutd_submit_rejected_total %d\n", m.submitRejected.Load())
-	fmt.Fprintf(w, "tdmroutd_warm_sessions %d\n", warmSessions)
-	fmt.Fprintf(w, "tdmroutd_warm_retained_total %d\n", m.warmRetained.Load())
-	fmt.Fprintf(w, "tdmroutd_warm_evicted_total %d\n", m.warmEvicted.Load())
-	fmt.Fprintf(w, "tdmroutd_warm_dropped_total %d\n", m.warmDropped.Load())
-	fmt.Fprintf(w, "tdmroutd_warm_conflict_total %d\n", m.warmConflict.Load())
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "# tdmroutd metrics\n")
+	fmt.Fprintf(&buf, "tdmroutd_up 1\n")
+	fmt.Fprintf(&buf, "tdmroutd_draining %d\n", boolInt(draining))
+	fmt.Fprintf(&buf, "tdmroutd_workers %d\n", workers)
+	fmt.Fprintf(&buf, "tdmroutd_queue_capacity %d\n", queueCap)
+	fmt.Fprintf(&buf, "tdmroutd_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(&buf, "tdmroutd_jobs_running %d\n", running)
+	fmt.Fprintf(&buf, "tdmroutd_jobs_accepted_total %d\n", m.accepted.Load())
+	fmt.Fprintf(&buf, "tdmroutd_submit_rejected_total %d\n", m.submitRejected.Load())
+	fmt.Fprintf(&buf, "tdmroutd_warm_sessions %d\n", warmSessions)
+	fmt.Fprintf(&buf, "tdmroutd_warm_retained_total %d\n", m.warmRetained.Load())
+	fmt.Fprintf(&buf, "tdmroutd_warm_evicted_total %d\n", m.warmEvicted.Load())
+	fmt.Fprintf(&buf, "tdmroutd_warm_dropped_total %d\n", m.warmDropped.Load())
+	fmt.Fprintf(&buf, "tdmroutd_warm_conflict_total %d\n", m.warmConflict.Load())
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for o := outcome(0); o < numOutcomes; o++ {
-		fmt.Fprintf(w, "tdmroutd_jobs_total{outcome=%q} %d\n", outcomeNames[o], m.outcomes[o])
+		fmt.Fprintf(&buf, "tdmroutd_jobs_total{outcome=%q} %d\n", outcomeNames[o], m.outcomes[o])
 	}
-	m.route.write(w, "tdmroutd_stage_seconds", `stage="route",`)
-	m.lr.write(w, "tdmroutd_stage_seconds", `stage="lr",`)
-	m.legal.write(w, "tdmroutd_stage_seconds", `stage="legal_refine",`)
-	m.gtr.write(w, "tdmroutd_gtr", "")
+	m.route.write(&buf, "tdmroutd_stage_seconds", `stage="route",`)
+	m.lr.write(&buf, "tdmroutd_stage_seconds", `stage="lr",`)
+	m.legal.write(&buf, "tdmroutd_stage_seconds", `stage="legal_refine",`)
+	m.gtr.write(&buf, "tdmroutd_gtr", "")
+	m.mu.Unlock()
+	w.Write(buf.Bytes())
 }
 
 func boolInt(b bool) int {

@@ -1,9 +1,14 @@
 #!/bin/sh
 # Static-analysis entry point, matching the CI gates exactly: gofmt
-# cleanliness plus the repo's own tdmlint analyzers (floatcast, maporder,
-# rawgo, floateq — see internal/lint). Run before pushing:
+# cleanliness, go vet, and the repo's own tdmlint suite — all eight
+# analyzers (floatcast, maporder, rawgo, floateq, ctxflow, mutexhold,
+# satarith, detsource — see internal/lint) over the whole tree, including
+# internal/lint and cmd/tdmlint themselves (the linter must pass its own
+# rules). Set SARIF_OUT to also emit a SARIF 2.1.0 report for CI
+# code-scanning upload.
 #
-#   scripts/lint.sh
+#   scripts/lint.sh                          # gate: exit 1 on any finding
+#   SARIF_OUT=report.sarif scripts/lint.sh   # also write the SARIF report
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -16,7 +21,11 @@ fi
 echo "== vet"
 go vet ./...
 
-echo "== tdmlint"
-go run ./cmd/tdmlint ./...
+echo "== tdmlint (8 analyzers, whole tree incl. internal/lint)"
+if [ -n "${SARIF_OUT:-}" ]; then
+  go run ./cmd/tdmlint -sarif "$SARIF_OUT" ./...
+else
+  go run ./cmd/tdmlint ./...
+fi
 
 echo "OK"
