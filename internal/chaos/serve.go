@@ -1,0 +1,176 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+)
+
+// Gate wraps one backend's HTTP handler with the serve-tier fault vectors
+// the coordinator chaos suite injects: process death mid-stream (the
+// connection is severed after a counted number of LR progress events and
+// every later request dies too, like a kill -9), a network partition (the
+// connection stays open but no bytes ever move), and response corruption
+// (solution bodies are rewritten through the same seeded mutator the parser
+// harness uses). Faults are armed and cleared at runtime so a test can
+// stage them mid-job.
+//
+// A Gate is deterministic given its arming sequence: the k-th LR event
+// kills, the seed fixes the corruption — a failing chaos outcome reproduces
+// from the sweep's seed alone.
+type Gate struct {
+	inner http.Handler
+
+	mu          sync.Mutex
+	dead        bool
+	killAfter   int // remaining LR events until the process "dies"; <0 disarmed
+	partitioned bool
+	corruptSeed int64 // 0 disarmed
+}
+
+// NewGate wraps inner with a disarmed gate.
+func NewGate(inner http.Handler) *Gate {
+	return &Gate{inner: inner, killAfter: -1}
+}
+
+// KillAfterLR arms the kill vector: after n more LR progress events have
+// been written to event streams, the writing connection is severed and the
+// backend plays dead for every request after that.
+func (g *Gate) KillAfterLR(n int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.killAfter = n
+}
+
+// Partition sets the blackhole vector: requests (and writes on streams
+// already open) hang until the peer gives up. Unlike a kill, the process is
+// "alive" — turning the partition off heals it completely.
+func (g *Gate) Partition(on bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.partitioned = on
+}
+
+// CorruptSolutions arms the corruption vector: solution response bodies are
+// passed through Corrupt(seed, body). Zero disarms.
+func (g *Gate) CorruptSolutions(seed int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.corruptSeed = seed
+}
+
+// Dead reports whether the kill vector has fired.
+func (g *Gate) Dead() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.dead
+}
+
+// Revive clears a fired kill, as if the process were restarted. Jobs the
+// old "process" was running are still gone — the wrapped server never died,
+// so this models a restart with state loss only at the HTTP boundary.
+func (g *Gate) Revive() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.dead = false
+	g.killAfter = -1
+}
+
+// kill marks the backend dead. Reported back to the caller so the write
+// path can sever its own connection.
+func (g *Gate) kill() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.dead = true
+	g.killAfter = -1
+}
+
+// spendLR consumes n LR events from the kill budget and reports whether the
+// budget just ran out (the caller must die).
+func (g *Gate) spendLR(n int) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.killAfter < 0 || n == 0 {
+		return false
+	}
+	g.killAfter -= n
+	return g.killAfter < 0
+}
+
+func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mu.Lock()
+	dead, partitioned, corrupt := g.dead, g.partitioned, g.corruptSeed
+	g.mu.Unlock()
+	if dead {
+		// A dead process answers nothing: abort the connection so the
+		// client sees a transport error, never an HTTP status.
+		panic(http.ErrAbortHandler)
+	}
+	if partitioned {
+		// Drain the body first: net/http only watches the connection for a
+		// client disconnect once the request body has been consumed, and the
+		// blackhole must still unblock (and free its connection) when the
+		// peer times out and hangs up.
+		io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+		panic(http.ErrAbortHandler)
+	}
+	if corrupt != 0 && strings.HasSuffix(r.URL.Path, "/solution") {
+		rec := httptest.NewRecorder()
+		g.inner.ServeHTTP(rec, r)
+		for k, vs := range rec.Header() {
+			if k == "Content-Length" {
+				continue
+			}
+			w.Header()[k] = vs
+		}
+		body := Corrupt(corrupt, rec.Body.Bytes())
+		w.WriteHeader(rec.Code)
+		w.Write(body)
+		return
+	}
+	if strings.HasSuffix(r.URL.Path, "/events") {
+		// Event streams are wrapped unconditionally so a kill or partition
+		// armed mid-job reaches connections that are already open.
+		w = &killWriter{ResponseWriter: w, gate: g, req: r}
+	}
+	g.inner.ServeHTTP(w, r)
+}
+
+// killWriter counts LR progress events crossing one event-stream connection
+// and severs it — taking the whole gate down with it — when the gate's kill
+// budget runs out. The partition vector is also honored per-write, so a
+// partition armed mid-stream silences streams that are already open.
+type killWriter struct {
+	http.ResponseWriter
+	gate *Gate
+	req  *http.Request
+}
+
+var lrFrame = []byte("event: lr\n")
+
+func (kw *killWriter) Write(p []byte) (int, error) {
+	kw.gate.mu.Lock()
+	partitioned := kw.gate.partitioned
+	kw.gate.mu.Unlock()
+	if partitioned {
+		// The write never completes; the stream stays open and silent
+		// until the peer gives up and closes the connection.
+		<-kw.req.Context().Done()
+		panic(http.ErrAbortHandler)
+	}
+	if kw.gate.spendLR(bytes.Count(p, lrFrame)) {
+		kw.gate.kill()
+		panic(http.ErrAbortHandler)
+	}
+	return kw.ResponseWriter.Write(p)
+}
+
+func (kw *killWriter) Flush() {
+	if fl, ok := kw.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}

@@ -1,0 +1,76 @@
+package coord
+
+import (
+	"container/list"
+	"sync"
+
+	"tdmroute"
+	"tdmroute/internal/serve"
+)
+
+// cacheEntry is one content-addressed completed result: the terminal status
+// (response + telemetry), the parsed solution, and the verified canonical
+// text bytes the digest was checked against. Only non-degraded done results
+// are cached — a degraded incumbent depends on where the run was
+// interrupted, so it has no stable content address.
+type cacheEntry struct {
+	key    string
+	status serve.JobStatus // terminal; ID/Backend are rewritten per hit
+	sol    *tdmroute.Solution
+	text   []byte
+}
+
+// resultCache is a bounded LRU over content keys. Everything under the mutex
+// is in-memory bookkeeping (mutexhold: no IO, no channel ops).
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+	evicted int64
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, order: list.New(), entries: map[string]*list.Element{}}
+}
+
+// get returns the entry for key, refreshing its recency, or nil.
+func (c *resultCache) get(key string) *cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el := c.entries[key]
+	if el == nil {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry)
+}
+
+// put inserts or refreshes an entry, evicting from the LRU tail past the
+// bound. A non-positive cap disables caching entirely.
+func (c *resultCache) put(e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.max <= 0 {
+		return
+	}
+	if el := c.entries[e.key]; el != nil {
+		el.Value = e
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[e.key] = c.order.PushFront(e)
+	for c.order.Len() > c.max {
+		tail := c.order.Back()
+		c.order.Remove(tail)
+		delete(c.entries, tail.Value.(*cacheEntry).key)
+		c.evicted++
+	}
+}
+
+// stats returns the live size and lifetime eviction count.
+func (c *resultCache) stats() (size int, evicted int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len(), c.evicted
+}

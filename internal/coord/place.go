@@ -1,0 +1,95 @@
+package coord
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"tdmroute/internal/problem"
+	"tdmroute/internal/serve"
+)
+
+// cacheKey is the content address of a submission: SHA-256 over the
+// canonical contest-text serialization of the instance, the mode, and the
+// normalized solver-option tuple (and the fixed routing, for assign mode).
+//
+// What the key deliberately excludes defines what "identical" means:
+//
+//   - name: a label, never part of the solved problem. The text
+//     serialization leads with a "# instance <name>" comment, so that header
+//     line is stripped before hashing — otherwise the same instance uploaded
+//     under two names (or renamed by the server's default) would never hit.
+//   - deadline: an upper bound on wall time. A deadline only changes the
+//     result by degrading it, and degraded results are never cached, so two
+//     submissions differing only in deadline share a (complete) result.
+//   - retain: session placement, not problem content. Retained submissions
+//     skip the cache lookup (they need a live warm session), but their
+//     results still populate it for later identical plain submissions.
+//
+// Workers is normalized (negatives collapse to the sequential 1): the solver
+// is deterministic across worker counts by the package's equivalence suites,
+// but the option is kept in the key so a future divergence turns into cache
+// misses, not silently wrong hits.
+func cacheKey(sub serve.SubmitRequest) string {
+	h := sha256.New()
+	// The instance in canonical text form, minus the name header. The
+	// serialization cannot fail on a validated instance and a hash.Hash
+	// never errors on Write.
+	var buf bytes.Buffer
+	problem.WriteInstance(&buf, sub.Instance)
+	body := buf.Bytes()
+	if bytes.HasPrefix(body, []byte("# instance ")) {
+		if nl := bytes.IndexByte(body, '\n'); nl >= 0 {
+			body = body[nl+1:]
+		}
+	}
+	h.Write(body)
+	workers := sub.Workers
+	if workers < 0 {
+		workers = 1
+	}
+	fmt.Fprintf(h, "|mode=%s|rounds=%d|epsilon=%g|maxiter=%d|ripup=%d|workers=%d|pow2=%t",
+		sub.Mode, sub.Rounds, sub.Epsilon, sub.MaxIter, sub.RipUp, workers, sub.Pow2)
+	if sub.Routing != nil {
+		h.Write([]byte("|routing|"))
+		problem.WriteRouting(h, sub.Routing)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// place ranks the eligible backends by rendezvous (highest-random-weight)
+// hashing over the job's content key and returns the best one not yet in
+// failed. Consistency matters twice: identical submissions land on the node
+// most likely to already hold related state (the result, a warm session),
+// and a backend joining or leaving remaps only the keys it wins — there is
+// no ring to rebalance. When every eligible backend has already failed this
+// job, the best eligible one is returned anyway (the failure may have been
+// transient); nil means no backend is eligible at all.
+func (co *Coordinator) place(key string, failed map[string]bool) *backend {
+	var best, bestFresh *backend
+	var bestScore, bestFreshScore uint64
+	for _, b := range co.backends {
+		if !b.eligible() {
+			continue
+		}
+		score := rendezvousScore(key, b.name)
+		if best == nil || score > bestScore {
+			best, bestScore = b, score
+		}
+		if !failed[b.name] && (bestFresh == nil || score > bestFreshScore) {
+			bestFresh, bestFreshScore = b, score
+		}
+	}
+	if bestFresh != nil {
+		return bestFresh
+	}
+	return best
+}
+
+// rendezvousScore is the weight of one (key, node) pair.
+func rendezvousScore(key, node string) uint64 {
+	h := sha256.Sum256([]byte(key + "\x00" + node))
+	return binary.BigEndian.Uint64(h[:8])
+}

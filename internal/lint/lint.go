@@ -104,7 +104,8 @@ type Config struct {
 	// primitives. Nil selects internal/par under the module path.
 	ParAllowed []string
 	// ServePkgs lists the serving-tier import paths where mutexhold
-	// applies. Nil selects internal/serve under the module path.
+	// applies. Nil selects internal/serve and internal/coord under the
+	// module path.
 	ServePkgs []string
 	// SatExempt lists the packages exempt from satarith because they own
 	// the saturating helpers. Nil selects internal/problem under the
@@ -163,7 +164,7 @@ func Run(cfg Config) ([]Finding, error) {
 	}
 	servePkgs := cfg.ServePkgs
 	if servePkgs == nil {
-		servePkgs = []string{modPath + "/internal/serve"}
+		servePkgs = []string{modPath + "/internal/serve", modPath + "/internal/coord"}
 	}
 	satExempt := cfg.SatExempt
 	if satExempt == nil {

@@ -5,8 +5,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"mime/multipart"
 	"net/http"
 	"net/textproto"
@@ -107,13 +109,35 @@ func apiError(resp *http.Response) error {
 	return &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(body)), RetryAfter: retryAfter(resp)}
 }
 
+// retryAfterCap bounds the server-suggested backoff: a bogus, hostile, or
+// clock-skewed Retry-After must not park a well-behaved client for hours.
+const retryAfterCap = 30 * time.Second
+
 func retryAfter(resp *http.Response) time.Duration {
-	if v := resp.Header.Get("Retry-After"); v != "" {
-		if secs, err := strconv.Atoi(v); err == nil {
-			return time.Duration(secs) * time.Second
-		}
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
 	}
-	return 0
+	var d time.Duration
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		d = time.Duration(secs) * time.Second
+	} else if t, err := http.ParseTime(v); err == nil {
+		// The HTTP-date form: the hint is the distance from now, never
+		// negative (a date in the past means "retry immediately").
+		d = time.Until(t)
+		if d <= 0 {
+			return 0
+		}
+	} else {
+		return 0
+	}
+	if d > retryAfterCap {
+		d = retryAfterCap
+	}
+	return d
 }
 
 // APIError is a non-2xx server response.
@@ -309,22 +333,72 @@ func (c *Client) Cancel(ctx context.Context, id string) error {
 	return nil
 }
 
-// Stream follows the job's SSE progress stream, invoking fn for every
-// event in order. It returns when the job reaches a terminal state (the
-// last delivered event has type "done"), when fn returns a non-nil error
-// (which Stream propagates), or when ctx is cancelled.
-func (c *Client) Stream(ctx context.Context, id string, fn func(Event) error) error {
+// Streaming and polling backoff. Reconnect attempts that deliver at least
+// one new event reset the consecutive-failure budget: only a peer that
+// repeatedly yields nothing is declared gone.
+const (
+	streamMaxAttempts = 5
+	streamBackoffBase = 50 * time.Millisecond
+	streamBackoffCap  = time.Second
+	waitPollBase      = 50 * time.Millisecond
+	waitPollCap       = 2 * time.Second
+	waitMaxPollFails  = 5
+)
+
+// jitter spreads d uniformly over [d/2, 3d/2) so a fleet of reconnecting
+// clients does not thunder back in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// transientError marks a stream failure worth reconnecting from: a dropped
+// connection, a scanner error, or a stream that ended before the job did.
+// Non-2xx responses and fn errors are returned bare and never retried.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// StreamFrom runs one SSE connection, resuming after event next-1 via
+// Last-Event-ID, and invokes fn for every event with Seq >= next (the
+// dedupe makes redelivery by a replaying server harmless). It returns the
+// next cursor, whether the terminal "done" event was seen, and the error
+// that ended the attempt; a dropped connection or a stream that ends before
+// the job does comes back as a transient error (Stream reconnects on those),
+// while non-2xx responses are *APIError and fn errors are returned bare.
+// It is the single-connection primitive beneath Stream, exported for
+// callers — the coordinator's re-dispatch loop — that manage their own
+// resume cursor across backends.
+func (c *Client) StreamFrom(ctx context.Context, id string, next int, fn func(Event) error) (int, bool, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
 	if err != nil {
-		return err
+		return next, false, err
+	}
+	if next > 0 {
+		hreq.Header.Set("Last-Event-ID", strconv.Itoa(next-1))
 	}
 	resp, err := c.http().Do(hreq)
 	if err != nil {
-		return err
+		return next, false, &transientError{err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return apiError(resp)
+		return next, false, apiError(resp)
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
@@ -340,42 +414,127 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(Event) error) er
 		}
 		var e Event
 		if err := json.Unmarshal(data, &e); err != nil {
-			return fmt.Errorf("serve: bad event %q: %v", data, err)
+			return next, false, &transientError{fmt.Errorf("serve: bad event %q: %v", data, err)}
 		}
 		data = data[:0]
+		if e.Seq < next {
+			continue // already delivered before a reconnect
+		}
+		next = e.Seq + 1
 		if fn != nil {
 			if err := fn(e); err != nil {
-				return err
+				return next, false, err
 			}
 		}
 		if e.Type == "done" {
-			return nil
+			return next, true, nil
 		}
 	}
 	if err := sc.Err(); err != nil {
+		return next, false, &transientError{err}
+	}
+	return next, false, &transientError{fmt.Errorf("serve: event stream for %s ended before the job did", id)}
+}
+
+// Stream follows the job's SSE progress stream, invoking fn for every event
+// exactly once, in order. Transient disconnects are survived transparently:
+// the client reconnects with Last-Event-ID (jittered exponential backoff)
+// and resumes where it left off, so fn never sees a duplicate or a gap. It
+// returns when the job reaches a terminal state (the last delivered event
+// has type "done"), when fn returns a non-nil error (which Stream
+// propagates), when ctx is cancelled, or when streamMaxAttempts consecutive
+// reconnects yield no new event.
+func (c *Client) Stream(ctx context.Context, id string, fn func(Event) error) error {
+	next := 0
+	fails := 0
+	var lastErr error
+	for {
+		n, done, err := c.StreamFrom(ctx, id, next, fn)
+		if done {
+			return nil
+		}
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		return err
+		var te *transientError
+		if !errors.As(err, &te) {
+			return err // fn error or APIError: the caller's business
+		}
+		if n > next {
+			fails = 0 // progress: the stream is alive, keep following it
+		}
+		next = n
+		fails++
+		lastErr = te.err
+		if fails >= streamMaxAttempts {
+			return fmt.Errorf("serve: stream %s: giving up after %d reconnects without progress: %w", id, fails, lastErr)
+		}
+		if err := sleepCtx(ctx, jitter(backoffStep(streamBackoffBase, streamBackoffCap, fails-1))); err != nil {
+			return err
+		}
 	}
-	return fmt.Errorf("serve: event stream for %s ended before the job did", id)
+}
+
+// backoffStep is base·2^n capped at max.
+func backoffStep(base, max time.Duration, n int) time.Duration {
+	d := base
+	for i := 0; i < n && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
 }
 
 // Wait blocks until the job reaches a terminal state and returns its final
-// status.
+// status. It prefers the SSE stream (terminal-state latency is one event)
+// and falls back to polling Status with jittered exponential backoff when
+// streaming is unavailable — a proxy that buffers SSE, a server that lost
+// the stream — so a reachable job is never abandoned just because its
+// event stream is.
 func (c *Client) Wait(ctx context.Context, id string) (*JobStatus, error) {
-	if err := c.Stream(ctx, id, nil); err != nil {
-		return nil, err
+	streamErr := c.Stream(ctx, id, nil)
+	if streamErr == nil {
+		return c.Status(ctx, id)
 	}
-	return c.Status(ctx, id)
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	var apiErr *APIError
+	if errors.As(streamErr, &apiErr) {
+		return nil, streamErr // the server answered; polling would hear the same
+	}
+	delay := waitPollBase
+	fails := 0
+	for {
+		st, err := c.Status(ctx, id)
+		switch {
+		case err == nil && st.State.Terminal():
+			return st, nil
+		case err == nil:
+			fails = 0
+		case errors.As(err, &apiErr):
+			return nil, err
+		default:
+			if fails++; fails >= waitMaxPollFails {
+				return nil, fmt.Errorf("serve: wait %s: %d consecutive poll failures (stream failed first: %v): %w",
+					id, fails, streamErr, err)
+			}
+		}
+		if err := sleepCtx(ctx, jitter(delay)); err != nil {
+			return nil, err
+		}
+		if delay *= 2; delay > waitPollCap {
+			delay = waitPollCap
+		}
+	}
 }
 
-// Solution downloads and parses the finished job's solution.
-func (c *Client) Solution(ctx context.Context, id string, format Format) (*tdmroute.Solution, error) {
-	st, err := c.Status(ctx, id)
-	if err != nil {
-		return nil, err
-	}
+// SolutionBytes downloads the finished job's solution verbatim, without
+// parsing. The raw bytes are what replay equivalence and content digests
+// are defined over, so the coordinator stores and compares these.
+func (c *Client) SolutionBytes(ctx context.Context, id string, format Format) ([]byte, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		c.BaseURL+"/v1/jobs/"+id+"/solution?format="+format.query(), nil)
 	if err != nil {
@@ -389,13 +548,26 @@ func (c *Client) Solution(ctx context.Context, id string, format Format) (*tdmro
 	if resp.StatusCode != http.StatusOK {
 		return nil, apiError(resp)
 	}
+	return io.ReadAll(resp.Body)
+}
+
+// Solution downloads and parses the finished job's solution.
+func (c *Client) Solution(ctx context.Context, id string, format Format) (*tdmroute.Solution, error) {
+	st, err := c.Status(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.SolutionBytes(ctx, id, format)
+	if err != nil {
+		return nil, err
+	}
 	switch format {
 	case FormatJSON:
-		return problem.ParseSolutionJSON(resp.Body, st.NumEdges)
+		return problem.ParseSolutionJSON(bytes.NewReader(body), st.NumEdges)
 	case FormatBinary:
-		return problem.ParseSolutionBinary(resp.Body, st.NumEdges)
+		return problem.ParseSolutionBinary(bytes.NewReader(body), st.NumEdges)
 	}
-	return problem.ParseSolution(resp.Body, st.NumEdges)
+	return problem.ParseSolution(bytes.NewReader(body), st.NumEdges)
 }
 
 // Metrics fetches the raw text metrics exposition.

@@ -1,0 +1,283 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func respWithRetryAfter(v string) *http.Response {
+	h := http.Header{}
+	if v != "" {
+		h.Set("Retry-After", v)
+	}
+	return &http.Response{Header: h}
+}
+
+// TestRetryAfterParsing covers both wire forms of Retry-After — delta
+// seconds and HTTP-date — plus the cap that keeps a hostile or skewed hint
+// from parking a client for hours.
+func TestRetryAfterParsing(t *testing.T) {
+	tests := []struct {
+		name  string
+		value string
+		min   time.Duration
+		max   time.Duration
+	}{
+		{"absent", "", 0, 0},
+		{"seconds", "2", 2 * time.Second, 2 * time.Second},
+		{"zero-seconds", "0", 0, 0},
+		{"negative-seconds", "-5", 0, 0},
+		{"seconds-capped", "86400", retryAfterCap, retryAfterCap},
+		{"garbage", "soon", 0, 0},
+		{"http-date-future", time.Now().Add(5 * time.Second).UTC().Format(http.TimeFormat),
+			3 * time.Second, 5 * time.Second},
+		{"http-date-past", time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat), 0, 0},
+		{"http-date-capped", time.Now().Add(2 * time.Hour).UTC().Format(http.TimeFormat),
+			retryAfterCap - time.Second, retryAfterCap},
+		{"http-date-garbage", "Wednesday, whenever", 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := retryAfter(respWithRetryAfter(tt.value))
+			if got < tt.min || got > tt.max {
+				t.Errorf("retryAfter(%q) = %v, want in [%v, %v]", tt.value, got, tt.min, tt.max)
+			}
+		})
+	}
+}
+
+// dropServer serves a fixed SSE event log for one job, deliberately cutting
+// the connection after perConn(conn) events unless the log is exhausted.
+// With honorResume it replays from the client's Last-Event-ID cursor the way
+// tdmroutd does; without it, it replays from the start every time, modeling
+// a server with no resume support — the client's Seq dedupe must still give
+// callers exactly-once delivery.
+type dropServer struct {
+	events      []Event
+	perConn     func(conn int) int
+	honorResume bool
+
+	mu    sync.Mutex
+	conns int
+}
+
+func (ds *dropServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	ds.mu.Lock()
+	ds.conns++
+	conn := ds.conns
+	ds.mu.Unlock()
+	next := 0
+	if ds.honorResume {
+		if v := r.Header.Get("Last-Event-ID"); v != "" {
+			if id, err := strconv.Atoi(v); err == nil {
+				next = id + 1
+			}
+		}
+	}
+	fl := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	sent := 0
+	for ; next < len(ds.events); next++ {
+		e := ds.events[next]
+		data, _ := json.Marshal(e)
+		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, data)
+		fl.Flush()
+		sent++
+		if sent >= ds.perConn(conn) && next != len(ds.events)-1 {
+			panic(http.ErrAbortHandler) // cut the connection mid-stream
+		}
+	}
+}
+
+func streamTestEvents(n int) []Event {
+	evs := make([]Event, n)
+	for i := range evs {
+		evs[i] = Event{Seq: i, Type: "lr", Iter: i}
+	}
+	evs[n-1] = Event{Seq: n - 1, Type: "done", State: StateDone}
+	return evs
+}
+
+// collectStream runs Stream against a handler mounted at the events path and
+// returns the sequence numbers delivered to fn.
+func collectStream(t *testing.T, h http.Handler) ([]int, error) {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.Handle("GET /v1/jobs/x/events", h)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL}
+	var seqs []int
+	err := c.Stream(context.Background(), "x", func(e Event) error {
+		seqs = append(seqs, e.Seq)
+		return nil
+	})
+	return seqs, err
+}
+
+// TestStreamReconnectResume drops the connection mid-stream repeatedly; the
+// client must reconnect with Last-Event-ID and deliver every event exactly
+// once, in order.
+func TestStreamReconnectResume(t *testing.T) {
+	ds := &dropServer{
+		events:      streamTestEvents(7),
+		perConn:     func(int) int { return 2 },
+		honorResume: true,
+	}
+	seqs, err := collectStream(t, ds)
+	if err != nil {
+		t.Fatalf("Stream: %v (saw %v)", err, seqs)
+	}
+	want := []int{0, 1, 2, 3, 4, 5, 6}
+	if fmt.Sprint(seqs) != fmt.Sprint(want) {
+		t.Fatalf("delivered %v, want %v", seqs, want)
+	}
+	if ds.conns < 3 {
+		t.Fatalf("server saw %d connections; the drop never exercised a reconnect", ds.conns)
+	}
+}
+
+// TestStreamDedupeWithoutResume runs the same drop sequence against a server
+// that ignores Last-Event-ID and replays from scratch: the client-side Seq
+// dedupe must still deliver each event exactly once.
+func TestStreamDedupeWithoutResume(t *testing.T) {
+	ds := &dropServer{
+		events:      streamTestEvents(6),
+		perConn:     func(conn int) int { return 2 * conn }, // replays grow, so each conn makes progress
+		honorResume: false,
+	}
+	seqs, err := collectStream(t, ds)
+	if err != nil {
+		t.Fatalf("Stream: %v (saw %v)", err, seqs)
+	}
+	want := []int{0, 1, 2, 3, 4, 5}
+	if fmt.Sprint(seqs) != fmt.Sprint(want) {
+		t.Fatalf("delivered %v, want %v (duplicates or gaps across reconnects)", seqs, want)
+	}
+}
+
+// TestStreamGivesUp pins the reconnect bound: a server that never delivers
+// anything exhausts the attempt budget instead of spinning forever.
+func TestStreamGivesUp(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/x/events", func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL}
+	err := c.Stream(context.Background(), "x", nil)
+	if err == nil {
+		t.Fatal("Stream returned nil against a server that always drops")
+	}
+	if !strings.Contains(err.Error(), "giving up") {
+		t.Fatalf("error does not name the reconnect budget: %v", err)
+	}
+}
+
+// TestStreamPropagatesAPIError: a non-2xx response is the server answering,
+// not a transient fault — no reconnect, the caller gets the APIError.
+func TestStreamPropagatesAPIError(t *testing.T) {
+	var calls int
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/x/events", func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		httpError(w, http.StatusNotFound, "no such job")
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL}
+	err := c.Stream(context.Background(), "x", nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("err = %v, want 404 APIError", err)
+	}
+	if calls != 1 {
+		t.Fatalf("client retried a non-2xx response %d times", calls)
+	}
+}
+
+// TestWaitPollFallback kills the event stream entirely; Wait must fall back
+// to polling with backoff and still return the terminal status.
+func TestWaitPollFallback(t *testing.T) {
+	var polls atomic32
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/x/events", func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler) // SSE permanently unavailable
+	})
+	mux.HandleFunc("GET /v1/jobs/x", func(w http.ResponseWriter, r *http.Request) {
+		n := polls.inc()
+		st := JobStatus{ID: "x", State: StateRunning}
+		if n >= 3 {
+			st.State = StateDone
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(st)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL}
+	st, err := c.Wait(context.Background(), "x")
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("state = %s, want done", st.State)
+	}
+	if got := polls.load(); got < 3 {
+		t.Fatalf("status polled %d times, want >= 3", got)
+	}
+}
+
+// TestWaitCtxCancel: a cancelled context ends Wait promptly with ctx.Err()
+// even while it is backing off between polls.
+func TestWaitCtxCancel(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/x/events", func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	})
+	mux.HandleFunc("GET /v1/jobs/x", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(JobStatus{ID: "x", State: StateRunning})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), 1500*time.Millisecond)
+	defer cancel()
+	_, err := c.Wait(ctx, "x")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context deadline", err)
+	}
+}
+
+// atomic32 is a tiny mutex counter (the test hits it from handler
+// goroutines).
+type atomic32 struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (a *atomic32) inc() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.n++
+	return a.n
+}
+
+func (a *atomic32) load() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.n
+}

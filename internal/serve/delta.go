@@ -138,5 +138,5 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Location", "/v1/jobs/"+j.id)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
-	json.NewEncoder(w).Encode(j.status())
+	json.NewEncoder(w).Encode(s.statusOf(j))
 }

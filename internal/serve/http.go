@@ -50,11 +50,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	req, deadline, err := s.parseSubmit(r)
+	sub, err := ParseSubmit(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	req, deadline := s.resolve(sub)
 	j, ok := s.submit(req, deadline, nil)
 	if !ok {
 		if s.draining.Load() {
@@ -67,17 +68,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Location", "/v1/jobs/"+j.id)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
-	json.NewEncoder(w).Encode(j.status())
+	json.NewEncoder(w).Encode(s.statusOf(j))
 }
 
-// parseSubmit builds the solve request from the HTTP submission.
-func (s *Server) parseSubmit(r *http.Request) (tdmroute.Request, time.Duration, error) {
+// ParseSubmit decodes a POST /v1/jobs submission — the body in any of the
+// three instance formats, or multipart/form-data with an optional routing
+// part; the solver knobs in the query string — into the wire-level
+// SubmitRequest. It is shared between the server (which resolves the knobs
+// against its own solver defaults) and the coordinator (which forwards the
+// request to a backend verbatim); the instance and routing are validated
+// here so both tiers reject malformed submissions identically.
+func ParseSubmit(r *http.Request) (SubmitRequest, error) {
 	q := r.URL.Query()
+	var sub SubmitRequest
 	mode, err := tdmroute.ParseMode(q.Get("mode"))
 	if err != nil {
-		return tdmroute.Request{}, 0, err
+		return sub, err
 	}
-	name := q.Get("name")
+	sub.Mode = mode
+	sub.Name = q.Get("name")
+	name := sub.Name
 	if name == "" {
 		name = "job"
 	}
@@ -86,7 +96,7 @@ func (s *Server) parseSubmit(r *http.Request) (tdmroute.Request, time.Duration, 
 	if ct := r.Header.Get("Content-Type"); ct != "" {
 		mediatype, _, err = mime.ParseMediaType(ct)
 		if err != nil {
-			return tdmroute.Request{}, 0, fmt.Errorf("bad Content-Type: %v", err)
+			return sub, fmt.Errorf("bad Content-Type: %v", err)
 		}
 	}
 	var in *tdmroute.Instance
@@ -97,68 +107,96 @@ func (s *Server) parseSubmit(r *http.Request) (tdmroute.Request, time.Duration, 
 		in, err = parseInstanceBody(mediatype, name, r.Body)
 	}
 	if err != nil {
-		return tdmroute.Request{}, 0, err
+		return sub, err
 	}
 	if err := tdmroute.ValidateInstance(in); err != nil {
-		return tdmroute.Request{}, 0, fmt.Errorf("invalid instance: %v", err)
+		return sub, fmt.Errorf("invalid instance: %v", err)
 	}
+	sub.Instance = in
 
-	req := tdmroute.Request{Instance: in, Mode: mode, Options: s.cfg.SolveOptions}
 	if mode == tdmroute.ModeAssignOnly {
 		if routingBytes == nil {
-			return tdmroute.Request{}, 0, fmt.Errorf("mode=assign requires a multipart \"routing\" part")
+			return sub, fmt.Errorf("mode=assign requires a multipart \"routing\" part")
 		}
 		routes, err := tdmroute.ParseRouting(bytes.NewReader(routingBytes), in.G.NumEdges())
 		if err != nil {
-			return tdmroute.Request{}, 0, fmt.Errorf("bad routing: %v", err)
+			return sub, fmt.Errorf("bad routing: %v", err)
 		}
 		if err := tdmroute.ValidateRouting(in, routes); err != nil {
-			return tdmroute.Request{}, 0, fmt.Errorf("invalid routing: %v", err)
+			return sub, fmt.Errorf("invalid routing: %v", err)
 		}
-		req.Routing = routes
+		sub.Routing = routes
 	}
 
-	var deadline time.Duration
 	if v := q.Get("deadline"); v != "" {
-		if deadline, err = time.ParseDuration(v); err != nil || deadline < 0 {
-			return tdmroute.Request{}, 0, fmt.Errorf("bad deadline %q", v)
+		if sub.Deadline, err = time.ParseDuration(v); err != nil || sub.Deadline < 0 {
+			return sub, fmt.Errorf("bad deadline %q", v)
 		}
 	}
 	if v := q.Get("rounds"); v != "" {
-		if req.Rounds, err = strconv.Atoi(v); err != nil {
-			return tdmroute.Request{}, 0, fmt.Errorf("bad rounds %q", v)
+		if sub.Rounds, err = strconv.Atoi(v); err != nil {
+			return sub, fmt.Errorf("bad rounds %q", v)
 		}
 	}
 	if v := q.Get("epsilon"); v != "" {
-		if req.Options.TDM.Epsilon, err = strconv.ParseFloat(v, 64); err != nil {
-			return tdmroute.Request{}, 0, fmt.Errorf("bad epsilon %q", v)
+		if sub.Epsilon, err = strconv.ParseFloat(v, 64); err != nil {
+			return sub, fmt.Errorf("bad epsilon %q", v)
 		}
 	}
 	if v := q.Get("maxiter"); v != "" {
-		if req.Options.TDM.MaxIter, err = strconv.Atoi(v); err != nil {
-			return tdmroute.Request{}, 0, fmt.Errorf("bad maxiter %q", v)
+		if sub.MaxIter, err = strconv.Atoi(v); err != nil {
+			return sub, fmt.Errorf("bad maxiter %q", v)
 		}
 	}
 	if v := q.Get("ripup"); v != "" {
-		if req.Options.Route.RipUpRounds, err = strconv.Atoi(v); err != nil {
-			return tdmroute.Request{}, 0, fmt.Errorf("bad ripup %q", v)
+		if sub.RipUp, err = strconv.Atoi(v); err != nil {
+			return sub, fmt.Errorf("bad ripup %q", v)
 		}
 	}
 	if v := q.Get("workers"); v != "" {
-		if req.Options.Workers, err = strconv.Atoi(v); err != nil {
-			return tdmroute.Request{}, 0, fmt.Errorf("bad workers %q", v)
+		if sub.Workers, err = strconv.Atoi(v); err != nil {
+			return sub, fmt.Errorf("bad workers %q", v)
 		}
 	}
 	if v := q.Get("pow2"); v == "1" || v == "true" {
-		req.Options.TDM.Legal = tdmroute.LegalPow2
+		sub.Pow2 = true
 	}
 	if v := q.Get("retain"); v == "1" || v == "true" {
 		if mode == tdmroute.ModeAssignOnly {
-			return tdmroute.Request{}, 0, fmt.Errorf("retain is not supported for mode=assign (there is no routing state to retain)")
+			return sub, fmt.Errorf("retain is not supported for mode=assign (there is no routing state to retain)")
 		}
-		req.Retain = true
+		sub.Retain = true
 	}
-	return req, deadline, nil
+	return sub, nil
+}
+
+// resolve turns the wire-level submission into the solve request by applying
+// the server's solver defaults under the request's overrides.
+func (s *Server) resolve(sub SubmitRequest) (tdmroute.Request, time.Duration) {
+	req := tdmroute.Request{
+		Instance: sub.Instance,
+		Mode:     sub.Mode,
+		Options:  s.cfg.SolveOptions,
+		Rounds:   sub.Rounds,
+		Routing:  sub.Routing,
+		Retain:   sub.Retain,
+	}
+	if sub.Epsilon != 0 {
+		req.Options.TDM.Epsilon = sub.Epsilon
+	}
+	if sub.MaxIter != 0 {
+		req.Options.TDM.MaxIter = sub.MaxIter
+	}
+	if sub.RipUp != 0 {
+		req.Options.Route.RipUpRounds = sub.RipUp
+	}
+	if sub.Workers != 0 {
+		req.Options.Workers = sub.Workers
+	}
+	if sub.Pow2 {
+		req.Options.TDM.Legal = tdmroute.LegalPow2
+	}
+	return req, sub.Deadline
 }
 
 // parseInstanceBody decodes one instance in the format named by the media
@@ -216,6 +254,14 @@ func parseMultipart(r *http.Request, name string) (*tdmroute.Instance, []byte, e
 	return in, routing, nil
 }
 
+// statusOf snapshots a job and enriches it with node-resident state the job
+// itself does not know: whether its warm session is still retained here.
+func (s *Server) statusOf(j *job) *JobStatus {
+	st := j.status()
+	st.Retained = s.warm.has(j.id)
+	return st
+}
+
 func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) *job {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
@@ -230,7 +276,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(j.status())
+	json.NewEncoder(w).Encode(s.statusOf(j))
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -318,11 +364,25 @@ func (s *Server) handleSolution(w http.ResponseWriter, r *http.Request) {
 	if degraded != nil {
 		w.Header().Set("X-Tdmroute-Degraded", string(degraded.Stage))
 	}
+	WriteSolutionResponse(w, r.URL.Query().Get("format"), sol, nil)
+}
+
+// WriteSolutionResponse renders a finished solution in the format named by
+// ?format= (text, the default; json; binary). When text is non-nil it holds
+// the canonical text serialization already in hand, and the text format
+// serves those bytes verbatim — the coordinator uses this to return the
+// exact bytes its digest check verified, which is what makes its replay
+// guarantee byte-level rather than merely semantic.
+func WriteSolutionResponse(w http.ResponseWriter, format string, sol *tdmroute.Solution, text []byte) {
 	var buf bytes.Buffer
 	var err error
-	switch format := r.URL.Query().Get("format"); format {
+	switch format {
 	case "", "text":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if text != nil {
+			w.Write(text)
+			return
+		}
 		err = problem.WriteSolution(&buf, sol)
 	case "json":
 		w.Header().Set("Content-Type", "application/json")

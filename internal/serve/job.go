@@ -77,6 +77,15 @@ type JobStatus struct {
 	// Events is the progress events recorded so far.
 	Events int    `json:"events"`
 	Error  string `json:"error,omitempty"`
+	// Retained reports that the job's warm solver session is currently
+	// resident on this node, i.e. a delta against this job can run here.
+	// Coordinators use it to discover where ECO re-solves must be routed
+	// (and when a session has been lost to eviction or a restart).
+	Retained bool `json:"retained,omitempty"`
+	// Backend names the node a job ran on. Only the coordinator tier
+	// (tdmcoord) sets it — a single tdmroutd leaves it empty, and a job
+	// answered from the coordinator's result cache reports "cache".
+	Backend string `json:"backend,omitempty"`
 	// Response is set once the job finished with a result (State done).
 	Response *tdmroute.Response `json:"response,omitempty"`
 	// Telemetry is the per-job PerfRow (stage walls, work counters,

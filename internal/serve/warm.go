@@ -97,6 +97,14 @@ func (r *warmRegistry) drop(id string) {
 	delete(r.entries, id)
 }
 
+// has reports whether id currently owns a retained session (busy or idle),
+// without acquiring it. It backs the JobStatus.Retained discovery field.
+func (r *warmRegistry) has(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.entries[id] != nil
+}
+
 // size reports the number of retained sessions, for the metrics gauge.
 func (r *warmRegistry) size() int {
 	r.mu.Lock()

@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"tdmroute"
+)
+
+// TestServerWarmEvictionDeltaRace choreographs the LRU eviction bound against
+// concurrent delta traffic and pins the status-code contract at every step:
+// a delta on an evicted session is a deterministic 410 (never a resurrection,
+// never a 5xx), a delta against a session held by an in-flight delta is a
+// deterministic 409, and a busy session is never the eviction victim — the
+// retention cap steps around it to the oldest idle entry. At the end the
+// registry holds exactly the sessions the choreography left alive: nothing
+// leaked, nothing was poisoned.
+func TestServerWarmEvictionDeltaRace(t *testing.T) {
+	in := testInstance(t)
+	ctx := context.Background()
+	_, c := startServer(t, Config{Workers: 2, MaxWarmSessions: 2})
+
+	// A and B: fast retained bases filling the cap, A the LRU entry.
+	a := submitRetained(t, c, in)
+	b := submitRetained(t, c, in)
+
+	// C: a retained base with pathological LR options (the slowSubmit knobs),
+	// cancelled mid-LR. The anytime contract still hands back a legal
+	// incumbent AND the warm session — whose captured options make every
+	// delta on it equally slow, which is what lets the test hold the session
+	// busy deterministically below.
+	req := slowSubmit(in)
+	req.Retain = true
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitLR(t, c, st.ID)
+	if err := c.Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	cFinal, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cFinal.State != StateDone || cFinal.Response == nil || cFinal.Response.Degraded == nil {
+		t.Fatalf("cancelled retained base: state %s, error %q; want done + Degraded", cFinal.State, cFinal.Error)
+	}
+	if !cFinal.Retained {
+		t.Fatal("cancelled retained base did not keep its warm session")
+	}
+	// Retaining C pushed the registry past the cap; the LRU idle entry is A.
+	var apiErr *APIError
+	for i := 0; i < 2; i++ {
+		if _, err := c.SubmitDelta(ctx, a.ID, DeltaDoc{}, 0); !errors.As(err, &apiErr) || apiErr.Status != 410 {
+			t.Fatalf("delta on evicted session (attempt %d): err = %v, want 410 every time", i+1, err)
+		}
+	}
+	if stA, err := c.Status(ctx, a.ID); err != nil || stA.Retained {
+		t.Fatalf("evicted base still reports Retained (%v, err %v)", stA, err)
+	}
+
+	// Occupy C's session with a genuinely in-flight delta (slow via the
+	// session's captured options), then race concurrent deltas against it:
+	// every one of them must lose with a 409, none may run, none may poison
+	// the session.
+	sol, err := c.Solution(ctx, st.ID, FormatText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	biased := -1
+	for _, es := range sol.Routes {
+		if len(es) > 0 {
+			biased = es[0]
+			break
+		}
+	}
+	if biased < 0 {
+		t.Fatal("no routed edge in the incumbent")
+	}
+	doc := DeltaDoc{EdgeBias: []EdgeBiasDoc{{Edge: biased, Delta: 1}}}
+	slow, err := c.SubmitDelta(ctx, st.ID, doc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitLR(t, c, slow.ID)
+
+	const racers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.SubmitDelta(ctx, st.ID, doc, 0)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.As(err, &apiErr) || apiErr.Status != 409 {
+			t.Fatalf("racer %d against the busy session: err = %v, want 409", i, err)
+		}
+	}
+
+	// D: a retained base arriving while C's session is busy. The cap must
+	// evict the oldest IDLE session (B), not the busy one.
+	d := submitRetained(t, c, in)
+	if _, err := c.SubmitDelta(ctx, b.ID, DeltaDoc{}, 0); !errors.As(err, &apiErr) || apiErr.Status != 410 {
+		t.Fatalf("delta on session evicted around the busy one: err = %v, want 410", err)
+	}
+
+	// Cancel the in-flight delta mid-LR: the anytime contract degrades it to
+	// its incumbent, so the session was not poisoned and is released intact.
+	if err := c.Cancel(ctx, slow.ID); err != nil {
+		t.Fatal(err)
+	}
+	slowFinal, err := c.Wait(ctx, slow.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowFinal.State != StateDone || slowFinal.Response == nil || slowFinal.Response.Degraded == nil {
+		t.Fatalf("cancelled delta: state %s, error %q; want done + Degraded", slowFinal.State, slowFinal.Error)
+	}
+
+	// Final registry state: exactly {C, D} retained, B and A gone, and the
+	// counters reconcile — 2 evictions, 8 conflicts, 0 drops.
+	for _, tc := range []struct {
+		id   string
+		want bool
+	}{{a.ID, false}, {b.ID, false}, {st.ID, true}, {d.ID, true}} {
+		got, err := c.Status(ctx, tc.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Retained != tc.want {
+			t.Errorf("job %s Retained = %v, want %v", tc.id, got.Retained, tc.want)
+		}
+	}
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metricValue(t, metrics, "tdmroutd_warm_sessions"); got != 2 {
+		t.Errorf("warm_sessions = %v, want 2", got)
+	}
+	if got := metricValue(t, metrics, "tdmroutd_warm_evicted_total"); got != 2 {
+		t.Errorf("warm_evicted_total = %v, want 2", got)
+	}
+	if got := metricValue(t, metrics, "tdmroutd_warm_conflict_total"); got != racers {
+		t.Errorf("warm_conflict_total = %v, want %d", got, racers)
+	}
+	if got := metricValue(t, metrics, "tdmroutd_warm_dropped_total"); got != 0 {
+		t.Errorf("warm_dropped_total = %v (a session was poisoned), want 0", got)
+	}
+}
+
+// TestWarmRegistryStorm hammers one registry from many goroutines mixing
+// put, acquire/release, and drop, then checks the structural invariants the
+// server depends on: the registry never exceeds its cap by more than the
+// number of concurrently busy sessions, an acquired session is never evicted
+// while busy, and the final state is within the cap with nothing left busy.
+func TestWarmRegistryStorm(t *testing.T) {
+	const cap = 3
+	r := newWarmRegistry(cap)
+
+	// A pinned session held busy for the whole storm: eviction must step
+	// around it no matter how much churn the other goroutines generate.
+	pinnedHandle := &tdmroute.WarmHandle{}
+	r.put("pinned", pinnedHandle)
+	if h, found, busy := r.acquire("pinned"); !found || busy || h != pinnedHandle {
+		t.Fatalf("acquire(pinned) = %v %v %v", h, found, busy)
+	}
+
+	const workers = 8
+	const opsPerWorker = 400
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWorker; i++ {
+				id := fmt.Sprintf("s%d-%d", w, i%5)
+				switch i % 4 {
+				case 0:
+					r.put(id, &tdmroute.WarmHandle{})
+				case 1:
+					if _, found, busy := r.acquire(id); found && !busy {
+						r.release(id)
+					}
+				case 2:
+					r.drop(id)
+				default:
+					r.has(id)
+				}
+				if n := r.size(); n > cap+workers+1 {
+					t.Errorf("registry size %d blew past cap %d + busy bound", n, cap)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if !r.has("pinned") {
+		t.Fatal("busy session was evicted during the storm")
+	}
+	r.release("pinned")
+	if n := r.size(); n > cap {
+		t.Fatalf("registry settled at %d sessions, cap is %d", n, cap)
+	}
+	// The pinned session is idle now, so one more put over cap evicts
+	// normally — the storm left no phantom busy flags behind.
+	for i := 0; i < cap+1; i++ {
+		r.put(fmt.Sprintf("post%d", i), &tdmroute.WarmHandle{})
+	}
+	if n := r.size(); n != cap {
+		t.Fatalf("post-storm fill: size %d, want exactly %d", n, cap)
+	}
+}
