@@ -67,6 +67,8 @@ func benchMain() int {
 		ascii     = flag.Bool("ascii", false, "render figures as ASCII charts (3a bars, 3b curves)")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget; partial results are still written on expiry (0 = unlimited)")
 		workers   = flag.Int("workers", 1, "worker goroutines per solve (1 = sequential; try runtime.NumCPU())")
+		queue     = flag.String("queue", "auto", "routing Dijkstra engine: auto, heap, or bucket")
+		parts     = flag.Int("partitions", 0, "spatial regions for partitioned initial routing (0 = auto, 1 = off)")
 		verbose   = flag.Bool("v", false, "print per-benchmark progress to stderr")
 		benchjson = flag.String("benchjson", "", "write the iterated-solve perf measurement to this file as JSON")
 		deltaPerf = flag.Bool("delta", false, "measure the ECO delta re-solve against the cold pipeline")
@@ -85,7 +87,7 @@ func benchMain() int {
 		return 1
 	}
 	defer stopProf()
-	cfg := exp.Config{Scale: *scale, Workers: *workers, Ctx: ctx}
+	cfg := exp.Config{Scale: *scale, Workers: *workers, Queue: *queue, Partitions: *parts, Ctx: ctx}
 	if *subset != "" {
 		cfg.Benchmarks = strings.Split(*subset, ",")
 	}

@@ -458,7 +458,10 @@ func deltaAffectedNets(routes Routing, added []int, bias []EdgeBiasEdit) []int {
 // (it only widens the changed set, which the cold build ignores anyway). The
 // returned routing and multipliers chain into the next cold step.
 func runDeltaCold(ctx context.Context, in *Instance, base Routing, priorBias []EdgeBiasEdit, lambda []float64, d *Delta, opt Options) (*Response, Routing, []float64, error) {
-	opt = opt.normalized()
+	opt, optErr := opt.normalized()
+	if optErr != nil {
+		return nil, nil, nil, optErr
+	}
 	if err := d.validate(in, cumulativeBias(priorBias)); err != nil {
 		return nil, nil, nil, err
 	}

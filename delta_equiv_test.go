@@ -232,7 +232,7 @@ func TestDeltaAfterIterativeRetain(t *testing.T) {
 	if err != nil {
 		t.Fatalf("warm delta: %v", err)
 	}
-	respC, _, _, err := runDeltaCold(context.Background(), in2, baseRouting, nil, baseLambda, d, opt.normalized())
+	respC, _, _, err := runDeltaCold(context.Background(), in2, baseRouting, nil, baseLambda, d, opt)
 	if err != nil {
 		t.Fatalf("cold delta: %v", err)
 	}

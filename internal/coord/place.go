@@ -50,8 +50,17 @@ func cacheKey(sub serve.SubmitRequest) string {
 	if workers < 0 {
 		workers = 1
 	}
-	fmt.Fprintf(h, "|mode=%s|rounds=%d|epsilon=%g|maxiter=%d|ripup=%d|workers=%d|pow2=%t",
-		sub.Mode, sub.Rounds, sub.Epsilon, sub.MaxIter, sub.RipUp, workers, sub.Pow2)
+	// Queue is normalized like Workers ("" and "auto" both select the auto
+	// engine): the engines are byte-identical by the equivalence suites,
+	// but the knob stays in the key so a divergence would miss, not
+	// corrupt. Partitions genuinely changes the routing, so distinct
+	// values must never share a cache line.
+	queue := sub.Queue
+	if queue == "" {
+		queue = "auto"
+	}
+	fmt.Fprintf(h, "|mode=%s|rounds=%d|epsilon=%g|maxiter=%d|ripup=%d|workers=%d|pow2=%t|queue=%s|partitions=%d",
+		sub.Mode, sub.Rounds, sub.Epsilon, sub.MaxIter, sub.RipUp, workers, sub.Pow2, queue, sub.Partitions)
 	if sub.Routing != nil {
 		h.Write([]byte("|routing|"))
 		problem.WriteRouting(h, sub.Routing)

@@ -41,6 +41,12 @@ type Config struct {
 	RipUpRounds int
 	// Workers forwards to both pipeline stages (0 = sequential).
 	Workers int
+	// Queue selects the routing Dijkstra engine by wire name ("" = auto);
+	// it forwards to Options.Queue, so both engines produce identical
+	// solutions and the knob only moves wall time.
+	Queue string
+	// Partitions forwards to Options.Partitions (0 = auto, 1 = off).
+	Partitions int
 	// Progress, when non-nil, receives one line per completed benchmark
 	// — long full-scale runs otherwise produce no output until the final
 	// table renders.
@@ -117,10 +123,21 @@ func (c Config) tdmOptions(bench string) tdmroute.TDMOptions {
 
 func (c Config) solveOptions(bench string) tdmroute.Options {
 	return tdmroute.Options{
-		Route:   tdmroute.RouteOptions{RipUpRounds: c.RipUpRounds},
-		TDM:     c.tdmOptions(bench),
-		Workers: c.Workers,
+		Route:      tdmroute.RouteOptions{RipUpRounds: c.RipUpRounds},
+		TDM:        c.tdmOptions(bench),
+		Workers:    c.Workers,
+		Queue:      c.Queue,
+		Partitions: c.Partitions,
 	}
+}
+
+// queueName is the resolved wire name of the configured queue engine, for
+// the telemetry rows ("" resolves to "auto").
+func (c Config) queueName() string {
+	if c.Queue == "" {
+		return "auto"
+	}
+	return c.Queue
 }
 
 // TableI returns the benchmark statistics rows.

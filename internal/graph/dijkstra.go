@@ -28,6 +28,27 @@ func (c Cost) Add(edgePrimary uint64) Cost {
 // InfCost is larger than any reachable path cost.
 var InfCost = Cost{Primary: ^uint64(0), Hops: ^uint32(0)}
 
+// QueueKind selects the priority-queue engine behind ShortestPath.
+//
+// Every engine pops settled vertices in non-decreasing (Primary, Hops)
+// order, and the relaxation step resolves equal-cost path ties canonically
+// (smallest edge id wins, see ShortestPath), so all engines produce
+// byte-identical paths. The choice is purely a performance trade:
+// QueueRadix avoids the binary heap's sift traffic on the integer-cost
+// searches a router issues by the million.
+type QueueKind uint8
+
+const (
+	// QueueHeap is the hand-rolled binary min-heap.
+	QueueHeap QueueKind = iota
+	// QueueRadix is a monotone radix (bucket) queue specialized for
+	// integer costs: keys are (Primary, Hops) packed into one machine
+	// word and items live in 65 buckets indexed by the position of the
+	// highest bit in which the key differs from the last deleted minimum.
+	// Pops are amortized O(word size); no comparisons sift through a heap.
+	QueueRadix
+)
+
 type dijkstraItem struct {
 	vertex int
 	cost   Cost
@@ -116,21 +137,32 @@ type Dijkstra struct {
 	prevEdge []int32 // edge used to reach vertex, -1 at source/unreached
 	touched  []int   // vertices whose dist/prevEdge entries are dirty
 	heap     dijkstraHeap
+	radix    *radixQueue
+	queue    QueueKind
 	done     []bool
 }
 
-// Clone returns an independent search engine bound to the same graph, for
-// spawning one solver per worker goroutine.
-func (d *Dijkstra) Clone() *Dijkstra { return NewDijkstra(d.g) }
+// Clone returns an independent search engine bound to the same graph and
+// queue engine, for spawning one solver per worker goroutine.
+func (d *Dijkstra) Clone() *Dijkstra { return NewDijkstraQueue(d.g, d.queue) }
 
-// NewDijkstra returns a search engine bound to g.
-func NewDijkstra(g *Graph) *Dijkstra {
+// NewDijkstra returns a search engine bound to g using the binary heap.
+func NewDijkstra(g *Graph) *Dijkstra { return NewDijkstraQueue(g, QueueHeap) }
+
+// NewDijkstraQueue returns a search engine bound to g using the given
+// priority-queue engine. All engines produce byte-identical paths; see
+// QueueKind.
+func NewDijkstraQueue(g *Graph, queue QueueKind) *Dijkstra {
 	n := g.NumVertices()
 	d := &Dijkstra{
 		g:        g,
 		dist:     make([]Cost, n),
 		prevEdge: make([]int32, n),
+		queue:    queue,
 		done:     make([]bool, n),
+	}
+	if queue == QueueRadix {
+		d.radix = newRadixQueue(n)
 	}
 	for i := 0; i < n; i++ {
 		d.dist[i] = InfCost
@@ -139,6 +171,9 @@ func NewDijkstra(g *Graph) *Dijkstra {
 	return d
 }
 
+// Queue returns the engine this searcher was built with.
+func (d *Dijkstra) Queue() QueueKind { return d.queue }
+
 // EdgeCostFunc returns the primary cost of traversing edge id.
 type EdgeCostFunc func(edge int) uint64
 
@@ -146,56 +181,27 @@ type EdgeCostFunc func(edge int) uint64
 // appends its edge identifiers, in src→dst order, to pathBuf. It returns the
 // extended slice, the path cost, and whether dst was reachable. A src==dst
 // query returns an empty path with zero cost.
+//
+// Equal-cost path ties resolve canonically: when a relaxation reaches a
+// vertex at exactly its current best cost, the incoming edge with the
+// smaller id wins. The predecessor of every vertex on the returned path is
+// therefore the minimum-id edge over all optimal predecessors — a pure
+// function of (graph, costFn, src, dst) — rather than an accident of which
+// tied queue item happened to pop first. That is what licenses swapping the
+// queue engine (QueueKind) and the target pruning below without changing a
+// single output byte; see DESIGN.md, "Scale-1.0 performance".
 func (d *Dijkstra) ShortestPath(src, dst int, costFn EdgeCostFunc, pathBuf []int) ([]int, Cost, bool) {
 	if src == dst {
 		return pathBuf, Cost{}, true
 	}
 	d.reset()
 	d.visit(src, Cost{}, -1)
-	d.heap = d.heap[:0]
-	d.heap = append(d.heap, dijkstraItem{vertex: src})
 
-	found := false
-	for len(d.heap) > 0 {
-		it := d.heap.pop()
-		u := it.vertex
-		if d.done[u] {
-			continue
-		}
-		d.done[u] = true
-		if u == dst {
-			found = true
-			break
-		}
-		du := d.dist[u]
-		// Target-pruned relaxation. Once dst has been reached, any settled
-		// node whose cost is not below dist[dst] cannot begin a cheaper
-		// path to dst (Cost.Add strictly increases, so every extension
-		// costs more than du >= dist[dst]), and — because the heap pops in
-		// non-decreasing order while dst is still enqueued at dist[dst] —
-		// such a node ties dst exactly, meaning dist[dst] is already final.
-		// Skipping its adjacency scan is byte-identical to relaxing it: the
-		// skipped relaxations could only have written dist/prevEdge of
-		// vertices costlier than dst, none of which appear on the
-		// reconstructed path or survive reset. Note that pruning *pushes*
-		// of costlier candidates during ordinary relaxations would NOT be
-		// safe: removing items from the binary heap perturbs its layout and
-		// with it the pop order among equal-cost items, silently changing
-		// which of two tied paths wins (see DESIGN.md, "Performance
-		// engineering").
-		if bound := d.dist[dst]; bound != InfCost && !du.Less(bound) {
-			continue
-		}
-		for _, arc := range d.g.Adj(u) {
-			if d.done[arc.To] {
-				continue
-			}
-			nc := du.Add(costFn(arc.Edge))
-			if nc.Less(d.dist[arc.To]) {
-				d.visit(arc.To, nc, int32(arc.Edge))
-				d.heap.push(dijkstraItem{vertex: arc.To, cost: nc})
-			}
-		}
+	var found bool
+	if d.queue == QueueRadix {
+		found = d.runRadix(src, dst, costFn)
+	} else {
+		found = d.runHeap(src, dst, costFn)
 	}
 	if !found {
 		return pathBuf, InfCost, false
@@ -213,6 +219,96 @@ func (d *Dijkstra) ShortestPath(src, dst int, costFn EdgeCostFunc, pathBuf []int
 		pathBuf[i], pathBuf[j] = pathBuf[j], pathBuf[i]
 	}
 	return pathBuf, total, true
+}
+
+// runHeap is the binary-heap search loop. The relaxation body must stay in
+// lockstep with runRadix: both implement the same canonical tie-breaking and
+// pruning contract, and the equivalence tests hold them to identical output.
+func (d *Dijkstra) runHeap(src, dst int, costFn EdgeCostFunc) bool {
+	d.heap = d.heap[:0]
+	d.heap = append(d.heap, dijkstraItem{vertex: src})
+	for len(d.heap) > 0 {
+		it := d.heap.pop()
+		u := it.vertex
+		if d.done[u] {
+			continue
+		}
+		d.done[u] = true
+		if u == dst {
+			return true
+		}
+		du := d.dist[u]
+		bound := d.dist[dst]
+		// Target pruning. Once dst has been reached, a settled vertex whose
+		// cost is not below dist[dst] cannot begin a cheaper path to dst
+		// (Cost.Add strictly increases), so its adjacency scan is skipped;
+		// likewise an individual candidate at or above the bound is neither
+		// recorded nor pushed. Pruned vertices all cost at least dist[dst],
+		// and no such vertex can appear on the reconstructed path or supply
+		// an equal-cost predecessor to one that does, so pruning is
+		// byte-identical to exhaustive relaxation — the canonical tie rule
+		// carries the argument, where pop order among equals could not.
+		if bound != InfCost && !du.Less(bound) {
+			continue
+		}
+		for _, arc := range d.g.Adj(u) {
+			to := arc.To
+			if d.done[to] {
+				continue
+			}
+			nc := du.Add(costFn(arc.Edge))
+			if nc.Less(d.dist[to]) {
+				if to != dst && bound != InfCost && !nc.Less(bound) {
+					continue
+				}
+				d.visit(to, nc, int32(arc.Edge))
+				d.heap.push(dijkstraItem{vertex: to, cost: nc})
+			} else if nc == d.dist[to] && d.prevEdge[to] >= 0 && int32(arc.Edge) < d.prevEdge[to] {
+				d.prevEdge[to] = int32(arc.Edge)
+			}
+		}
+	}
+	return false
+}
+
+// runRadix is the monotone radix-queue search loop; see runHeap.
+func (d *Dijkstra) runRadix(src, dst int, costFn EdgeCostFunc) bool {
+	q := d.radix
+	q.reset()
+	q.push(q.pack(Cost{}), int32(src))
+	for q.len > 0 {
+		it := q.pop()
+		u := int(it.vertex)
+		if d.done[u] {
+			continue
+		}
+		d.done[u] = true
+		if u == dst {
+			return true
+		}
+		du := d.dist[u]
+		bound := d.dist[dst]
+		if bound != InfCost && !du.Less(bound) {
+			continue
+		}
+		for _, arc := range d.g.Adj(u) {
+			to := arc.To
+			if d.done[to] {
+				continue
+			}
+			nc := du.Add(costFn(arc.Edge))
+			if nc.Less(d.dist[to]) {
+				if to != dst && bound != InfCost && !nc.Less(bound) {
+					continue
+				}
+				d.visit(to, nc, int32(arc.Edge))
+				q.push(q.pack(nc), int32(to))
+			} else if nc == d.dist[to] && d.prevEdge[to] >= 0 && int32(arc.Edge) < d.prevEdge[to] {
+				d.prevEdge[to] = int32(arc.Edge)
+			}
+		}
+	}
+	return false
 }
 
 func (d *Dijkstra) visit(v int, c Cost, via int32) {

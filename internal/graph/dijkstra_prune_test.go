@@ -5,11 +5,15 @@ import (
 	"testing"
 )
 
-// referenceShortestPath is the pre-prune search loop, kept verbatim as an
-// executable specification: ShortestPath must stay byte-identical to it —
-// same edges, in the same order, under heavy cost ties — because routing
-// results (and therefore solution files) depend on which of two equal-cost
-// paths wins.
+// referenceShortestPath is an exhaustive (prune-free) search loop kept as an
+// executable specification of the canonical tie contract: every relaxation
+// that reaches a vertex at exactly its best-known cost lowers the recorded
+// predecessor edge to the smaller id. The paths it reconstructs are a pure
+// function of (graph, costs, src, dst) — independent of queue discipline —
+// so both production engines (binary heap and radix queue), with all their
+// pruning, must reproduce it byte for byte. Routing results (and therefore
+// solution files) depend on which of two equal-cost paths wins, which makes
+// this the byte-identity contract of the whole routing stage.
 func referenceShortestPath(d *Dijkstra, src, dst int, costFn EdgeCostFunc, pathBuf []int) ([]int, Cost, bool) {
 	if src == dst {
 		return pathBuf, Cost{}, true
@@ -40,6 +44,8 @@ func referenceShortestPath(d *Dijkstra, src, dst int, costFn EdgeCostFunc, pathB
 			if nc.Less(d.dist[arc.To]) {
 				d.visit(arc.To, nc, int32(arc.Edge))
 				d.heap.push(dijkstraItem{vertex: arc.To, cost: nc})
+			} else if nc == d.dist[arc.To] && d.prevEdge[arc.To] >= 0 && int32(arc.Edge) < d.prevEdge[arc.To] {
+				d.prevEdge[arc.To] = int32(arc.Edge)
 			}
 		}
 	}
@@ -60,10 +66,30 @@ func referenceShortestPath(d *Dijkstra, src, dst int, costFn EdgeCostFunc, pathB
 	return pathBuf, total, true
 }
 
-// TestDijkstraPruneMatchesReference drives the pruned search and the
+// checkAgainstReference drives one production engine and the reference loop
+// over the same query and demands identical paths — not merely equal costs.
+func checkAgainstReference(t *testing.T, label string, eng, ref *Dijkstra, src, dst int, costFn EdgeCostFunc) {
+	t.Helper()
+	gotPath, gotCost, gotOK := eng.ShortestPath(src, dst, costFn, nil)
+	wantPath, wantCost, wantOK := referenceShortestPath(ref, src, dst, costFn, nil)
+	if gotOK != wantOK || gotCost != wantCost {
+		t.Fatalf("%s %d->%d: (cost=%+v ok=%v), want (cost=%+v ok=%v)",
+			label, src, dst, gotCost, gotOK, wantCost, wantOK)
+	}
+	if len(gotPath) != len(wantPath) {
+		t.Fatalf("%s %d->%d: path %v, want %v", label, src, dst, gotPath, wantPath)
+	}
+	for i := range gotPath {
+		if gotPath[i] != wantPath[i] {
+			t.Fatalf("%s %d->%d: path %v, want %v (tie broken differently)",
+				label, src, dst, gotPath, wantPath)
+		}
+	}
+}
+
+// TestDijkstraPruneMatchesReference drives both pruned engines and the
 // reference loop over the same random graphs with tiny cost ranges (so
-// equal-cost ties are everywhere) and demands identical paths — not merely
-// equal costs. This is the byte-identity contract of the rip-up loop.
+// equal-cost ties are everywhere) and demands identical paths.
 func TestDijkstraPruneMatchesReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(33))
 	for trial := 0; trial < 40; trial++ {
@@ -74,25 +100,13 @@ func TestDijkstraPruneMatchesReference(t *testing.T) {
 			usage[i] = uint64(rng.Intn(3)) // small range: force ties
 		}
 		costFn := func(e int) uint64 { return usage[e] }
-		pruned := NewDijkstra(g)
+		heap := NewDijkstra(g)
+		radix := NewDijkstraQueue(g, QueueRadix)
 		ref := NewDijkstra(g)
 		for q := 0; q < 60; q++ {
 			src, dst := rng.Intn(n), rng.Intn(n)
-			gotPath, gotCost, gotOK := pruned.ShortestPath(src, dst, costFn, nil)
-			wantPath, wantCost, wantOK := referenceShortestPath(ref, src, dst, costFn, nil)
-			if gotOK != wantOK || gotCost != wantCost {
-				t.Fatalf("trial %d %d->%d: (cost=%+v ok=%v), want (cost=%+v ok=%v)",
-					trial, src, dst, gotCost, gotOK, wantCost, wantOK)
-			}
-			if len(gotPath) != len(wantPath) {
-				t.Fatalf("trial %d %d->%d: path %v, want %v", trial, src, dst, gotPath, wantPath)
-			}
-			for i := range gotPath {
-				if gotPath[i] != wantPath[i] {
-					t.Fatalf("trial %d %d->%d: path %v, want %v (tie broken differently)",
-						trial, src, dst, gotPath, wantPath)
-				}
-			}
+			checkAgainstReference(t, "heap", heap, ref, src, dst, costFn)
+			checkAgainstReference(t, "radix", radix, ref, src, dst, costFn)
 		}
 	}
 }
@@ -103,46 +117,46 @@ func TestDijkstraGridPruneMatchesReference(t *testing.T) {
 	g := grid(12, 12)
 	usage := make([]uint64, g.NumEdges())
 	costFn := func(e int) uint64 { return usage[e] }
-	pruned := NewDijkstra(g)
+	heap := NewDijkstra(g)
+	radix := NewDijkstraQueue(g, QueueRadix)
 	ref := NewDijkstra(g)
 	n := g.NumVertices()
 	rng := rand.New(rand.NewSource(34))
 	for q := 0; q < 200; q++ {
 		src, dst := rng.Intn(n), rng.Intn(n)
-		gotPath, gotCost, gotOK := pruned.ShortestPath(src, dst, costFn, nil)
-		wantPath, wantCost, wantOK := referenceShortestPath(ref, src, dst, costFn, nil)
-		if gotOK != wantOK || gotCost != wantCost || len(gotPath) != len(wantPath) {
-			t.Fatalf("%d->%d: (%v,%+v,%v) want (%v,%+v,%v)", src, dst, gotPath, gotCost, gotOK, wantPath, wantCost, wantOK)
-		}
-		for i := range gotPath {
-			if gotPath[i] != wantPath[i] {
-				t.Fatalf("%d->%d: path %v, want %v", src, dst, gotPath, wantPath)
-			}
-		}
+		checkAgainstReference(t, "heap", heap, ref, src, dst, costFn)
+		checkAgainstReference(t, "radix", radix, ref, src, dst, costFn)
 	}
 }
 
 // TestDijkstraSearchZeroAlloc pins the steady state of the search loop at
-// zero allocations per query: the engine's dist/prevEdge/done/touched/heap
-// buffers are grown once and then reused for the life of the session.
+// zero allocations per query, for both queue engines: the engine's buffers
+// are grown once and then reused for the life of the session.
 func TestDijkstraSearchZeroAlloc(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are perturbed under -race")
 	}
 	g := grid(20, 20)
-	d := NewDijkstra(g)
 	usage := make([]uint64, g.NumEdges())
 	costFn := func(e int) uint64 { return usage[e] }
-	buf := make([]int, 0, 256)
-	dst := g.NumVertices() - 1
-	// Warm-up queries grow the heap and touched list to steady state.
-	for i := 0; i < 4; i++ {
-		buf, _, _ = d.ShortestPath(0, dst, costFn, buf[:0])
-	}
-	allocs := testing.AllocsPerRun(50, func() {
-		buf, _, _ = d.ShortestPath(0, dst, costFn, buf[:0])
-	})
-	if allocs != 0 {
-		t.Fatalf("ShortestPath steady state allocates %v objects per run, want 0", allocs)
+	for _, tc := range []struct {
+		name  string
+		queue QueueKind
+	}{{"heap", QueueHeap}, {"radix", QueueRadix}} {
+		t.Run(tc.name, func(t *testing.T) {
+			d := NewDijkstraQueue(g, tc.queue)
+			buf := make([]int, 0, 256)
+			dst := g.NumVertices() - 1
+			// Warm-up queries grow the queue and touched list to steady state.
+			for i := 0; i < 4; i++ {
+				buf, _, _ = d.ShortestPath(0, dst, costFn, buf[:0])
+			}
+			allocs := testing.AllocsPerRun(50, func() {
+				buf, _, _ = d.ShortestPath(0, dst, costFn, buf[:0])
+			})
+			if allocs != 0 {
+				t.Fatalf("ShortestPath steady state allocates %v objects per run, want 0", allocs)
+			}
+		})
 	}
 }

@@ -23,6 +23,23 @@ func NewDSU(n int) *DSU {
 	return d
 }
 
+// Reset reinitializes the structure to n singleton sets, reusing the backing
+// arrays when they are large enough. It lets hot loops (the per-net Kruskal
+// of the KMB construction) run union-find without a per-call allocation.
+func (d *DSU) Reset(n int) {
+	if cap(d.parent) < n {
+		d.parent = make([]int, n)
+		d.size = make([]int, n)
+	}
+	d.parent = d.parent[:n]
+	d.size = d.size[:n]
+	d.sets = n
+	for i := 0; i < n; i++ {
+		d.parent[i] = i
+		d.size[i] = 1
+	}
+}
+
 // Find returns the representative of the set containing x.
 func (d *DSU) Find(x int) int {
 	for d.parent[x] != x {

@@ -39,6 +39,35 @@ func Kruskal(n int, edges []WeightedEdge) []WeightedEdge {
 	return tree
 }
 
+// KruskalScratch owns the reusable state of repeated Kruskal runs: the DSU
+// and the sort buffer. A router computing one terminal MST per net reuses one
+// scratch per worker instead of allocating per net.
+type KruskalScratch struct {
+	dsu    DSU
+	sorted []WeightedEdge
+}
+
+// MSTAppend computes the same minimum spanning forest as Kruskal — identical
+// selection and order, including the stable tie-breaking — and appends the
+// selected edges to dst. The input edges slice is not modified.
+func (s *KruskalScratch) MSTAppend(dst []WeightedEdge, n int, edges []WeightedEdge) []WeightedEdge {
+	s.sorted = append(s.sorted[:0], edges...)
+	sorted := s.sorted
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Weight < sorted[j].Weight })
+
+	s.dsu.Reset(n)
+	want := len(dst) + max(0, n-1)
+	for _, e := range sorted {
+		if s.dsu.Union(e.U, e.V) {
+			dst = append(dst, e)
+			if len(dst) == want {
+				break
+			}
+		}
+	}
+	return dst
+}
+
 // MSTCost returns the sum of the weights of the given edges. For a spanning
 // tree produced by Kruskal it is the tree cost used by the net-ordering score
 // θ(n) in Eq. (1) of the paper.

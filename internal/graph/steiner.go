@@ -48,8 +48,20 @@ func NewSteinerCleaner(g *Graph) *SteinerCleaner {
 //
 // The result slice is freshly allocated and owned by the caller.
 func (sc *SteinerCleaner) Clean(edges []int, terminals []int) (tree []int, ok bool) {
+	tree, ok = sc.CleanAppend(make([]int, 0, len(terminals)*2), edges, terminals)
+	if !ok || len(tree) == 0 {
+		return nil, ok
+	}
+	return tree, ok
+}
+
+// CleanAppend is Clean appending the tree edges to dst instead of allocating
+// the result, for callers carving tree storage out of an arena. The tree
+// never has more edges than the (deduplicated) input edge set, so a dst with
+// len(edges) spare capacity is never reallocated.
+func (sc *SteinerCleaner) CleanAppend(dst []int, edges []int, terminals []int) (tree []int, ok bool) {
 	if len(terminals) <= 1 {
-		return nil, true
+		return dst, true
 	}
 	sc.epoch++
 	if sc.epoch == 0 { // stamp wrap-around: invalidate all stale stamps
@@ -97,7 +109,7 @@ func (sc *SteinerCleaner) Clean(edges []int, terminals []int) (tree []int, ok bo
 
 	for _, t := range terminals {
 		if sc.vstamp[t] != ep {
-			return nil, false
+			return dst, false
 		}
 	}
 
@@ -123,11 +135,10 @@ func (sc *SteinerCleaner) Clean(edges []int, terminals []int) (tree []int, ok bo
 		sc.childCnt[sc.parentV[v]]--
 	}
 
-	tree = make([]int, 0, len(terminals)*2)
 	for _, v := range sc.queue {
 		if e := sc.parentE[v]; e >= 0 && sc.treeStamp[e] == ep {
-			tree = append(tree, int(e))
+			dst = append(dst, int(e))
 		}
 	}
-	return tree, true
+	return dst, true
 }

@@ -1,0 +1,46 @@
+package partition
+
+import (
+	"fmt"
+
+	"tdmroute/internal/graph"
+)
+
+// Regions splits the vertices of an FPGA graph into k spatially coherent
+// regions by recursive FM bisection of the graph itself (each physical
+// inter-FPGA edge becomes a 2-pin net, each FPGA a unit-weight cell). It is
+// the region former behind the router's partitioned initial routing: nets
+// whose terminals all land in one region can be routed region-locally and in
+// parallel with other regions.
+//
+// The result assigns every vertex a part id in [0, k) and is a pure function
+// of (g, k, seed). k is clamped to [1, NumVertices]; k <= 1 returns the
+// trivial single-region assignment.
+func Regions(g *graph.Graph, k int, seed int64) ([]int, error) {
+	n := g.NumVertices()
+	if k > n {
+		k = n
+	}
+	parts := make([]int, n)
+	if k <= 1 || n == 0 {
+		return parts, nil
+	}
+	h := &Hypergraph{
+		CellWeight: make([]int64, n),
+		Nets:       make([][]int, 0, g.NumEdges()),
+	}
+	for i := range h.CellWeight {
+		h.CellWeight[i] = 1
+	}
+	for _, e := range g.Edges() {
+		if e.U == e.V {
+			continue // self-loops carry no partition information
+		}
+		h.Nets = append(h.Nets, []int{e.U, e.V})
+	}
+	parts, err := KWay(h, k, FMOptions{Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("partition: forming %d routing regions: %w", k, err)
+	}
+	return parts, nil
+}

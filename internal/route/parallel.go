@@ -36,8 +36,9 @@ func (r *router) buildMSTs(ctx context.Context) error {
 	workers := r.opt.workers()
 	errs := make([]error, par.NumChunks(n, workers))
 	if err := par.ForCtx(ctx, n, workers, func(chunk, start, end int) {
+		var sc mstScratch // private: the shared r.msc would race across chunks
 		for i := start; i < end; i++ {
-			mst, err := r.terminalMST(i)
+			mst, err := r.terminalMSTScratch(i, &sc)
 			if err != nil {
 				errs[chunk] = err
 				return

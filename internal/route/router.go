@@ -42,6 +42,23 @@ const (
 	OrderThetaDesc
 )
 
+// QueueKind selects the priority-queue engine behind the congestion-aware
+// shortest-path searches. Every engine produces byte-identical routings —
+// equal-cost path ties resolve canonically in the relaxation step, not by
+// queue pop order (see graph.QueueKind) — so the choice is purely a
+// performance trade.
+type QueueKind int
+
+const (
+	// QueueAuto selects the fastest engine, currently the bucket queue.
+	QueueAuto QueueKind = iota
+	// QueueHeap forces the binary heap.
+	QueueHeap
+	// QueueBucket forces the monotone radix (bucket) queue specialized for
+	// the router's integer congestion costs.
+	QueueBucket
+)
+
 // Options tunes the router. The zero value selects the paper's defaults.
 type Options struct {
 	// RipUpRounds is the number of rip-up-and-reroute rounds. Each round
@@ -72,6 +89,20 @@ type Options struct {
 	// partition the waves differently and may route individual nets
 	// differently.
 	Workers int
+	// Queue selects the shortest-path priority-queue engine. All engines
+	// produce byte-identical routings; QueueAuto picks the fastest.
+	Queue QueueKind
+	// Partitions > 1 routes the initial net ordering through that many
+	// spatially partitioned regions instead of waves: region-local nets
+	// (all terminals inside one region) are routed per region against
+	// region-private congestion, regions run concurrently, and boundary
+	// nets plus any local net whose tree escaped its home region are
+	// rerouted sequentially against the merged congestion. The result is a
+	// pure function of (instance, Options minus Workers): unlike waves,
+	// worker counts only change the schedule, never the routing. 0 and 1
+	// disable partitioning (partitioned routing is opt-in because it routes
+	// differently from the historical sequential order).
+	Partitions int
 }
 
 // DefaultRipUpRounds is used when Options.RipUpRounds == 0.
@@ -96,6 +127,22 @@ func (o Options) workers() int {
 	return o.Workers
 }
 
+// partitions normalizes Options.Partitions to at least 1.
+func (o Options) partitions() int {
+	if o.Partitions <= 1 {
+		return 1
+	}
+	return o.Partitions
+}
+
+// graphQueue maps the router-level queue selection onto the graph engine.
+func (o Options) graphQueue() graph.QueueKind {
+	if o.Queue == QueueHeap {
+		return graph.QueueHeap
+	}
+	return graph.QueueRadix
+}
+
 // Stats reports what the router did, for logging and the Fig. 3(a) runtime
 // breakdown.
 type Stats struct {
@@ -103,6 +150,43 @@ type Stats struct {
 	RipUpRounds   int // rounds executed
 	RevertedRound int // rounds whose result was reverted
 	RippedNets    int // total nets ripped and rerouted
+}
+
+// treeArenaChunk sizes the arena slabs backing route trees. Trees are a few
+// edges each on FPGA-sized graphs, so one slab serves thousands of nets.
+const treeArenaChunk = 1 << 14
+
+// treeArena slab-allocates the per-net route-tree edge lists. Trees are
+// immutable once created (the Session.Routes contract), so they can share
+// backing storage: instead of one garbage-collected allocation per net, the
+// arena carves trees out of large chunks. Chunks are never recycled — routes
+// referencing them keep them alive — so the arena only amortizes allocation
+// count, which is exactly what matters at millions of nets.
+type treeArena struct {
+	chunk []int
+	used  int
+}
+
+// alloc returns a zero-length slice with at least n spare capacity carved
+// from the current chunk, starting a fresh chunk when needed.
+func (a *treeArena) alloc(n int) []int {
+	if len(a.chunk)-a.used < n {
+		size := treeArenaChunk
+		if n > size {
+			size = n
+		}
+		a.chunk = make([]int, size)
+		a.used = 0
+	}
+	return a.chunk[a.used:a.used]
+}
+
+// commit marks the appended-to slice s as permanently owned and returns it
+// with its capacity clamped, so appends through a stale reference can never
+// overwrite a neighbouring tree.
+func (a *treeArena) commit(s []int) []int {
+	a.used += len(s)
+	return s[:len(s):len(s)]
 }
 
 // netWorker bundles the per-goroutine search state of one routing worker:
@@ -126,11 +210,13 @@ type netWorker struct {
 	ownEpoch uint32
 	// unionBuf is the reusable path-union scratch of computeTree.
 	unionBuf []int
+	// arena backs the route trees this worker produces.
+	arena treeArena
 }
 
-func newNetWorker(g *graph.Graph, mehlhorn bool) *netWorker {
+func newNetWorker(g *graph.Graph, mehlhorn bool, queue graph.QueueKind) *netWorker {
 	w := &netWorker{
-		dij:      graph.NewDijkstra(g),
+		dij:      graph.NewDijkstraQueue(g, queue),
 		cleaner:  graph.NewSteinerCleaner(g),
 		ownStamp: make([]uint32, g.NumEdges()),
 	}
@@ -193,6 +279,16 @@ type router struct {
 	// Cached trees are read-only.
 	mst     [][]graph.WeightedEdge
 	mstDone []bool
+	// mstSlab backs the memoized trees: net n's k-1 edges live in the slot
+	// [mstOff[n], mstOff[n+1]). Slots are disjoint, so concurrent MST
+	// construction of distinct nets writes without contention or per-net
+	// allocation. Nets appended by Grow fall outside the slab and allocate
+	// individually.
+	mstSlab []graph.WeightedEdge
+	mstOff  []int
+	// msc is the Kruskal/pair scratch of the sequential MST callers; the
+	// parallel buildMSTs pass uses one private scratch per chunk instead.
+	msc mstScratch
 
 	// cong is the incremental ψ/φ congestion index driving rip-up rounds.
 	// It is built lazily on the first round and dropped when routing
@@ -204,28 +300,66 @@ type router struct {
 
 func newRouter(in *problem.Instance, opt Options) *router {
 	mehlhorn := opt.InitialSteiner == SteinerMehlhorn || opt.RerouteSteiner == SteinerMehlhorn
+	mstOff := make([]int, len(in.Nets)+1)
+	for n := range in.Nets {
+		slot := len(in.Nets[n].Terminals) - 1
+		if slot < 0 {
+			slot = 0
+		}
+		//lint:ignore satarith prefix sum of (terminals-1) per net, bounded by the instance's total terminal count, which a parser-accepted instance keeps far below MaxInt
+		mstOff[n+1] = mstOff[n] + slot
+	}
 	return &router{
 		in:      in,
 		opt:     opt,
 		apsp:    graph.NewAPSP(in.G),
-		w0:      newNetWorker(in.G, mehlhorn),
+		w0:      newNetWorker(in.G, mehlhorn, opt.graphQueue()),
 		routes:  make(problem.Routing, len(in.Nets)),
 		usage:   make([]uint32, in.G.NumEdges()),
 		mstCost: make([]int64, len(in.Nets)),
 		mst:     make([][]graph.WeightedEdge, len(in.Nets)),
 		mstDone: make([]bool, len(in.Nets)),
+		mstSlab: make([]graph.WeightedEdge, mstOff[len(in.Nets)]),
+		mstOff:  mstOff,
 	}
 }
 
+// mstScratch is the reusable per-caller state of computeTerminalMST: the
+// candidate pair edges of the terminal complete graph and the Kruskal
+// buffers.
+type mstScratch struct {
+	pairs []graph.WeightedEdge
+	kr    graph.KruskalScratch
+}
+
+// mstSlot returns the zero-length slab slot reserved for net n's MST, or nil
+// for nets outside the slab (appended by Grow), which then allocate
+// individually. The slot capacity is clamped so an overlong append could
+// never spill into a neighbouring net's slot.
+func (r *router) mstSlot(n int) []graph.WeightedEdge {
+	if n+1 >= len(r.mstOff) {
+		return nil
+	}
+	off, end := r.mstOff[n], r.mstOff[n+1]
+	return r.mstSlab[off:off:end]
+}
+
 // terminalMST returns the memoized KMB first step for net n, computing it on
-// first use. Distinct nets may be processed concurrently: the cache slots are
+// first use with the sequential scratch. Concurrent callers must go through
+// terminalMSTScratch with private scratch instead.
+func (r *router) terminalMST(n int) ([]graph.WeightedEdge, error) {
+	return r.terminalMSTScratch(n, &r.msc)
+}
+
+// terminalMSTScratch is terminalMST with caller-supplied scratch. Distinct
+// nets may be processed concurrently: the cache slots and slab slots are
 // written per index and the underlying computation reads only the APSP LUT
 // and the instance.
-func (r *router) terminalMST(n int) ([]graph.WeightedEdge, error) {
+func (r *router) terminalMSTScratch(n int, sc *mstScratch) ([]graph.WeightedEdge, error) {
 	if r.mstDone[n] {
 		return r.mst[n], nil
 	}
-	mst, err := r.computeTerminalMST(n)
+	mst, err := r.computeTerminalMST(n, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -236,32 +370,34 @@ func (r *router) terminalMST(n int) ([]graph.WeightedEdge, error) {
 
 // computeTerminalMST computes the MST of the complete graph over net n's
 // terminals under LUT distances. It returns the tree as terminal-index pairs
-// into the net's terminal slice.
-func (r *router) computeTerminalMST(n int) ([]graph.WeightedEdge, error) {
+// into the net's terminal slice, stored in the net's slab slot.
+func (r *router) computeTerminalMST(n int, sc *mstScratch) ([]graph.WeightedEdge, error) {
 	terms := r.in.Nets[n].Terminals
 	k := len(terms)
 	if k <= 1 {
 		return nil, nil
 	}
+	slot := r.mstSlot(n)
 	if k == 2 {
 		// Fast path for the dominant 2-pin case: the MST is the pair.
 		d := r.apsp.Dist(terms[0], terms[1])
 		if d == graph.Unreachable {
 			return nil, fmt.Errorf("route: net %d: terminals %d and %d are disconnected", n, terms[0], terms[1])
 		}
-		return []graph.WeightedEdge{{U: 0, V: 1, Weight: int64(d)}}, nil
+		return append(slot, graph.WeightedEdge{U: 0, V: 1, Weight: int64(d)}), nil
 	}
-	edges := make([]graph.WeightedEdge, 0, k*(k-1)/2)
+	pairs := sc.pairs[:0]
 	for i := 0; i < k; i++ {
 		for j := i + 1; j < k; j++ {
 			d := r.apsp.Dist(terms[i], terms[j])
 			if d == graph.Unreachable {
 				return nil, fmt.Errorf("route: net %d: terminals %d and %d are disconnected", n, terms[i], terms[j])
 			}
-			edges = append(edges, graph.WeightedEdge{U: i, V: j, Weight: int64(d)})
+			pairs = append(pairs, graph.WeightedEdge{U: i, V: j, Weight: int64(d)})
 		}
 	}
-	return graph.Kruskal(k, edges), nil
+	sc.pairs = pairs
+	return sc.kr.MSTAppend(slot, k, pairs), nil
 }
 
 // initialRoute performs Sec. III-A: compute every net's terminal MST, order
@@ -306,6 +442,9 @@ func (r *router) initialRoute(ctx context.Context) error {
 		// netlist order as initialized
 	}
 
+	if r.opt.partitions() > 1 {
+		return r.routePartitioned(ctx, order)
+	}
 	if r.opt.workers() > 1 {
 		return r.routeWaves(ctx, order)
 	}
@@ -374,11 +513,13 @@ func (r *router) computeTree(w *netWorker, n int, alg SteinerAlg, mst []graph.We
 		}
 	}
 	w.unionBuf = union
-	tree, ok := w.cleaner.Clean(union, terms)
+	// The cleaned tree has at most len(union) edges, so an arena slot of
+	// that capacity is never reallocated by CleanAppend.
+	tree, ok := w.cleaner.CleanAppend(w.arena.alloc(len(union)), union, terms)
 	if !ok {
 		return nil, fmt.Errorf("route: net %d: path union does not connect terminals", n)
 	}
-	return tree, nil
+	return w.arena.commit(tree), nil
 }
 
 // psi computes ψ(n) of Eq. (2): the sum over the net's routed edges of the

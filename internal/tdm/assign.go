@@ -79,7 +79,7 @@ func Finish(ctx context.Context, in *problem.Instance, routes problem.Routing, r
 	rep.GTRNoRef, _ = eval.MaxGroupTDM(in, sol)
 
 	rep.Interrupted = par.Capture(func() error {
-		for pass := 0; pass < opt.RefinePasses; pass++ {
+		for pass := 0; pass < opt.refinePasses(); pass++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}

@@ -26,6 +26,19 @@ type lrState struct {
 	netStart []int32
 	netCell  []int32
 
+	// Flat membership CSRs mirroring in.Nets[n].Groups and
+	// in.Groups[gi].Nets in declaration order, so the two hottest loops of
+	// every iteration (computePi, groupTDMs) stream int32 arrays instead of
+	// chasing per-net/per-group slice headers. Iteration order is identical
+	// to the nested slices, so every float accumulation is bit-identical.
+	// Rebuilt by resetRun: group membership can change across ECO patches.
+	netGrpStart []int32
+	netGrp      []int32
+	grpNetStart []int32
+	grpNet      []int32
+
+	partialBuf []float64 // reusable per-chunk partial-result buffer
+
 	lambda    []float64 // λ_g, kept projected to sum 1
 	pi        []float64 // π_n = Σ_{g ∋ n} λ_g
 	sqrtPi    []float64 // sqrt(max(π_n, PiFloor)) — pattern weights
@@ -80,8 +93,40 @@ func newLRState(in *problem.Instance, routes problem.Routing, opt Options) *lrSt
 			s.netCell[s.netStart[n]+int32(k)] = idx
 		}
 	}
+	s.buildMembership()
 	s.initLambda(opt)
 	return s
+}
+
+// buildMembership (re)builds the flat membership CSRs from the instance.
+func (s *lrState) buildMembership() {
+	nets, groups := s.in.Nets, s.in.Groups
+	s.netGrpStart = append(s.netGrpStart[:0], 0)
+	s.netGrp = s.netGrp[:0]
+	for n := range nets {
+		for _, gi := range nets[n].Groups {
+			s.netGrp = append(s.netGrp, int32(gi))
+		}
+		s.netGrpStart = append(s.netGrpStart, int32(len(s.netGrp)))
+	}
+	s.grpNetStart = append(s.grpNetStart[:0], 0)
+	s.grpNet = s.grpNet[:0]
+	for gi := range groups {
+		for _, n := range groups[gi].Nets {
+			s.grpNet = append(s.grpNet, int32(n))
+		}
+		s.grpNetStart = append(s.grpNetStart, int32(len(s.grpNet)))
+	}
+}
+
+// scratch returns the reusable n-slot partial-result buffer. Every chunk of
+// the following par.For writes its slot before any is read, so reuse across
+// stages never observes stale values.
+func (s *lrState) scratch(n int) []float64 {
+	if cap(s.partialBuf) < n {
+		s.partialBuf = make([]float64, n)
+	}
+	return s.partialBuf[:n]
 }
 
 // initLambda performs line 2 of Algorithm 1: uniform initial multipliers, or
@@ -125,6 +170,7 @@ func (s *lrState) initLambda(opt Options) {
 // so stale pattern values never leak into a new run.
 func (s *lrState) resetRun(opt Options) {
 	s.opt = opt
+	s.buildMembership()
 	s.initLambda(opt)
 	if s.windows.w != opt.Window {
 		s.windows = newGroupWindows(len(s.in.Groups), opt.Window)
@@ -138,7 +184,7 @@ func (s *lrState) computePi() {
 	par.For(len(s.pi), s.opt.Workers, func(_, start, end int) {
 		for n := start; n < end; n++ {
 			var p float64
-			for _, gi := range s.in.Nets[n].Groups {
+			for _, gi := range s.netGrp[s.netGrpStart[n]:s.netGrpStart[n+1]] {
 				p += s.lambda[gi]
 			}
 			s.pi[n] = p
@@ -159,7 +205,7 @@ func (s *lrState) solveLRS() (lowerBound float64) {
 	// Every cell belongs to exactly one edge, so per-edge pattern writes
 	// from different chunks never alias.
 	numEdges := len(s.edgeStart) - 1
-	partial := make([]float64, par.NumChunks(numEdges, s.opt.Workers))
+	partial := s.scratch(par.NumChunks(numEdges, s.opt.Workers))
 	par.For(numEdges, s.opt.Workers, func(chunk, start, end int) {
 		var lb float64
 		for e := start; e < end; e++ {
@@ -198,12 +244,12 @@ func (s *lrState) groupTDMs() (z float64) {
 			s.netTDM[n] = sum
 		}
 	})
-	partial := make([]float64, par.NumChunks(len(s.grpTDM), s.opt.Workers))
+	partial := s.scratch(par.NumChunks(len(s.grpTDM), s.opt.Workers))
 	par.For(len(s.grpTDM), s.opt.Workers, func(chunk, start, end int) {
 		var zc float64
 		for gi := start; gi < end; gi++ {
 			var sum float64
-			for _, n := range s.in.Groups[gi].Nets {
+			for _, n := range s.grpNet[s.grpNetStart[gi]:s.grpNetStart[gi+1]] {
 				sum += s.netTDM[n]
 			}
 			s.grpTDM[gi] = sum
@@ -229,15 +275,36 @@ func (s *lrState) updateMultipliers(z float64) {
 		return
 	}
 	alpha, beta := s.opt.Alpha, s.opt.Beta
-	partial := make([]float64, par.NumChunks(len(s.lambda), s.opt.Workers))
+	// k at a zero z-score, precomputed: zscore returns exactly 0 for every
+	// group of the first two iterations and for every degenerate window, so
+	// caching one Sigmoid(±0) (both signed zeros give exactly 1/2) removes
+	// the transcendental from those lanes without changing a bit.
+	k0 := (alpha-1)*stats.Sigmoid(0) + 1
+	// A multiplier already at the floor with norm <= 1 and alpha >= 0 stays
+	// at the floor: k > 0 then, so Pow(norm, k) <= 1, the rounded product
+	// cannot exceed minLambda (rounding is monotone), and the clamp puts it
+	// back. The window still records the sample — only the Pow/Sigmoid work
+	// is skipped, not the history.
+	floorFast := alpha >= 0
+	partial := s.scratch(par.NumChunks(len(s.lambda), s.opt.Workers))
 	par.For(len(s.lambda), s.opt.Workers, func(chunk, start, end int) {
 		var sum float64
 		for gi := start; gi < end; gi++ {
 			norm := s.grpTDM[gi] / z // normalized group TDM ∈ (0, 1]
+			lg := s.lambda[gi]
+			//lint:ignore floateq the floor is an exact-assignment sentinel (the clamp stores the minLambda constant verbatim), so == is a tag test, not a numeric comparison
+			if floorFast && lg == minLambda && norm <= 1 {
+				s.windows.push(gi, norm)
+				sum += minLambda
+				continue
+			}
 			x := s.windows.zscore(gi, norm)
-			k := (alpha-1)*stats.Sigmoid(beta*x) + 1
+			k := k0
+			if x != 0 {
+				k = (alpha-1)*stats.Sigmoid(beta*x) + 1
+			}
 			s.windows.push(gi, norm)
-			lg := s.lambda[gi] * math.Pow(norm, k)
+			lg *= math.Pow(norm, k)
 			if lg < minLambda {
 				lg = minLambda // keep multiplicative updates alive
 			}
@@ -360,7 +427,7 @@ func runLRCore(ctx context.Context, s *lrState, routes problem.Routing, opt Opti
 	haveBest := false
 
 	stopped = par.Capture(func() error {
-		for iters = 0; iters < opt.MaxIter; iters++ {
+		for iters = 0; iters < opt.maxIter(); iters++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
@@ -429,11 +496,14 @@ func runLRCore(ctx context.Context, s *lrState, routes problem.Routing, opt Opti
 
 // unflatten converts an edge-major flat cell-ratio vector back to the
 // per-net layout parallel to the routing.
+// The rows share one backing slab (slices of it are disjoint), replacing one
+// allocation per net with two per call at million-net scale.
 func (s *lrState) unflatten(flat []float64, routes problem.Routing) [][]float64 {
 	out := make([][]float64, len(routes))
+	backing := make([]float64, s.netStart[len(routes)])
 	for n := range routes {
-		row := make([]float64, len(routes[n]))
-		base := s.netStart[n]
+		base, end := s.netStart[n], s.netStart[n+1]
+		row := backing[base:end:end]
 		for k := range row {
 			row[k] = flat[s.netCell[base+int32(k)]]
 		}
@@ -498,13 +568,20 @@ func (gw *groupWindows) reset() {
 func (gw *groupWindows) push(g int, x float64) {
 	base := g * gw.w
 	if int(gw.count[g]) == gw.w {
-		old := gw.buf[base+int(gw.head[g])]
+		h := int(gw.head[g])
+		old := gw.buf[base+h]
 		gw.sum[g] -= old
 		gw.sumSq[g] -= old * old
-		gw.buf[base+int(gw.head[g])] = x
-		gw.head[g] = int32((int(gw.head[g]) + 1) % gw.w)
+		gw.buf[base+h] = x
+		h++
+		if h == gw.w { // conditional wrap: the % div stall dominates this hot lane
+			h = 0
+		}
+		gw.head[g] = int32(h)
 	} else {
-		gw.buf[base+(int(gw.head[g])+int(gw.count[g]))%gw.w] = x
+		// head stays 0 until the window first fills, so the next free slot
+		// is simply count.
+		gw.buf[base+int(gw.count[g])] = x
 		gw.count[g]++
 	}
 	gw.sum[g] += x

@@ -107,12 +107,6 @@ func (o Options) withDefaults() Options {
 	if o.Epsilon == 0 {
 		o.Epsilon = DefaultEpsilon
 	}
-	if o.MaxIter == 0 {
-		o.MaxIter = DefaultMaxIter
-	}
-	if o.MaxIter < 0 {
-		o.MaxIter = 0
-	}
 	if o.Window <= 0 {
 		o.Window = DefaultWindow
 	}
@@ -128,16 +122,36 @@ func (o Options) withDefaults() Options {
 	if o.Tol <= 0 {
 		o.Tol = DefaultTol
 	}
-	if o.RefinePasses == 0 {
-		o.RefinePasses = 1
-	}
-	if o.RefinePasses < 0 {
-		o.RefinePasses = 0
-	}
 	if o.SubgradientStep == 0 {
 		o.SubgradientStep = 1
 	}
 	return o
+}
+
+// maxIter resolves the MaxIter sentinel without mutating the option: the
+// zero/negative collapse cannot live in withDefaults because withDefaults is
+// applied both by the entry points and by Finish, and a mutating collapse
+// would turn "negative: disabled" into the default on the second pass.
+func (o Options) maxIter() int {
+	switch {
+	case o.MaxIter == 0:
+		return DefaultMaxIter
+	case o.MaxIter < 0:
+		return 0
+	}
+	return o.MaxIter
+}
+
+// refinePasses resolves the RefinePasses sentinel; see maxIter for why this
+// is an accessor rather than a withDefaults rewrite.
+func (o Options) refinePasses() int {
+	switch {
+	case o.RefinePasses == 0:
+		return 1
+	case o.RefinePasses < 0:
+		return 0
+	}
+	return o.RefinePasses
 }
 
 // Report summarizes one assignment run with the Table II columns.

@@ -1,0 +1,76 @@
+package tdmroute
+
+import (
+	"bufio"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Perf is the stable performance block of the schema-2 Response wire format:
+// per-stage wall seconds plus the process-level counters the benchmark
+// harness aggregates. It is filled by Run for every mode; fields that a
+// platform cannot observe (PeakRSSBytes outside Linux) are zero rather than
+// omitted, so rows stay column-stable.
+type Perf struct {
+	// RouteSec, LRSec, LegalRefineSec are the per-stage wall times in
+	// seconds (the Fig. 3(a) breakdown); TotalSec is their sum.
+	RouteSec       float64
+	LRSec          float64
+	LegalRefineSec float64
+	TotalSec       float64
+	// PeakRSSBytes is the process's peak resident set size when the solve
+	// finished (VmHWM), or 0 when the platform does not expose it. It is a
+	// process-lifetime high-water mark, not a per-request delta.
+	PeakRSSBytes int64
+	// Allocs is the number of heap objects allocated during the solve
+	// (runtime MemStats.Mallocs delta across Run).
+	Allocs uint64
+	// RippedNets and RevertedRounds mirror the routing-stage counters
+	// (RouteStats) so perf consumers need only this block.
+	RippedNets     int
+	RevertedRounds int
+	// LRIterations is the number of Lagrangian-relaxation iterations run.
+	LRIterations int
+}
+
+// perfFromTimes fills the wall-clock part of a Perf from stage times.
+func perfFromTimes(t StageTimes) Perf {
+	sec := func(d time.Duration) float64 { return d.Seconds() }
+	return Perf{
+		RouteSec:       sec(t.Route),
+		LRSec:          sec(t.LR),
+		LegalRefineSec: sec(t.LegalRefine),
+		TotalSec:       sec(t.Total()),
+	}
+}
+
+// peakRSSBytes reads the process's peak resident set size from
+// /proc/self/status (VmHWM). It returns 0 on any failure — non-Linux
+// platforms, restricted /proc — so perf reporting degrades gracefully
+// instead of failing the solve.
+func peakRSSBytes() int64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line[len("VmHWM:"):])
+		if len(fields) < 1 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}

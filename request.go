@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"strconv"
 	"time"
 )
 
@@ -156,6 +158,10 @@ type Response struct {
 	RoundsKept int
 	// InitialGTR is the single-pass GTR_max before any feedback round.
 	InitialGTR int64
+	// Perf is the schema-2 performance block: per-stage wall seconds, peak
+	// RSS, allocation count, and the rip-up counters, filled by Run for
+	// every mode.
+	Perf Perf
 	// Warm is the retained warm state when the request asked for it
 	// (Request.Retain) and after every successful ModeDelta solve (the same
 	// handle, ready for the next delta). It never travels over the wire:
@@ -180,8 +186,30 @@ func Run(ctx context.Context, req Request) (*Response, error) {
 	if req.Instance == nil && req.Mode != ModeDelta {
 		return nil, errors.New("tdmroute: Run: nil Instance")
 	}
-	req.Options = req.Options.normalized()
+	opt, err := req.Options.normalized()
+	if err != nil {
+		return nil, err
+	}
+	req.Options = opt
 	req = req.wireProgress()
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	resp, err := dispatch(ctx, req)
+	if resp != nil {
+		var ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms1)
+		resp.Perf = perfFromTimes(resp.Times)
+		resp.Perf.Allocs = ms1.Mallocs - ms0.Mallocs
+		resp.Perf.PeakRSSBytes = peakRSSBytes()
+		resp.Perf.RippedNets = resp.RouteStats.RippedNets
+		resp.Perf.RevertedRounds = resp.RouteStats.RevertedRound
+		resp.Perf.LRIterations = resp.Report.Iterations
+	}
+	return resp, err
+}
+
+// dispatch runs the mode-specific pipeline of an already-normalized request.
+func dispatch(ctx context.Context, req Request) (*Response, error) {
 	switch req.Mode {
 	case ModeSingle:
 		if req.Retain {
@@ -262,10 +290,44 @@ func runAssignOnly(ctx context.Context, req Request) (*Response, error) {
 	return resp, nil
 }
 
-// normalized applies the worker normalization once, at the Run boundary:
-// non-positive counts mean sequential, and the pipeline-level knob fans
-// into both stages (withWorkers).
-func (o Options) normalized() Options {
+// OptionError is the typed error of request option validation: the options
+// analogue of problem.ParseError, carrying the offending field and value so
+// callers (CLI flag handling, the serve layer's 400 responses) can report
+// bad options without string-matching the message.
+type OptionError struct {
+	// Field is the wire name of the offending option ("queue",
+	// "partitions", ...).
+	Field string
+	// Value is the offending value, rendered as text.
+	Value string
+	// Msg says what was wrong with it.
+	Msg string
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("tdmroute: option %s=%q: %s", e.Field, e.Value, e.Msg)
+}
+
+// normalized validates and canonicalizes the options once, at the Run
+// boundary: the pipeline-level Queue/Partitions knobs fan into the routing
+// stage, non-positive worker counts mean sequential, and the pipeline-level
+// worker knob fans into both stages (withWorkers). Validation failures are
+// *OptionError values.
+func (o Options) normalized() (Options, error) {
+	q, err := ParseQueue(o.Queue)
+	if err != nil {
+		return o, err
+	}
+	if o.Route.Queue == QueueAuto {
+		o.Route.Queue = q
+	}
+	if o.Partitions < 0 {
+		return o, &OptionError{Field: "partitions", Value: strconv.Itoa(o.Partitions),
+			Msg: "want >= 0 (0 selects auto, 1 disables partitioned routing)"}
+	}
+	if o.Route.Partitions == 0 {
+		o.Route.Partitions = o.Partitions
+	}
 	if o.Workers < 0 {
 		o.Workers = 1
 	}
@@ -275,7 +337,7 @@ func (o Options) normalized() Options {
 	if o.TDM.Workers < 0 {
 		o.TDM.Workers = 1
 	}
-	return o.withWorkers()
+	return o.withWorkers(), nil
 }
 
 // wireProgress chains OnProgress into the TDM trace and the round hook.
@@ -332,19 +394,42 @@ func (r *Response) result() *Result {
 	}
 }
 
+// responseSchemaVersion is the wire schema generation emitted by
+// Response.MarshalJSON. Version history:
+//
+//	1 — the original schema (no schema_version key, no perf block).
+//	2 — adds "schema_version" and the stable "perf" block.
+//
+// UnmarshalJSON accepts both: a missing schema_version means 1.
+const responseSchemaVersion = 2
+
 // The JSON schema of a Response. Stage walls are fractional milliseconds;
 // the solution itself is summarized, not embedded (fetch it through the
 // solution writers or the server's /solution endpoint).
 type responseJSON struct {
-	Mode       string           `json:"mode"`
-	Report     reportJSON       `json:"report"`
-	RouteStats routeStatsJSON   `json:"route_stats"`
-	Times      stageTimesJSON   `json:"times"`
-	Degraded   *degradedJSON    `json:"degraded"`
-	RoundsRun  int              `json:"rounds_run"`
-	RoundsKept int              `json:"rounds_kept"`
-	InitialGTR int64            `json:"initial_gtr"`
-	Solution   *solutionSumJSON `json:"solution"`
+	SchemaVersion int              `json:"schema_version"`
+	Mode          string           `json:"mode"`
+	Report        reportJSON       `json:"report"`
+	RouteStats    routeStatsJSON   `json:"route_stats"`
+	Times         stageTimesJSON   `json:"times"`
+	Perf          *perfJSON        `json:"perf,omitempty"`
+	Degraded      *degradedJSON    `json:"degraded"`
+	RoundsRun     int              `json:"rounds_run"`
+	RoundsKept    int              `json:"rounds_kept"`
+	InitialGTR    int64            `json:"initial_gtr"`
+	Solution      *solutionSumJSON `json:"solution"`
+}
+
+type perfJSON struct {
+	RouteSec       float64 `json:"route_sec"`
+	LRSec          float64 `json:"lr_sec"`
+	LegalRefineSec float64 `json:"legal_refine_sec"`
+	TotalSec       float64 `json:"total_sec"`
+	PeakRSSBytes   int64   `json:"peak_rss_bytes"`
+	Allocs         uint64  `json:"allocs"`
+	RippedNets     int     `json:"ripped_nets"`
+	RevertedRounds int     `json:"reverted_rounds"`
+	LRIterations   int     `json:"lr_iterations"`
 }
 
 type reportJSON struct {
@@ -391,7 +476,8 @@ type solutionSumJSON struct {
 // is identical for every mode; mode-specific fields are simply zero.
 func (r *Response) MarshalJSON() ([]byte, error) {
 	out := responseJSON{
-		Mode: r.Mode.String(),
+		SchemaVersion: responseSchemaVersion,
+		Mode:          r.Mode.String(),
 		Report: reportJSON{
 			Iterations: r.Report.Iterations,
 			Converged:  r.Report.Converged,
@@ -411,6 +497,17 @@ func (r *Response) MarshalJSON() ([]byte, error) {
 			LRMS:          durMS(r.Times.LR),
 			LegalRefineMS: durMS(r.Times.LegalRefine),
 			TotalMS:       durMS(r.Times.Total()),
+		},
+		Perf: &perfJSON{
+			RouteSec:       r.Perf.RouteSec,
+			LRSec:          r.Perf.LRSec,
+			LegalRefineSec: r.Perf.LegalRefineSec,
+			TotalSec:       r.Perf.TotalSec,
+			PeakRSSBytes:   r.Perf.PeakRSSBytes,
+			Allocs:         r.Perf.Allocs,
+			RippedNets:     r.Perf.RippedNets,
+			RevertedRounds: r.Perf.RevertedRounds,
+			LRIterations:   r.Perf.LRIterations,
 		},
 		RoundsRun:  r.RoundsRun,
 		RoundsKept: r.RoundsKept,
@@ -455,6 +552,13 @@ func (r *Response) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &in); err != nil {
 		return err
 	}
+	// A missing schema_version is the pre-versioning v1 schema; anything
+	// beyond the current generation is from a newer server and may carry
+	// semantics this decoder would silently drop.
+	if in.SchemaVersion > responseSchemaVersion {
+		return fmt.Errorf("tdmroute: response schema_version %d is newer than supported %d",
+			in.SchemaVersion, responseSchemaVersion)
+	}
 	mode, err := ParseMode(in.Mode)
 	if err != nil {
 		return err
@@ -483,6 +587,19 @@ func (r *Response) UnmarshalJSON(data []byte) error {
 		RoundsRun:  in.RoundsRun,
 		RoundsKept: in.RoundsKept,
 		InitialGTR: in.InitialGTR,
+	}
+	if p := in.Perf; p != nil { // absent in v1 payloads
+		r.Perf = Perf{
+			RouteSec:       p.RouteSec,
+			LRSec:          p.LRSec,
+			LegalRefineSec: p.LegalRefineSec,
+			TotalSec:       p.TotalSec,
+			PeakRSSBytes:   p.PeakRSSBytes,
+			Allocs:         p.Allocs,
+			RippedNets:     p.RippedNets,
+			RevertedRounds: p.RevertedRounds,
+			LRIterations:   p.LRIterations,
+		}
 	}
 	if in.Report.Interrupted != "" {
 		r.Report.Interrupted = errors.New(in.Report.Interrupted)

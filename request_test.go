@@ -230,15 +230,21 @@ func TestResponseMarshalJSONGolden(t *testing.T) {
 		RoundsRun:  2,
 		RoundsKept: 1,
 		InitialGTR: 16,
+		Perf: Perf{
+			RouteSec: 0.0015, LRSec: 0.00225, LegalRefineSec: 0.00025, TotalSec: 0.004,
+			PeakRSSBytes: 1048576, Allocs: 12345,
+			RippedNets: 5, RevertedRounds: 1, LRIterations: 41,
+		},
 	}
 	got, err := json.Marshal(resp)
 	if err != nil {
 		t.Fatal(err)
 	}
-	const want = `{"mode":"iterative",` +
+	const want = `{"schema_version":2,"mode":"iterative",` +
 		`"report":{"iterations":41,"converged":true,"lower_bound":11.5,"relaxed_z":12.25,"gtr_noref":16,"gtr_max":14,"interrupted":"context canceled"},` +
 		`"route_stats":{"routed_nets":2,"ripup_rounds":3,"reverted_rounds":1,"ripped_nets":5},` +
 		`"times":{"route_ms":1.5,"lr_ms":2.25,"legal_refine_ms":0.25,"total_ms":4},` +
+		`"perf":{"route_sec":0.0015,"lr_sec":0.00225,"legal_refine_sec":0.00025,"total_sec":0.004,"peak_rss_bytes":1048576,"allocs":12345,"ripped_nets":5,"reverted_rounds":1,"lr_iterations":41},` +
 		`"degraded":{"stage":"feedback","cause":"context canceled","lr_iterations":41,"feedback_rounds":2,"incumbent_gtr":14},` +
 		`"rounds_run":2,"rounds_kept":1,"initial_gtr":16,` +
 		`"solution":{"nets":2,"routed_edges":3}}`
@@ -253,10 +259,11 @@ func TestResponseMarshalJSONGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const wantClean = `{"mode":"single",` +
+	const wantClean = `{"schema_version":2,"mode":"single",` +
 		`"report":{"iterations":0,"converged":false,"lower_bound":0,"relaxed_z":0,"gtr_noref":0,"gtr_max":0},` +
 		`"route_stats":{"routed_nets":0,"ripup_rounds":0,"reverted_rounds":0,"ripped_nets":0},` +
 		`"times":{"route_ms":0,"lr_ms":0,"legal_refine_ms":0,"total_ms":0},` +
+		`"perf":{"route_sec":0,"lr_sec":0,"legal_refine_sec":0,"total_sec":0,"peak_rss_bytes":0,"allocs":0,"ripped_nets":0,"reverted_rounds":0,"lr_iterations":0},` +
 		`"degraded":null,"rounds_run":0,"rounds_kept":0,"initial_gtr":0,"solution":null}`
 	if string(got) != wantClean {
 		t.Errorf("clean golden mismatch:\n got: %s\nwant: %s", got, wantClean)
@@ -279,10 +286,11 @@ func TestResponseMarshalJSONGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const wantCurtailed = `{"mode":"delta",` +
+	const wantCurtailed = `{"schema_version":2,"mode":"delta",` +
 		`"report":{"iterations":0,"converged":false,"lower_bound":0,"relaxed_z":0,"gtr_noref":0,"gtr_max":0},` +
 		`"route_stats":{"routed_nets":0,"ripup_rounds":0,"reverted_rounds":0,"ripped_nets":0},` +
 		`"times":{"route_ms":0,"lr_ms":0,"legal_refine_ms":0,"total_ms":0},` +
+		`"perf":{"route_sec":0,"lr_sec":0,"legal_refine_sec":0,"total_sec":0,"peak_rss_bytes":0,"allocs":0,"ripped_nets":0,"reverted_rounds":0,"lr_iterations":0},` +
 		`"degraded":{"stage":"lr","cause":"tdmroute: run curtailed without a recorded cause","lr_iterations":7,"feedback_rounds":0,"incumbent_gtr":20},` +
 		`"rounds_run":0,"rounds_kept":0,"initial_gtr":0,"solution":null}`
 	if string(got) != wantCurtailed {
@@ -340,6 +348,10 @@ func TestResponseJSONRoundTrip(t *testing.T) {
 			LRIterations: 41, FeedbackRounds: 2, IncumbentGTR: 14,
 		},
 		RoundsRun: 2, RoundsKept: 1, InitialGTR: 16,
+		Perf: Perf{
+			RouteSec: 0.0015, LRSec: 0.00225, LegalRefineSec: 0.00025, TotalSec: 0.004,
+			PeakRSSBytes: 2097152, Allocs: 999, RippedNets: 5, RevertedRounds: 1, LRIterations: 41,
+		},
 	}
 	wire, err := json.Marshal(resp)
 	if err != nil {
@@ -362,6 +374,35 @@ func TestResponseJSONRoundTrip(t *testing.T) {
 	if back.Degraded == nil || back.Degraded.Cause == nil ||
 		back.Degraded.Cause.Error() != context.Canceled.Error() {
 		t.Errorf("Degraded did not survive the round trip: %+v", back.Degraded)
+	}
+	if back.Perf != resp.Perf {
+		t.Errorf("Perf did not survive the round trip: %+v vs %+v", back.Perf, resp.Perf)
+	}
+}
+
+// TestResponseUnmarshalV1 pins backward compatibility of the decoder: a
+// schema-1 payload (no schema_version key, no perf block) from an older
+// server still decodes, with a zero Perf. A payload from a newer schema
+// generation is rejected rather than silently truncated.
+func TestResponseUnmarshalV1(t *testing.T) {
+	const v1 = `{"mode":"single",` +
+		`"report":{"iterations":12,"converged":true,"lower_bound":3,"relaxed_z":3.5,"gtr_noref":8,"gtr_max":6},` +
+		`"route_stats":{"routed_nets":4,"ripup_rounds":2,"reverted_rounds":0,"ripped_nets":1},` +
+		`"times":{"route_ms":1,"lr_ms":2,"legal_refine_ms":3,"total_ms":6},` +
+		`"degraded":null,"rounds_run":0,"rounds_kept":0,"initial_gtr":0,"solution":null}`
+	var r Response
+	if err := json.Unmarshal([]byte(v1), &r); err != nil {
+		t.Fatalf("v1 payload rejected: %v", err)
+	}
+	if r.Report.GTRMax != 6 || r.RouteStats.RoutedNets != 4 {
+		t.Errorf("v1 payload decoded wrong: %+v", r)
+	}
+	if r.Perf != (Perf{}) {
+		t.Errorf("v1 payload produced a non-zero Perf: %+v", r.Perf)
+	}
+
+	if err := json.Unmarshal([]byte(`{"schema_version":99,"mode":"single"}`), &r); err == nil {
+		t.Error("schema_version 99 was accepted")
 	}
 }
 

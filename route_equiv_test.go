@@ -1,0 +1,147 @@
+package tdmroute
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"tdmroute/internal/problem"
+)
+
+// TestQueueEngineEquivalence is the byte-identity contract of the bucket
+// queue: across generator seeds, worker counts, and a deterministic
+// mid-round cancellation, routing with Queue "bucket" must reproduce the
+// binary-heap engine exactly — same solution bytes, same objective. The
+// canonical equal-cost tie-break (smallest edge id wins the predecessor)
+// makes every shortest path a pure function of the graph and costs,
+// independent of queue pop order; this suite is that argument's executable
+// form at pipeline scale.
+func TestQueueEngineEquivalence(t *testing.T) {
+	cases := []struct {
+		bench string
+		shift int64
+	}{
+		{"synopsys01", 0},
+		{"synopsys03", 3},
+		{"hidden02", 5},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{1, 4} {
+			for _, cancelRound := range []int{-1, 1} {
+				in := equivInstance(t, tc.bench, tc.shift)
+				run := func(queue string) *Response {
+					ctx, cancel := context.WithCancel(context.Background())
+					defer cancel()
+					req := Request{
+						Instance: in,
+						Mode:     ModeIterative,
+						Rounds:   3,
+						Options:  Options{Workers: workers, Queue: queue},
+					}
+					if cancelRound >= 0 {
+						req.onRound = func(round int) {
+							if round == cancelRound {
+								cancel()
+							}
+						}
+					}
+					resp, err := Run(ctx, req)
+					if err != nil {
+						t.Fatalf("%s workers=%d cancel=%d queue=%s: %v",
+							tc.bench, workers, cancelRound, queue, err)
+					}
+					return resp
+				}
+				heap := run("heap")
+				bucket := run("bucket")
+				if heap.Report.GTRMax != bucket.Report.GTRMax ||
+					heap.RoundsRun != bucket.RoundsRun ||
+					heap.RoundsKept != bucket.RoundsKept {
+					t.Fatalf("%s workers=%d cancel=%d: heap (gtr=%d run=%d kept=%d) vs bucket (gtr=%d run=%d kept=%d)",
+						tc.bench, workers, cancelRound,
+						heap.Report.GTRMax, heap.RoundsRun, heap.RoundsKept,
+						bucket.Report.GTRMax, bucket.RoundsRun, bucket.RoundsKept)
+				}
+				hb := solutionBytes(t, heap.Solution)
+				bb := solutionBytes(t, bucket.Solution)
+				if !bytes.Equal(hb, bb) {
+					t.Fatalf("%s workers=%d cancel=%d: heap and bucket solutions diverged (%d vs %d bytes)",
+						tc.bench, workers, cancelRound, len(hb), len(bb))
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionedRoutingWorkerInvariance pins the determinism contract of
+// partitioned initial routing: for a fixed Partitions count the result is a
+// pure function of the instance and the options minus Workers — unlike the
+// wave path, whose schedule feeds congestion back into the result. Every
+// solution must also survive the independent validator.
+func TestPartitionedRoutingWorkerInvariance(t *testing.T) {
+	cases := []struct {
+		bench string
+		shift int64
+	}{
+		{"synopsys01", 0},
+		{"synopsys04", 4},
+	}
+	for _, tc := range cases {
+		in := equivInstance(t, tc.bench, tc.shift)
+		var ref []byte
+		var refGTR int64
+		for _, workers := range []int{1, 4} {
+			resp, err := Run(context.Background(), Request{
+				Instance: in,
+				Options:  Options{Workers: workers, Partitions: 3},
+			})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", tc.bench, workers, err)
+			}
+			if err := problem.ValidateSolution(in, resp.Solution); err != nil {
+				t.Fatalf("%s workers=%d: partitioned solution invalid: %v", tc.bench, workers, err)
+			}
+			b := solutionBytes(t, resp.Solution)
+			if ref == nil {
+				ref, refGTR = b, resp.Report.GTRMax
+				continue
+			}
+			if resp.Report.GTRMax != refGTR || !bytes.Equal(b, ref) {
+				t.Fatalf("%s: partitioned solve depends on Workers (gtr %d vs %d, %d vs %d bytes)",
+					tc.bench, resp.Report.GTRMax, refGTR, len(b), len(ref))
+			}
+		}
+	}
+}
+
+// TestOptionValidation pins the typed validation of the new Request knobs:
+// a bad queue name or a negative partition count fails with an *OptionError
+// naming the field, before any solving starts.
+func TestOptionValidation(t *testing.T) {
+	in := equivInstance(t, "synopsys01", 0)
+	cases := []struct {
+		name  string
+		opt   Options
+		field string
+	}{
+		{"bad queue", Options{Queue: "fibonacci"}, "queue"},
+		{"negative partitions", Options{Partitions: -2}, "partitions"},
+	}
+	for _, tc := range cases {
+		_, err := Run(context.Background(), Request{Instance: in, Options: tc.opt})
+		var oe *OptionError
+		if !errors.As(err, &oe) {
+			t.Fatalf("%s: Run returned %v, want *OptionError", tc.name, err)
+		}
+		if oe.Field != tc.field {
+			t.Errorf("%s: OptionError.Field = %q, want %q", tc.name, oe.Field, tc.field)
+		}
+	}
+	// The accepted names round-trip through ParseQueue.
+	for _, q := range []string{"", "auto", "heap", "bucket"} {
+		if _, err := ParseQueue(q); err != nil {
+			t.Errorf("ParseQueue(%q) = %v, want nil", q, err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+#!/bin/sh
+# Scale-1.0 performance smoke: runs the iterated solve at the PUBLISHED
+# benchmark sizes with both Dijkstra engines and asserts that the bucket
+# queue reproduces the binary heap byte-for-byte (solution digests) while
+# reporting the wall times. This is the CI-optional "fullscale" job
+# (workflow_dispatch + nightly cron); the tier-1 jobs never run at this
+# scale.
+#
+#   scripts/fullscale.sh
+#
+# Tunables (environment):
+#   FULLSCALE_BENCHES   comma-separated benchmark subset (default keeps the
+#                       job time-boxed to the two smallest boards)
+#   FULLSCALE_ROUNDS    feedback-round budget (default 1)
+#   FULLSCALE_SCALE     suite scale factor (default 1.0; lower it to smoke
+#                       the script itself)
+#   FULLSCALE_OUT       scratch/output directory (default /tmp/fullscale)
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHES="${FULLSCALE_BENCHES:-synopsys01,synopsys02}"
+ROUNDS="${FULLSCALE_ROUNDS:-1}"
+SCALE="${FULLSCALE_SCALE:-1.0}"
+OUT="${FULLSCALE_OUT:-/tmp/fullscale}"
+mkdir -p "$OUT"
+
+echo "== build"
+go build -o "$OUT/bench" ./cmd/bench
+
+echo "== scale $SCALE, heap queue, workers=1"
+"$OUT/bench" -benchjson "$OUT/heap.json" -scale "$SCALE" -benchmarks "$BENCHES" \
+  -rounds "$ROUNDS" -reps 1 -workers 1 -queue heap -v
+
+echo "== scale $SCALE, bucket queue, workers=1"
+"$OUT/bench" -benchjson "$OUT/bucket.json" -scale "$SCALE" -benchmarks "$BENCHES" \
+  -rounds "$ROUNDS" -reps 1 -workers 1 -queue bucket -v
+
+# Byte-identity: at a fixed worker count the two engines must produce
+# identical solutions, so their contest-format digests must match row for
+# row. A divergence here means the canonical tie-break contract broke.
+heap_digests=$(grep -o '"solution_sha256": "[a-f0-9]*"' "$OUT/heap.json")
+bucket_digests=$(grep -o '"solution_sha256": "[a-f0-9]*"' "$OUT/bucket.json")
+if [ "$heap_digests" != "$bucket_digests" ]; then
+  echo "FAIL: heap and bucket solution digests diverged at scale $SCALE"
+  echo "-- heap:";   echo "$heap_digests"
+  echo "-- bucket:"; echo "$bucket_digests"
+  exit 1
+fi
+echo "solution digests identical across queue engines"
+
+echo "== wall times (ms, heap then bucket)"
+grep -o '"wall_ms": [0-9.]*' "$OUT/heap.json"
+grep -o '"wall_ms": [0-9.]*' "$OUT/bucket.json"
+echo "OK"

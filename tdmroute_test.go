@@ -228,9 +228,11 @@ func TestGoldenDeterminism(t *testing.T) {
 	}
 	// Golden values for this seed/scale. If an intentional algorithm
 	// change shifts them, update the constants alongside the change.
+	// Last rotation: the canonical equal-cost tie-break in the Dijkstra
+	// engines (smallest edge id wins) re-selected some shortest paths.
 	const (
-		goldenGTR   = 60
-		goldenNoRef = 64
+		goldenGTR   = 58
+		goldenNoRef = 62
 	)
 	if res.Report.GTRMax != goldenGTR || res.Report.GTRNoRef != goldenNoRef {
 		t.Errorf("golden drift: GTRMax=%d (want %d) GTRNoRef=%d (want %d)",
